@@ -1,0 +1,378 @@
+package gtlb_test
+
+// One benchmark per reproduced table and figure (regenerating the
+// figure's full series), plus micro-benchmarks standing in for the
+// paper's wall-clock comparisons: COOP vs the iterative WARDROP
+// (§3.4.2's SUN timing remark) and one NASH best-reply round vs the
+// GOS/IOS-style iterative solvers.
+
+import (
+	"testing"
+
+	"gtlb"
+	"gtlb/internal/experiments"
+	"gtlb/internal/noncoop"
+	"gtlb/internal/schemes"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Generate(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_1(b *testing.B) { benchFigure(b, "T3.1") }
+func BenchmarkFig3_1(b *testing.B)   { benchFigure(b, "F3.1") }
+func BenchmarkFig3_2(b *testing.B)   { benchFigure(b, "F3.2") }
+func BenchmarkFig3_3(b *testing.B)   { benchFigure(b, "F3.3") }
+func BenchmarkFig3_4(b *testing.B)   { benchFigure(b, "F3.4") }
+func BenchmarkFig3_5(b *testing.B)   { benchFigure(b, "F3.5") }
+func BenchmarkFig3_6(b *testing.B)   { benchFigure(b, "F3.6") }
+
+func BenchmarkTable4_1(b *testing.B) { benchFigure(b, "T4.1") }
+func BenchmarkFig4_2(b *testing.B)   { benchFigure(b, "F4.2") }
+func BenchmarkFig4_3(b *testing.B)   { benchFigure(b, "F4.3") }
+func BenchmarkFig4_4(b *testing.B)   { benchFigure(b, "F4.4") }
+func BenchmarkFig4_5(b *testing.B)   { benchFigure(b, "F4.5") }
+func BenchmarkFig4_6(b *testing.B)   { benchFigure(b, "F4.6") }
+func BenchmarkFig4_7(b *testing.B)   { benchFigure(b, "F4.7") }
+func BenchmarkFig4_8(b *testing.B)   { benchFigure(b, "F4.8") }
+
+func BenchmarkTable5_1(b *testing.B) { benchFigure(b, "T5.1") }
+func BenchmarkFig5_2(b *testing.B)   { benchFigure(b, "F5.2") }
+func BenchmarkFig5_3(b *testing.B)   { benchFigure(b, "F5.3") }
+func BenchmarkFig5_4(b *testing.B)   { benchFigure(b, "F5.4") }
+func BenchmarkFig5_5(b *testing.B)   { benchFigure(b, "F5.5") }
+func BenchmarkFig5_6(b *testing.B)   { benchFigure(b, "F5.6") }
+func BenchmarkFig5_7(b *testing.B)   { benchFigure(b, "F5.7") }
+
+func BenchmarkTable6_1(b *testing.B) { benchFigure(b, "T6.1") }
+func BenchmarkTable6_2(b *testing.B) { benchFigure(b, "T6.2") }
+func BenchmarkFig6_1(b *testing.B)   { benchFigure(b, "F6.1") }
+func BenchmarkFig6_2(b *testing.B)   { benchFigure(b, "F6.2") }
+func BenchmarkFig6_3(b *testing.B)   { benchFigure(b, "F6.3") }
+func BenchmarkFig6_4(b *testing.B)   { benchFigure(b, "F6.4") }
+func BenchmarkFig6_5(b *testing.B)   { benchFigure(b, "F6.5") }
+func BenchmarkFig6_6(b *testing.B)   { benchFigure(b, "F6.6") }
+
+// table31Mu is the 16-computer Table 3.1 configuration used by the
+// micro-benchmarks.
+func table31Mu() []float64 {
+	return []float64{
+		0.013, 0.013, 0.013, 0.013, 0.013, 0.013,
+		0.026, 0.026, 0.026, 0.026, 0.026,
+		0.065, 0.065, 0.065,
+		0.13, 0.13,
+	}
+}
+
+// BenchmarkCOOPAlgorithm times the closed-form COOP algorithm on the
+// Table 3.1 system — the fast side of the paper's COOP-vs-WARDROP
+// wall-clock comparison (§3.4.2).
+func BenchmarkCOOPAlgorithm(b *testing.B) {
+	sys, err := gtlb.NewSystem(table31Mu(), 0.5*0.663)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.COOP(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWARDROPAlgorithm times the iterative Wardrop solver on the
+// same system; the paper reports it markedly slower than COOP.
+func BenchmarkWARDROPAlgorithm(b *testing.B) {
+	mu := table31Mu()
+	w := &schemes.Wardrop{Eps: 1e-10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Allocate(mu, 0.5*0.663); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCOOPFasterThanWardrop asserts the ordering behind the paper's
+// timing remark (§3.4.2): the direct algorithm beats the iterative one.
+func TestCOOPFasterThanWardrop(t *testing.T) {
+	coop := testing.Benchmark(BenchmarkCOOPAlgorithm)
+	wardrop := testing.Benchmark(BenchmarkWARDROPAlgorithm)
+	if coop.NsPerOp() >= wardrop.NsPerOp() {
+		t.Errorf("COOP (%d ns/op) not faster than WARDROP (%d ns/op)",
+			coop.NsPerOp(), wardrop.NsPerOp())
+	}
+}
+
+func ch4Bench() (gtlb.MultiSystem, error) {
+	mu := []float64{10, 10, 10, 10, 10, 10, 20, 20, 20, 20, 20, 50, 50, 50, 100, 100}
+	fr := []float64{0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.06, 0.04, 0.04}
+	phi := make([]float64, len(fr))
+	for j, f := range fr {
+		phi[j] = f * 0.6 * 510
+	}
+	return gtlb.NewMultiSystem(mu, phi)
+}
+
+// BenchmarkBestReply times a single user's best-reply computation — the
+// unit of work a NASH iteration performs per user.
+func BenchmarkBestReply(b *testing.B) {
+	sys, err := ch4Bench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := noncoop.NewProfile(sys.NumUsers(), sys.NumComputers())
+	for j := range prof.S {
+		for i, m := range sys.Mu {
+			prof.S[j][i] = m / sys.TotalMu()
+		}
+	}
+	avail := sys.Available(prof, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := noncoop.BestReply(avail, sys.Phi[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNashEquilibrium times the full NASH_P iteration to 1e-4, the
+// quantity Figure 4.3 plots.
+func BenchmarkNashEquilibrium(b *testing.B) {
+	sys, err := ch4Bench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.NashEquilibrium(sys, gtlb.NashOptions{Init: gtlb.InitProportional, Eps: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMechanismPayments times one full truthful payment computation
+// for the 16 Table 5.1 agents (the dispatcher-side cost of one LBM
+// round).
+func BenchmarkMechanismPayments(b *testing.B) {
+	mu := table31Mu()
+	trueVals := make([]float64, len(mu))
+	for i, m := range mu {
+		trueVals[i] = 1 / m
+	}
+	m := gtlb.Mechanism{Phi: 0.5 * 0.663}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Payments(trueVals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifiedMechanism times one Chapter 6 payment round.
+func BenchmarkVerifiedMechanism(b *testing.B) {
+	vals := []float64{1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10}
+	m := gtlb.VerifiedMechanism{Lambda: 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(vals, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures discrete-event simulation throughput
+// (jobs per benchmark op) on a 16-computer system.
+func BenchmarkSimulator(b *testing.B) {
+	mu := make([]float64, 16)
+	for i, m := range table31Mu() {
+		mu[i] = m * 1000
+	}
+	var total float64
+	for _, m := range mu {
+		total += m
+	}
+	phi := 0.5 * total
+	lam := make([]float64, len(mu))
+	routing := make([]float64, len(mu))
+	sys, err := gtlb.NewSystem(mu, phi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := gtlb.COOP(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	copy(lam, a.Lambda)
+	for i, l := range lam {
+		routing[i] = l / phi
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := gtlb.Simulate(gtlb.SimConfig{
+			Mu:           mu,
+			InterArrival: gtlb.Exponential(phi),
+			Routing:      [][]float64{routing},
+			Horizon:      100,
+			Warmup:       5,
+			Seed:         uint64(i + 1),
+			Replications: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Jobs), "jobs/op")
+	}
+}
+
+// BenchmarkNashRingProtocol times the distributed ring protocol end to
+// end over the in-memory transport.
+func BenchmarkNashRingProtocol(b *testing.B) {
+	sys, err := ch4Bench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys, 1e-4, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLBMProtocol times the bidding protocol end to end over the
+// in-memory transport.
+func BenchmarkLBMProtocol(b *testing.B) {
+	mu := table31Mu()
+	trueVals := make([]float64, len(mu))
+	for i, m := range mu {
+		trueVals[i] = 1 / m
+	}
+	policies := make([]gtlb.BidPolicy, len(trueVals))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.RunLBM(gtlb.NewMemNetwork(), trueVals, policies, 0.5*0.663); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkNashInitZero vs BenchmarkNashInitProportional: the NASH_0 /
+// NASH_P initialization choice of Figure 4.2.
+func BenchmarkNashInitZero(b *testing.B) {
+	sys, err := ch4Bench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.NashEquilibrium(sys, gtlb.NashOptions{Init: gtlb.InitZero, Eps: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNashInitProportional(b *testing.B) {
+	sys, err := ch4Bench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.NashEquilibrium(sys, gtlb.NashOptions{Init: gtlb.InitProportional, Eps: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicPolicies times one dynamic-mode replication per
+// surveyed policy (the §2.2.2 baseline world).
+func BenchmarkDynamicPolicies(b *testing.B) {
+	mu := []float64{20, 20, 4, 4, 4, 4, 4, 4}
+	lambda := make([]float64, len(mu))
+	for i, m := range mu {
+		lambda[i] = 0.7 * m
+	}
+	for _, p := range gtlb.DynamicPolicies() {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := gtlb.SimulateDynamic(gtlb.DynamicConfig{
+					Mu: mu, Lambda: lambda, Policy: p,
+					TransferDelay: 0.005,
+					Horizon:       500, Warmup: 25,
+					Seed: uint64(i + 1), Replications: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Extension experiments (X ids; see internal/experiments/extensions.go).
+func BenchmarkFigX1(b *testing.B) { benchFigure(b, "X1") }
+func BenchmarkFigX2(b *testing.B) { benchFigure(b, "X2") }
+func BenchmarkFigX3(b *testing.B) { benchFigure(b, "X3") }
+func BenchmarkFigX4(b *testing.B) { benchFigure(b, "X4") }
+
+// BenchmarkMultiClassOptimize times the Frank–Wolfe solver on a
+// two-class three-computer system.
+func BenchmarkMultiClassOptimize(b *testing.B) {
+	sys, err := gtlb.NewMultiClassSystem(
+		[][]float64{{10, 6, 2}, {3, 8, 2.5}},
+		[]float64{5, 4},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.OptimizeMultiClass(sys, gtlb.MultiClassOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPriceOfAnarchy times the waterfill solvers on a 16-link
+// affine network.
+func BenchmarkPriceOfAnarchy(b *testing.B) {
+	links := make([]gtlb.RoutingLink, 16)
+	for i := range links {
+		links[i] = gtlb.RoutingLink{Slope: float64(i%4) + 1, Const: float64(i % 3)}
+	}
+	n := gtlb.RoutingNetwork{Links: links, Rate: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.PriceOfAnarchy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBayesianEquilibrium times the §7.3 Bayesian-Nash iteration on
+// a two-scenario, two-user system.
+func BenchmarkBayesianEquilibrium(b *testing.B) {
+	sys, err := gtlb.NewBayesSystem([]gtlb.BayesScenario{
+		{Mu: []float64{20, 10}, Prob: 0.5},
+		{Mu: []float64{4, 10}, Prob: 0.5},
+	}, []float64{6, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.BayesianEquilibrium(sys, 1e-8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigX5(b *testing.B) { benchFigure(b, "X5") }

@@ -1,0 +1,74 @@
+// Command lbdyn runs the dynamic-mode simulator: per-computer arrival
+// streams with one of the surveyed dynamic load-balancing policies
+// (§2.2.2) transferring jobs at run time.
+//
+// Usage:
+//
+//	lbdyn -mu 20,20,4,4,4,4 -rho 0.7 -policy JSQ
+//	lbdyn -mu 4,4,4,4 -rho 0.9 -policy RECEIVER -delay 0.01
+//	lbdyn -mu 4,4,4,4 -rho 0.7 -policy all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gtlb"
+
+	"gtlb/internal/cliutil"
+)
+
+func main() {
+	muFlag := flag.String("mu", "", "comma-separated service rates (jobs/sec)")
+	rho := flag.Float64("rho", 0.7, "per-computer utilization of the home streams")
+	policy := flag.String("policy", "all", "LOCAL, RANDOM, THRESHOLD, SHORTEST, RECEIVER, SYMMETRIC, JSQ or all")
+	delay := flag.Float64("delay", 0.005, "job transfer delay (sec)")
+	horizon := flag.Float64("horizon", 4_000, "virtual seconds per replication")
+	reps := flag.Int("reps", 5, "independent replications")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	flag.Parse()
+
+	mu, err := cliutil.ParseRates(*muFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbdyn: %v\n", err)
+		os.Exit(2)
+	}
+	lambda := make([]float64, len(mu))
+	for i, m := range mu {
+		lambda[i] = *rho * m
+	}
+
+	var policies []gtlb.DynamicPolicy
+	for _, p := range gtlb.DynamicPolicies() {
+		if *policy == "all" || strings.EqualFold(p.Name(), *policy) {
+			policies = append(policies, p)
+		}
+	}
+	if len(policies) == 0 {
+		fmt.Fprintf(os.Stderr, "lbdyn: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%d computers, rho=%.0f%%, transfer delay %gs\n\n", len(mu), *rho*100, *delay)
+	fmt.Printf("%-12s %-18s %-12s %-10s\n", "policy", "E[T] (s)", "transfers", "jobs")
+	for _, p := range policies {
+		res, err := gtlb.SimulateDynamic(gtlb.DynamicConfig{
+			Mu:            mu,
+			Lambda:        lambda,
+			Policy:        p,
+			TransferDelay: *delay,
+			Horizon:       *horizon,
+			Warmup:        *horizon / 20,
+			Seed:          *seed,
+			Replications:  *reps,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbdyn: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %-9.5f±%-7.4f %-12.0f %-10d\n",
+			p.Name(), res.Overall.Mean, res.Overall.StdErr, res.Transfers, res.Jobs)
+	}
+}

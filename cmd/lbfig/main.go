@@ -1,0 +1,63 @@
+// Command lbfig regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lbfig -list              # list experiment ids
+//	lbfig -fig F3.1          # print one figure's series
+//	lbfig -fig all           # print every table and figure
+//	lbfig -fig F3.6 -full    # full-methodology simulation variants
+//
+// Each figure is printed as aligned text tables, one per panel, so the
+// series can be compared with the paper or piped into a plotting tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gtlb/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment id (e.g. F3.1, T4.1) or 'all'")
+	full := flag.Bool("full", false, "use the full simulation methodology for F3.6/F4.8 (slower)")
+	list := flag.Bool("list", false, "list the available experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		f, err := generate(id, *full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbfig: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.Render(f))
+	}
+}
+
+func generate(id string, full bool) (experiments.Figure, error) {
+	if full {
+		switch id {
+		case "F3.6":
+			return experiments.Fig3_6Full()
+		case "F4.8":
+			return experiments.Fig4_8Full()
+		}
+	}
+	return experiments.Generate(id)
+}

@@ -1,0 +1,95 @@
+// Command lbnode demonstrates the distributed protocols over real TCP
+// loopback sockets: a broker relays messages among node processes
+// (goroutines here, one per protocol role).
+//
+// Usage:
+//
+//	lbnode -proto nash -rho 0.6          # §4.3 NASH ring, 10 users
+//	lbnode -proto lbm -liar 1.33         # §5.4 LBM bidding, C1 lies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gtlb/internal/dist"
+	"gtlb/internal/noncoop"
+)
+
+func main() {
+	proto := flag.String("proto", "nash", "protocol to run: nash or lbm")
+	rho := flag.Float64("rho", 0.6, "system utilization for the NASH ring")
+	liar := flag.Float64("liar", 1.0, "bid factor applied by computer C1 in the LBM protocol")
+	addr := flag.String("addr", "127.0.0.1:0", "broker listen address")
+	flag.Parse()
+
+	netw, brokerAddr, closeFn, err := dist.NewTCPNetwork(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
+		os.Exit(1)
+	}
+	defer closeFn()
+	fmt.Printf("broker listening on %s\n\n", brokerAddr)
+
+	switch *proto {
+	case "nash":
+		runNash(netw, *rho)
+	case "lbm":
+		runLBM(netw, *liar)
+	default:
+		fmt.Fprintf(os.Stderr, "lbnode: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+}
+
+func runNash(netw dist.Network, rho float64) {
+	mu := []float64{10, 10, 10, 10, 10, 10, 20, 20, 20, 20, 20, 50, 50, 50, 100, 100}
+	fractions := []float64{0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.06, 0.04, 0.04}
+	total := rho * 510
+	phi := make([]float64, len(fractions))
+	for j, f := range fractions {
+		phi[j] = f * total
+	}
+	sys, err := noncoop.NewSystem(mu, phi)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := dist.RunNashRing(netw, sys, 1e-8, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("NASH ring converged in %d iterations\n\n", res.Iterations)
+	fmt.Printf("%-8s %-12s %-16s\n", "user", "phi (jobs/s)", "expected T (s)")
+	for j, t := range sys.UserTimes(res.Profile) {
+		fmt.Printf("%-8d %-12.4g %-16.6g\n", j+1, sys.Phi[j], t)
+	}
+	fmt.Printf("\noverall expected response time: %.6g s\n", sys.OverallTime(res.Profile))
+}
+
+func runLBM(netw dist.Network, liar float64) {
+	mus := []float64{0.13, 0.13, 0.065, 0.065, 0.065,
+		0.026, 0.026, 0.026, 0.026, 0.026,
+		0.013, 0.013, 0.013, 0.013, 0.013, 0.013}
+	trueVals := make([]float64, len(mus))
+	for i, m := range mus {
+		trueVals[i] = 1 / m
+	}
+	policies := make([]dist.BidPolicy, len(trueVals))
+	if liar != 1.0 {
+		policies[0] = dist.ScaledBid(liar)
+	}
+	res, err := dist.RunLBM(netw, trueVals, policies, 0.5*0.663)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("LBM protocol complete (C1 bid factor %.2f)\n\n", liar)
+	fmt.Printf("%-10s %-12s %-12s %-12s %-12s\n", "computer", "bid", "load", "payment", "profit")
+	for i, rep := range res.Computers {
+		fmt.Printf("%-10d %-12.5g %-12.5g %-12.5g %-12.5g\n",
+			i+1, rep.Bid, rep.Load, rep.Payment, rep.Profit)
+	}
+}

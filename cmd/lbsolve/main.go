@@ -1,0 +1,55 @@
+// Command lbsolve computes a static load allocation for a single-class
+// system with any of the Chapter 3 schemes and reports per-computer
+// loads, response times and the fairness index.
+//
+// Usage:
+//
+//	lbsolve -mu 0.13,0.065,0.013 -phi 0.1 -scheme COOP
+//	lbsolve -mu 4,4,4 -phi 9 -scheme OPTIM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"gtlb/internal/cliutil"
+	"gtlb/internal/metrics"
+	"gtlb/internal/queueing"
+	"os"
+)
+
+func main() {
+	muFlag := flag.String("mu", "", "comma-separated processing rates (jobs/sec)")
+	phi := flag.Float64("phi", 0, "total arrival rate (jobs/sec)")
+	scheme := flag.String("scheme", "COOP", "COOP, PROP, WARDROP or OPTIM")
+	flag.Parse()
+
+	mu, err := cliutil.ParseRates(*muFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbsolve: %v\n", err)
+		os.Exit(2)
+	}
+	alloc, err := cliutil.SchemeByName(*scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbsolve: %v\n", err)
+		os.Exit(2)
+	}
+
+	lam, err := alloc.Allocate(mu, *phi)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbsolve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s allocation for phi=%g over %d computers\n\n", alloc.Name(), *phi, len(mu))
+	fmt.Printf("%-10s %-12s %-12s %-14s %-10s\n", "computer", "mu", "lambda", "response (s)", "util")
+	times := make([]float64, 0, len(mu))
+	for i := range mu {
+		rt := 0.0
+		if lam[i] > 0 {
+			rt = queueing.ResponseTime(mu[i], lam[i])
+			times = append(times, rt)
+		}
+		fmt.Printf("%-10d %-12.6g %-12.6g %-14.6g %-10.3f\n", i+1, mu[i], lam[i], rt, lam[i]/mu[i])
+	}
+	fmt.Printf("\nsystem expected response time: %.6g s\n", queueing.SystemResponseTime(mu, lam))
+	fmt.Printf("fairness index: %.4f\n", metrics.FairnessIndex(times))
+}

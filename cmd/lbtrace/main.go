@@ -1,0 +1,154 @@
+// Command lbtrace generates, inspects and replays workload traces.
+//
+// Usage:
+//
+//	lbtrace -gen -rate 100 -cv 1.6 -jobs 50000 -out trace.json
+//	lbtrace -info trace.json
+//	lbtrace -replay trace.json -mu 65,65,130 -scheme COOP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gtlb/internal/cliutil"
+	"gtlb/internal/des"
+	"gtlb/internal/queueing"
+	"gtlb/internal/workload"
+)
+
+func main() {
+	gen := flag.Bool("gen", false, "generate a trace")
+	rate := flag.Float64("rate", 100, "arrival rate for -gen (jobs/sec)")
+	cv := flag.Float64("cv", 1, "inter-arrival CV for -gen (1 = Poisson)")
+	jobs := flag.Int("jobs", 100_000, "jobs to record for -gen")
+	seed := flag.Uint64("seed", 1, "random seed for -gen")
+	out := flag.String("out", "", "output file for -gen (default stdout)")
+	info := flag.String("info", "", "print statistics of a trace file")
+	replay := flag.String("replay", "", "replay a trace through the simulator")
+	muFlag := flag.String("mu", "", "processing rates for -replay")
+	scheme := flag.String("scheme", "COOP", "allocation scheme for -replay")
+	flag.Parse()
+
+	switch {
+	case *gen:
+		runGen(*rate, *cv, *jobs, *seed, *out)
+	case *info != "":
+		runInfo(*info)
+	case *replay != "":
+		runReplay(*replay, *muFlag, *scheme)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lbtrace: %v\n", err)
+	os.Exit(1)
+}
+
+func runGen(rate, cv float64, jobs int, seed uint64, out string) {
+	var dist queueing.Distribution
+	if cv > 1 {
+		h, err := queueing.NewHyperExponential(1/rate, cv)
+		if err != nil {
+			fatal(err)
+		}
+		dist = h
+	} else {
+		dist = queueing.NewExponential(rate)
+	}
+	tr, err := workload.Generate(dist, jobs, queueing.NewRNG(seed))
+	if err != nil {
+		fatal(err)
+	}
+	tr.Description = fmt.Sprintf("rate=%g cv=%g jobs=%d seed=%d", rate, cv, jobs, seed)
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Save(w); err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		fmt.Printf("wrote %d jobs to %s (mean gap %.6g s, cv %.3f)\n", tr.Jobs(), out, tr.Mean(), tr.CV())
+	}
+}
+
+func loadTrace(path string) workload.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func runInfo(path string) {
+	tr := loadTrace(path)
+	fmt.Printf("description:  %s\n", tr.Description)
+	fmt.Printf("jobs:         %d\n", tr.Jobs())
+	fmt.Printf("mean gap:     %.6g s (rate %.6g jobs/s)\n", tr.Mean(), 1/tr.Mean())
+	fmt.Printf("gap CV:       %.4f\n", tr.CV())
+	if tr.Users != nil {
+		users := map[int]int{}
+		for _, u := range tr.Users {
+			users[u]++
+		}
+		fmt.Printf("users:        %d\n", len(users))
+	}
+}
+
+func runReplay(path, muFlag, scheme string) {
+	tr := loadTrace(path)
+	mu, err := cliutil.ParseRates(muFlag)
+	if err != nil {
+		fatal(err)
+	}
+	alloc, err := cliutil.SchemeByName(scheme)
+	if err != nil {
+		fatal(err)
+	}
+	phi := 1 / tr.Mean()
+	lam, err := alloc.Allocate(mu, phi)
+	if err != nil {
+		fatal(err)
+	}
+	routing := make([]float64, len(lam))
+	for i, l := range lam {
+		routing[i] = l / phi
+	}
+	rep, err := workload.NewReplay(tr)
+	if err != nil {
+		fatal(err)
+	}
+	horizon := tr.Mean() * float64(tr.Jobs()) * 0.95
+	res, err := des.Run(des.Config{
+		Mu:           mu,
+		InterArrival: rep,
+		Routing:      [][]float64{routing},
+		Horizon:      horizon,
+		Warmup:       horizon / 20,
+		Seed:         1,
+		Replications: 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s over %d replayed jobs: E[T] = %.6g s (analytic M/M/1 %.6g s)\n",
+		alloc.Name(), res.Jobs, res.Overall.Mean, queueing.SystemResponseTime(mu, lam))
+	if rep.Cycles() > 0 {
+		fmt.Printf("note: the trace wrapped %d time(s)\n", rep.Cycles())
+	}
+}

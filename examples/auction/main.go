@@ -1,0 +1,63 @@
+// Auction: the Chapter 5 LBM bidding protocol in action. Sixteen
+// computer agents — owned by self-interested parties — report their
+// processing rates to a dispatcher, which allocates a job stream
+// optimally and hands out Archer–Tardos truthful payments. The example
+// runs three rounds: everyone truthful, the fastest computer overbidding
+// by 33%, and underbidding by 7%, and shows that lying never pays.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gtlb/internal/dist"
+)
+
+func main() {
+	// Table 5.1 true values t_i = 1/mu_i, fastest first.
+	mus := []float64{0.13, 0.13, 0.065, 0.065, 0.065,
+		0.026, 0.026, 0.026, 0.026, 0.026,
+		0.013, 0.013, 0.013, 0.013, 0.013, 0.013}
+	trueVals := make([]float64, len(mus))
+	for i, m := range mus {
+		trueVals[i] = 1 / m
+	}
+	const phi = 0.5 * 0.663 // medium system load
+
+	rounds := []struct {
+		name   string
+		factor float64
+	}{
+		{"truthful", 1.0},
+		{"C1 bids 33% higher", 1.33},
+		{"C1 bids 7% lower", 0.93},
+	}
+
+	var truthfulProfit float64
+	for _, round := range rounds {
+		policies := make([]dist.BidPolicy, len(trueVals))
+		if round.factor != 1.0 {
+			policies[0] = dist.ScaledBid(round.factor)
+		}
+		res, err := dist.RunLBM(dist.NewMemNetwork(), trueVals, policies, phi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c1 := res.Computers[0]
+		fmt.Printf("round: %s\n", round.name)
+		fmt.Printf("  C1 bid %.3f (true %.3f): load=%.4f jobs/s  payment=%.3f  cost=%.3f  profit=%.3f\n",
+			c1.Bid, trueVals[0], c1.Load, c1.Payment, c1.Cost, c1.Profit)
+		if round.factor == 1.0 {
+			truthfulProfit = c1.Profit
+		} else {
+			fmt.Printf("  profit vs truthful: %+.3f (lying is never profitable)\n", c1.Profit-truthfulProfit)
+		}
+		var pay, cost float64
+		for _, rep := range res.Computers {
+			pay += rep.Payment
+			cost += rep.Cost
+		}
+		fmt.Printf("  dispatcher paid %.2f for a total true cost of %.2f (frugality %.2fx)\n\n",
+			pay, cost, pay/cost)
+	}
+}

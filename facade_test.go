@@ -1,0 +1,172 @@
+package gtlb_test
+
+// Coverage for the facade entry points the doc examples do not reach:
+// the TCP transport constructor, the long-running LBM service, workload
+// traces, the theorem catalog, dynamic simulation, checkpoint resume and
+// the fault-tolerant mechanism.
+
+import (
+	"math"
+	"testing"
+
+	"gtlb"
+)
+
+func table51TrueValues() []float64 {
+	mus := []float64{0.13, 0.13, 0.065, 0.065, 0.065,
+		0.026, 0.026, 0.026, 0.026, 0.026,
+		0.013, 0.013, 0.013, 0.013, 0.013, 0.013}
+	t := make([]float64, len(mus))
+	for i, m := range mus {
+		t[i] = 1 / m
+	}
+	return t
+}
+
+func TestFacadeTCPNetwork(t *testing.T) {
+	netw, addr, closeFn, err := gtlb.NewTCPNetwork("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if addr == "" {
+		t.Error("empty broker address")
+	}
+	sys, err := gtlb.NewMultiSystem([]float64{10, 5}, []float64{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gtlb.RunNashRing(netw, sys, 1e-8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations over TCP")
+	}
+}
+
+func TestFacadeLBMService(t *testing.T) {
+	svc, err := gtlb.NewLBMService(gtlb.NewMemNetwork, table51TrueValues(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Start(0.4 * 0.663); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.UpdateRate(0.6 * 0.663); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Rounds() != 2 {
+		t.Errorf("rounds = %d", svc.Rounds())
+	}
+	svc.Stop()
+}
+
+func TestFacadeLBMWithLiar(t *testing.T) {
+	trueVals := table51TrueValues()
+	policies := make([]gtlb.BidPolicy, len(trueVals))
+	policies[0] = gtlb.ScaledBid(1.5)
+	res, err := gtlb.RunLBM(gtlb.NewMemNetwork(), trueVals, policies, 0.5*0.663)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Bids[0]-1.5*trueVals[0]) > 1e-12 {
+		t.Errorf("liar bid %v", res.Bids[0])
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	h2, err := gtlb.HyperExponential(0.01, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gtlb.GenerateTrace(h2, 20_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.CV()-1.6) > 0.1 {
+		t.Errorf("trace cv = %v", tr.CV())
+	}
+	replay, err := gtlb.ReplayTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gtlb.Simulate(gtlb.SimConfig{
+		Mu:           []float64{200},
+		InterArrival: replay,
+		Routing:      [][]float64{{1}},
+		Horizon:      100,
+		Warmup:       5,
+		Seed:         1,
+		Replications: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs == 0 {
+		t.Error("replay produced no jobs")
+	}
+	if res.P95.Mean <= res.Overall.Mean {
+		t.Error("p95 should exceed the mean")
+	}
+	if res.Utilization[0] <= 0 || res.Utilization[0] >= 1 {
+		t.Errorf("utilization = %v", res.Utilization[0])
+	}
+}
+
+func TestFacadeTheoremCatalog(t *testing.T) {
+	entries := gtlb.TheoremCatalog()
+	if len(entries) != 10 {
+		t.Fatalf("catalog has %d entries, want 10", len(entries))
+	}
+}
+
+func TestFacadeNashRingResume(t *testing.T) {
+	mu := []float64{10, 10, 20, 50}
+	sys, err := gtlb.NewMultiSystem(mu, []float64{20, 15, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys, 1e-14, 2)
+	if err == nil {
+		t.Skip("converged within the tiny budget; nothing to resume")
+	}
+	resumed, err := gtlb.RunNashRingFrom(gtlb.NewMemNetwork(), sys, partial.Profile, 1e-8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidateProfile(resumed.Profile); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeFaultTolerantMechanism(t *testing.T) {
+	trueVals := table51TrueValues()
+	probs := make([]float64, len(trueVals))
+	probs[0] = 0.3
+	ft := gtlb.FaultTolerantMechanism{
+		Mechanism:   gtlb.Mechanism{Phi: 0.4 * 0.663},
+		FailureProb: probs,
+	}
+	out, err := ft.Run(trueVals, trueVals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range out.Profits {
+		if p < -1e-9 {
+			t.Errorf("agent %d loses %v", i, p)
+		}
+	}
+}
+
+func TestFacadeVerifiedExperiments(t *testing.T) {
+	if got := len(gtlb.VerifiedExperiments()); got != 8 {
+		t.Errorf("experiments = %d, want 8 (Table 6.2)", got)
+	}
+}
+
+func TestFacadeUserSchemes(t *testing.T) {
+	if got := len(gtlb.UserSchemes()); got != 4 {
+		t.Errorf("user schemes = %d, want 4", got)
+	}
+}

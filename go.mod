@@ -1,0 +1,3 @@
+module gtlb
+
+go 1.22

@@ -1,0 +1,363 @@
+// Package bayes implements the dissertation's §7.3 future-work item
+// "load balancing based on Bayesian games": the Chapter 4 noncooperative
+// game under incomplete information about the computers' processing
+// rates. Users share a common prior over a finite set of rate scenarios
+// (e.g. "computer 3 is healthy" vs "computer 3 is degraded") and each
+// user chooses ONE strategy — its job fractions — that minimizes its
+// EXPECTED response time over the scenarios:
+//
+//	E[D_j(s)] = Σ_σ p_σ · Σ_i s_ji / (μ_i^σ − Σ_k s_ki φ_k).
+//
+// A Bayesian-Nash equilibrium is a profile where no user can lower its
+// expected response time unilaterally. Each user's best-reply problem is
+// convex over the simplex (a positive mixture of the Chapter 4
+// objectives), solved here by Frank–Wolfe with golden-section line
+// search; the equilibrium is reached by the same round-robin best-reply
+// schedule as §4.3. With a single scenario everything collapses to the
+// complete-information game of internal/noncoop, which the tests verify
+// against the closed-form BEST-REPLY.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gtlb/internal/noncoop"
+	"gtlb/internal/numeric"
+)
+
+// Scenario is one possible state of the world: a rate vector and its
+// prior probability.
+type Scenario struct {
+	Mu   []float64 // per-computer processing rates in this scenario
+	Prob float64   // prior probability
+}
+
+// System is a Bayesian multi-user system.
+type System struct {
+	Scenarios []Scenario
+	Phi       []float64 // per-user arrival rates
+}
+
+// NewSystem constructs and validates a System: positive rates and
+// arrival rates, probabilities summing to 1, and stability of every
+// positive-probability scenario (otherwise every strategy profile has
+// infinite expected cost).
+func NewSystem(scenarios []Scenario, phi []float64) (System, error) {
+	s := System{Scenarios: scenarios, Phi: phi}
+	if err := s.Validate(); err != nil {
+		return System{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the system's consistency.
+func (s System) Validate() error {
+	if len(s.Scenarios) == 0 {
+		return errors.New("bayes: need at least one scenario")
+	}
+	if len(s.Phi) == 0 {
+		return errors.New("bayes: need at least one user")
+	}
+	var totalPhi float64
+	for j, p := range s.Phi {
+		if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("bayes: user %d arrival rate must be positive and finite, got %g", j, p)
+		}
+		totalPhi += p
+	}
+	n := len(s.Scenarios[0].Mu)
+	if n == 0 {
+		return errors.New("bayes: need at least one computer")
+	}
+	var probSum float64
+	for si, sc := range s.Scenarios {
+		if len(sc.Mu) != n {
+			return fmt.Errorf("bayes: scenario %d has %d computers, want %d", si, len(sc.Mu), n)
+		}
+		if sc.Prob < 0 || math.IsNaN(sc.Prob) {
+			return fmt.Errorf("bayes: scenario %d probability must be non-negative, got %g", si, sc.Prob)
+		}
+		probSum += sc.Prob
+		var totalMu float64
+		for i, m := range sc.Mu {
+			if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+				return fmt.Errorf("bayes: scenario %d rate %d must be positive and finite, got %g", si, i, m)
+			}
+			totalMu += m
+		}
+		if sc.Prob > 0 && totalPhi >= totalMu {
+			return fmt.Errorf("bayes: scenario %d is overloaded (phi=%g, mu=%g)", si, totalPhi, totalMu)
+		}
+	}
+	if math.Abs(probSum-1) > 1e-9 {
+		return fmt.Errorf("bayes: scenario probabilities sum to %g, want 1", probSum)
+	}
+	return nil
+}
+
+// NumComputers returns n.
+func (s System) NumComputers() int { return len(s.Scenarios[0].Mu) }
+
+// NumUsers returns m.
+func (s System) NumUsers() int { return len(s.Phi) }
+
+// ExpectedUserTime returns user j's expected response time under the
+// profile; +Inf if a positive-probability scenario saturates a computer
+// the user touches.
+func (s System) ExpectedUserTime(p noncoop.Profile, j int) float64 {
+	loads := s.loads(p)
+	var t float64
+	for _, sc := range s.Scenarios {
+		if sc.Prob == 0 {
+			continue
+		}
+		for i, f := range p.S[j] {
+			if f == 0 {
+				continue
+			}
+			d := sc.Mu[i] - loads[i]
+			if d <= 0 {
+				return math.Inf(1)
+			}
+			t += sc.Prob * f / d
+		}
+	}
+	return t
+}
+
+// loads returns the per-computer total arrival rates (scenario-independent).
+func (s System) loads(p noncoop.Profile) []float64 {
+	lam := make([]float64, s.NumComputers())
+	for k, row := range p.S {
+		for i, f := range row {
+			lam[i] += f * s.Phi[k]
+		}
+	}
+	return lam
+}
+
+// BestReply computes user j's expected-cost-minimizing strategy against
+// the others' strategies in the profile, by Frank–Wolfe over the
+// simplex. tol is the relative duality-gap tolerance (0 means 1e-9).
+func (s System) BestReply(p noncoop.Profile, j int, tol float64) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	n := s.NumComputers()
+	phi := s.Phi[j]
+
+	// Available rate per scenario: μ_i^σ minus the other users' flow.
+	avail := make([][]float64, len(s.Scenarios))
+	others := make([]float64, n)
+	for k, row := range p.S {
+		if k == j {
+			continue
+		}
+		for i, f := range row {
+			others[i] += f * s.Phi[k]
+		}
+	}
+	for si, sc := range s.Scenarios {
+		avail[si] = make([]float64, n)
+		for i := range sc.Mu {
+			avail[si][i] = sc.Mu[i] - others[i]
+		}
+	}
+	// Feasibility: φ_j must fit under every positive-prob scenario.
+	for si, sc := range s.Scenarios {
+		if sc.Prob == 0 {
+			continue
+		}
+		var capacity float64
+		for _, a := range avail[si] {
+			if a > 0 {
+				capacity += a
+			}
+		}
+		if capacity <= phi {
+			return nil, fmt.Errorf("bayes: user %d cannot fit %g jobs/s under scenario %d (capacity %g)", j, phi, si, capacity)
+		}
+	}
+
+	objective := func(x []float64) float64 {
+		var t float64
+		for si, sc := range s.Scenarios {
+			if sc.Prob == 0 {
+				continue
+			}
+			for i, f := range x {
+				if f == 0 {
+					continue
+				}
+				d := avail[si][i] - f*phi
+				if d <= 0 {
+					return math.Inf(1)
+				}
+				t += sc.Prob * f / d
+			}
+		}
+		return t
+	}
+	gradient := func(x []float64) []float64 {
+		g := make([]float64, n)
+		for si, sc := range s.Scenarios {
+			if sc.Prob == 0 {
+				continue
+			}
+			for i := range g {
+				d := avail[si][i] - x[i]*phi
+				if d <= 0 {
+					g[i] = math.Inf(1)
+					continue
+				}
+				g[i] += sc.Prob * avail[si][i] / (d * d)
+			}
+		}
+		return g
+	}
+
+	// Feasible start: spread proportionally to the expected rates.
+	x := make([]float64, n)
+	var totalExp float64
+	expMu := make([]float64, n)
+	for _, sc := range s.Scenarios {
+		for i, m := range sc.Mu {
+			expMu[i] += sc.Prob * m
+		}
+	}
+	for _, m := range expMu {
+		totalExp += m
+	}
+	for i := range x {
+		x[i] = expMu[i] / totalExp
+	}
+	if math.IsInf(objective(x), 1) {
+		// Proportional start saturated under some scenario; retreat to
+		// the most-available computer.
+		x = make([]float64, n)
+		best, bestA := 0, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			worst := math.Inf(1)
+			for si, sc := range s.Scenarios {
+				if sc.Prob > 0 && avail[si][i] < worst {
+					worst = avail[si][i]
+				}
+			}
+			if worst > bestA {
+				best, bestA = i, worst
+			}
+		}
+		if bestA <= phi {
+			return nil, fmt.Errorf("bayes: user %d has no single computer with guaranteed capacity", j)
+		}
+		x[best] = 1
+	}
+
+	for iter := 0; iter < 50_000; iter++ {
+		g := gradient(x)
+		best := 0
+		for i := 1; i < n; i++ {
+			if g[i] < g[best] {
+				best = i
+			}
+		}
+		var gap float64
+		for i := range x {
+			d := x[i]
+			if i == best {
+				d -= 1
+			}
+			if d != 0 && !math.IsInf(g[i], 1) {
+				gap += g[i] * d
+			}
+		}
+		obj := objective(x)
+		if gap <= tol*(1+math.Abs(obj)) {
+			return x, nil
+		}
+		target := make([]float64, n)
+		target[best] = 1
+		blend := func(t float64) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = x[i] + t*(target[i]-x[i])
+			}
+			return out
+		}
+		t := numeric.GoldenMin(func(t float64) float64 { return objective(blend(t)) }, 0, 1, 1e-12)
+		if t <= 0 {
+			return x, nil
+		}
+		x = blend(t)
+	}
+	return x, nil
+}
+
+// Result is the outcome of the Bayesian-Nash iteration.
+type Result struct {
+	Profile    noncoop.Profile
+	Iterations int
+}
+
+// Equilibrium computes a Bayesian-Nash equilibrium by round-robin best
+// replies from the proportional (expected-rate) initialization. eps is
+// the acceptance tolerance on the round norm Σ_j |ΔE[D_j]|.
+func Equilibrium(sys System, eps float64, maxIter int) (Result, error) {
+	if err := sys.Validate(); err != nil {
+		return Result{}, err
+	}
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 2_000
+	}
+	m, n := sys.NumUsers(), sys.NumComputers()
+	p := noncoop.NewProfile(m, n)
+	expMu := make([]float64, n)
+	var total float64
+	for _, sc := range sys.Scenarios {
+		for i, mu := range sc.Mu {
+			expMu[i] += sc.Prob * mu
+		}
+	}
+	for _, m := range expMu {
+		total += m
+	}
+	for j := 0; j < m; j++ {
+		for i := range expMu {
+			p.S[j][i] = expMu[i] / total
+		}
+	}
+
+	prev := make([]float64, m)
+	for j := range prev {
+		prev[j] = sys.ExpectedUserTime(p, j)
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		for j := 0; j < m; j++ {
+			x, err := sys.BestReply(p, j, 1e-10)
+			if err != nil {
+				return Result{}, fmt.Errorf("bayes: iteration %d user %d: %w", iter, j, err)
+			}
+			p.S[j] = x
+		}
+		var norm float64
+		for j := 0; j < m; j++ {
+			t := sys.ExpectedUserTime(p, j)
+			d := math.Abs(t - prev[j])
+			if math.IsInf(d, 1) || math.IsNaN(d) {
+				d = math.MaxFloat64 / float64(m)
+			}
+			norm += d
+			prev[j] = t
+		}
+		if norm <= eps {
+			return Result{Profile: p, Iterations: iter}, nil
+		}
+	}
+	return Result{Profile: p, Iterations: maxIter},
+		errors.New("bayes: equilibrium iteration did not converge")
+}

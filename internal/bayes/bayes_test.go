@@ -1,0 +1,218 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"gtlb/internal/metrics"
+	"gtlb/internal/noncoop"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Scenario{{Mu: []float64{10, 5}, Prob: 0.6}, {Mu: []float64{5, 10}, Prob: 0.4}}
+	if _, err := NewSystem(good, []float64{3, 2}); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		sc   []Scenario
+		phi  []float64
+	}{
+		{"no scenarios", nil, []float64{1}},
+		{"no users", good, nil},
+		{"zero phi", good, []float64{0}},
+		{"probabilities off", []Scenario{{Mu: []float64{10}, Prob: 0.5}}, []float64{1}},
+		{"negative prob", []Scenario{{Mu: []float64{10}, Prob: 1.5}, {Mu: []float64{10}, Prob: -0.5}}, []float64{1}},
+		{"ragged", []Scenario{{Mu: []float64{10, 5}, Prob: 0.5}, {Mu: []float64{10}, Prob: 0.5}}, []float64{1}},
+		{"zero rate", []Scenario{{Mu: []float64{0}, Prob: 1}}, []float64{1}},
+		{"scenario overload", []Scenario{{Mu: []float64{10}, Prob: 0.5}, {Mu: []float64{1}, Prob: 0.5}}, []float64{5}},
+	}
+	for _, c := range cases {
+		if _, err := NewSystem(c.sc, c.phi); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestSingleScenarioMatchesCompleteInformation: with one scenario the
+// Bayesian best reply coincides with the Chapter 4 closed form.
+func TestSingleScenarioMatchesCompleteInformation(t *testing.T) {
+	mu := []float64{10, 20, 50, 100}
+	phi := []float64{30, 25}
+	sys, err := NewSystem([]Scenario{{Mu: mu, Prob: 1}}, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile with user 1 proportional; compute user 0's best reply.
+	p := noncoop.NewProfile(2, 4)
+	var total float64
+	for _, m := range mu {
+		total += m
+	}
+	for j := 0; j < 2; j++ {
+		for i, m := range mu {
+			p.S[j][i] = m / total
+		}
+	}
+	got, err := sys.BestReply(p, 0, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csys, err := noncoop.NewSystem(mu, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := noncoop.BestReply(csys.Available(p, 0), phi[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 5e-3 {
+			t.Errorf("fraction %d: bayes %v, closed form %v", i, got[i], want[i])
+		}
+	}
+}
+
+// twoScenarioSystem: computer 0 is fast in scenario A and degraded in
+// scenario B; computer 1 is steady.
+func twoScenarioSystem(t *testing.T, pA float64) System {
+	t.Helper()
+	sys, err := NewSystem([]Scenario{
+		{Mu: []float64{20, 10}, Prob: pA},
+		{Mu: []float64{4, 10}, Prob: 1 - pA},
+	}, []float64{6, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestEquilibriumExists: the best-reply iteration converges and no user
+// can improve by recomputing its best reply.
+func TestEquilibriumExists(t *testing.T) {
+	sys := twoScenarioSystem(t, 0.5)
+	res, err := Equilibrium(sys, 1e-8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < sys.NumUsers(); j++ {
+		cur := sys.ExpectedUserTime(res.Profile, j)
+		best, err := sys.BestReply(res.Profile, j, 1e-11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := res.Profile.Clone()
+		q.S[j] = best
+		if opt := sys.ExpectedUserTime(q, j); cur > opt*(1+1e-4) {
+			t.Errorf("user %d can improve: %v -> %v", j, cur, opt)
+		}
+	}
+	// Fractions form a valid distribution.
+	for j, row := range res.Profile.S {
+		var sum float64
+		for _, f := range row {
+			if f < -1e-9 {
+				t.Errorf("user %d negative fraction %v", j, f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("user %d fractions sum to %v", j, sum)
+		}
+	}
+}
+
+// TestUncertaintyHedges: as the probability that computer 0 is degraded
+// grows, the equilibrium shifts load away from it — the Bayesian
+// strategy interpolates between the two full-information equilibria.
+func TestUncertaintyHedges(t *testing.T) {
+	load0 := func(pA float64) float64 {
+		sys := twoScenarioSystem(t, pA)
+		res, err := Equilibrium(sys, 1e-8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l float64
+		for j, row := range res.Profile.S {
+			l += row[0] * sys.Phi[j]
+		}
+		return l
+	}
+	healthy := load0(0.999)
+	mixed := load0(0.5)
+	degraded := load0(0.001)
+	if !(degraded < mixed && mixed < healthy) {
+		t.Errorf("load on the uncertain computer not monotone in its health: %v, %v, %v",
+			degraded, mixed, healthy)
+	}
+}
+
+// TestValueOfInformation: expected cost under uncertainty is at least
+// the probability-weighted cost of playing each scenario's own
+// full-information equilibrium (information never hurts).
+func TestValueOfInformation(t *testing.T) {
+	sys := twoScenarioSystem(t, 0.5)
+	res, err := Equilibrium(sys, 1e-8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bayesCost float64
+	for j := 0; j < sys.NumUsers(); j++ {
+		bayesCost += sys.Phi[j] * sys.ExpectedUserTime(res.Profile, j)
+	}
+
+	var informedCost float64
+	for _, sc := range sys.Scenarios {
+		csys, err := noncoop.NewSystem(sc.Mu, sys.Phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := noncoop.Nash(csys, noncoop.NashOptions{Init: noncoop.InitProportional, Eps: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c float64
+		for j := 0; j < csys.NumUsers(); j++ {
+			c += sys.Phi[j] * csys.UserTime(eq.Profile, j)
+		}
+		informedCost += sc.Prob * c
+	}
+	if bayesCost < informedCost*(1-1e-6) {
+		t.Errorf("uncertain equilibrium cost %v below informed cost %v", bayesCost, informedCost)
+	}
+}
+
+func TestExpectedUserTimeSaturated(t *testing.T) {
+	sys := twoScenarioSystem(t, 0.5)
+	p := noncoop.NewProfile(2, 2)
+	p.S[0] = []float64{1, 0} // 6 jobs/s onto computer 0, degraded rate 4
+	p.S[1] = []float64{0, 1}
+	if !math.IsInf(sys.ExpectedUserTime(p, 0), 1) {
+		t.Error("saturated scenario should give +Inf expected time")
+	}
+}
+
+func TestEquilibriumMatchesNoncoopSingleScenario(t *testing.T) {
+	mu := []float64{10, 20, 50}
+	phi := []float64{15, 10}
+	sys, err := NewSystem([]Scenario{{Mu: mu, Prob: 1}}, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Equilibrium(sys, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csys, err := noncoop.NewSystem(mu, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := noncoop.Nash(csys, noncoop.NashOptions{Init: noncoop.InitProportional, Eps: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := metrics.LInfNorm(csys.Loads(res.Profile), csys.Loads(eq.Profile))
+	if d > 1e-2 {
+		t.Errorf("single-scenario Bayesian equilibrium differs from Nash by %v jobs/s", d)
+	}
+}

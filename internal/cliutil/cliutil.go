@@ -1,0 +1,41 @@
+// Package cliutil holds the small argument-parsing helpers shared by
+// the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gtlb/internal/schemes"
+)
+
+// ParseRates parses a comma-separated list of positive rates.
+func ParseRates(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cliutil: missing rate list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad rate %q: %v", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("cliutil: rate %q must be positive", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// SchemeByName resolves a Chapter 3 allocator by case-insensitive name.
+func SchemeByName(name string) (schemes.Allocator, error) {
+	for _, a := range schemes.All() {
+		if strings.EqualFold(a.Name(), name) {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("cliutil: unknown scheme %q (want COOP, PROP, WARDROP or OPTIM)", name)
+}

@@ -1,0 +1,42 @@
+package cliutil
+
+import (
+	"testing"
+)
+
+func TestParseRates(t *testing.T) {
+	got, err := ParseRates(" 1, 2.5 ,3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rate %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseRatesErrors(t *testing.T) {
+	for _, bad := range []string{"", "  ", "1,x", "1,,2", "0", "-1", "1,-2"} {
+		if _, err := ParseRates(bad); err == nil {
+			t.Errorf("ParseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range []string{"COOP", "coop", "Prop", "WARDROP", "optim"} {
+		a, err := SchemeByName(name)
+		if err != nil {
+			t.Errorf("SchemeByName(%q): %v", name, err)
+			continue
+		}
+		if a == nil {
+			t.Errorf("SchemeByName(%q) returned nil", name)
+		}
+	}
+	if _, err := SchemeByName("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

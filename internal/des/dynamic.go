@@ -1,0 +1,237 @@
+package des
+
+import (
+	"errors"
+	"fmt"
+
+	"gtlb/internal/metrics"
+	"gtlb/internal/queueing"
+)
+
+// This file adds the *dynamic* simulation mode: the Chapter 2.2.2 survey
+// model, where each computer has its own external arrival stream and a
+// dynamic policy decides — based on the current queue lengths — whether
+// a job runs at its home computer or is transferred elsewhere
+// (sender-initiated), and whether an idling computer pulls work from a
+// loaded peer (receiver-initiated). Transfers pay a communication delay.
+//
+// The static schemes of Chapters 3–5 decide routing offline from rates
+// alone; this mode is the baseline world they are compared against in
+// the survey, and the dynamic-vs-static example builds on it.
+
+// DynamicPolicy is a dynamic load-balancing policy. Implementations
+// observe queue lengths only (jobs waiting plus in service), the
+// information real distributed policies estimate by probing.
+type DynamicPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// OnArrival picks the computer that should execute a job arriving
+	// at its home computer; returning home means no transfer. q[i] is
+	// computer i's queue length including the job in service (the
+	// arriving job is not yet counted).
+	OnArrival(home int, q []int, r *queueing.RNG) int
+	// OnIdle is called when a computer's queue empties; returning a
+	// peer index pulls one waiting job from that peer (receiver-
+	// initiated transfer), returning -1 declines.
+	OnIdle(idle int, q []int, r *queueing.RNG) int
+}
+
+// DynamicConfig describes a dynamic-mode scenario.
+type DynamicConfig struct {
+	// Mu are the computers' service rates.
+	Mu []float64
+	// Lambda are the per-computer external arrival rates (Poisson).
+	Lambda []float64
+	// Policy decides transfers; nil means purely local execution.
+	Policy DynamicPolicy
+	// TransferDelay is the communication delay a transferred job pays
+	// before joining the destination queue.
+	TransferDelay float64
+	// Horizon, Warmup, Seed, Replications as in Config.
+	Horizon      float64
+	Warmup       float64
+	Seed         uint64
+	Replications int
+}
+
+func (c DynamicConfig) validate() error {
+	if len(c.Mu) == 0 {
+		return errors.New("des: dynamic config needs at least one computer")
+	}
+	if len(c.Lambda) != len(c.Mu) {
+		return fmt.Errorf("des: %d arrival rates for %d computers", len(c.Lambda), len(c.Mu))
+	}
+	for i := range c.Mu {
+		if c.Mu[i] <= 0 {
+			return fmt.Errorf("des: computer %d has non-positive service rate", i)
+		}
+		if c.Lambda[i] < 0 {
+			return fmt.Errorf("des: computer %d has negative arrival rate", i)
+		}
+	}
+	if c.TransferDelay < 0 {
+		return errors.New("des: negative transfer delay")
+	}
+	if c.Horizon <= 0 {
+		return errors.New("des: horizon must be positive")
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Horizon {
+		return fmt.Errorf("des: warmup %g outside [0, horizon)", c.Warmup)
+	}
+	return nil
+}
+
+// DynamicResult aggregates dynamic-mode measurements.
+type DynamicResult struct {
+	// Overall summarizes per-replication mean response times.
+	Overall metrics.Summary
+	// Transfers is the mean number of job transfers per replication.
+	Transfers float64
+	// Jobs is the total measured completions across replications.
+	Jobs int
+}
+
+// localPolicy executes everything at home.
+type localPolicy struct{}
+
+func (localPolicy) Name() string                                     { return "LOCAL" }
+func (localPolicy) OnArrival(home int, _ []int, _ *queueing.RNG) int { return home }
+func (localPolicy) OnIdle(int, []int, *queueing.RNG) int             { return -1 }
+
+// RunDynamic executes the dynamic-mode simulation.
+func RunDynamic(cfg DynamicConfig) (DynamicResult, error) {
+	if err := cfg.validate(); err != nil {
+		return DynamicResult{}, err
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = localPolicy{}
+	}
+	reps := cfg.Replications
+	if reps <= 0 {
+		reps = 5
+	}
+
+	root := queueing.NewRNG(cfg.Seed)
+	means := make([]float64, 0, reps)
+	var transfers float64
+	jobs := 0
+	for r := 0; r < reps; r++ {
+		rng := root.Split(uint64(r))
+		acc, moved := runDynamicOnce(cfg, rng)
+		if acc.N() > 0 {
+			means = append(means, acc.Mean())
+		}
+		transfers += float64(moved)
+		jobs += acc.N()
+	}
+	return DynamicResult{
+		Overall:   metrics.Summarize(means),
+		Transfers: transfers / float64(reps),
+		Jobs:      jobs,
+	}, nil
+}
+
+// Dynamic-mode extra event kind values continue the eventKind space.
+const (
+	evDynArrival  eventKind = 10 // external arrival at a home computer
+	evDynHandoff  eventKind = 11 // transferred job reaches its destination
+	evDynComplete eventKind = 12 // service completion
+)
+
+func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, int) {
+	n := len(cfg.Mu)
+	var acc metrics.Accumulator
+	moved := 0
+
+	queues := make([][]*job, n) // waiting jobs (excluding in service)
+	busy := make([]bool, n)
+	sched := &scheduler{}
+
+	qlen := func() []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = len(queues[i])
+			if busy[i] {
+				out[i]++
+			}
+		}
+		return out
+	}
+
+	start := func(i int, now float64) {
+		if busy[i] || len(queues[i]) == 0 {
+			return
+		}
+		busy[i] = true
+		j := queues[i][0]
+		queues[i] = queues[i][1:]
+		sched.schedule(now+rng.Exp(cfg.Mu[i]), evDynComplete, i, j)
+	}
+
+	enqueue := func(i int, j *job, now float64) {
+		queues[i] = append(queues[i], j)
+		start(i, now)
+	}
+
+	// Prime the per-computer arrival streams; the event's server field
+	// carries the home computer.
+	for i := 0; i < n; i++ {
+		if cfg.Lambda[i] > 0 {
+			sched.schedule(rng.Exp(cfg.Lambda[i]), evDynArrival, i, nil)
+		}
+	}
+
+	for !sched.empty() {
+		ev := sched.next()
+		switch ev.kind {
+		case evDynArrival:
+			home := ev.server
+			now := ev.time
+			if now <= cfg.Horizon {
+				sched.schedule(now+rng.Exp(cfg.Lambda[home]), evDynArrival, home, nil)
+			}
+			j := &job{arrival: now}
+			dest := cfg.Policy.OnArrival(home, qlen(), rng)
+			if dest < 0 || dest >= n {
+				dest = home
+			}
+			if dest != home && cfg.TransferDelay > 0 {
+				moved++
+				sched.schedule(now+cfg.TransferDelay, evDynHandoff, dest, j)
+			} else {
+				if dest != home {
+					moved++
+				}
+				enqueue(dest, j, now)
+			}
+
+		case evDynHandoff:
+			enqueue(ev.server, ev.job, ev.time)
+
+		case evDynComplete:
+			i := ev.server
+			busy[i] = false
+			j := ev.job
+			if j.arrival >= cfg.Warmup && j.arrival <= cfg.Horizon {
+				acc.Add(ev.time - j.arrival)
+			}
+			start(i, ev.time)
+			if !busy[i] {
+				// The computer idles: give the policy a chance to pull
+				// a waiting job from a peer.
+				from := cfg.Policy.OnIdle(i, qlen(), rng)
+				if from >= 0 && from < n && from != i && len(queues[from]) > 0 {
+					pulled := queues[from][len(queues[from])-1]
+					queues[from] = queues[from][:len(queues[from])-1]
+					moved++
+					if cfg.TransferDelay > 0 {
+						sched.schedule(ev.time+cfg.TransferDelay, evDynHandoff, i, pulled)
+					} else {
+						enqueue(i, pulled, ev.time)
+					}
+				}
+			}
+		}
+	}
+	return acc, moved
+}

@@ -1,0 +1,360 @@
+package des
+
+import (
+	"errors"
+	"fmt"
+
+	"gtlb/internal/metrics"
+	"gtlb/internal/queueing"
+)
+
+// Config describes one simulation scenario.
+type Config struct {
+	// Mu are the computers' processing rates; service times at computer
+	// i are exponential with rate Mu[i] (the M/M/1 model).
+	Mu []float64
+
+	// InterArrival is the system-wide inter-arrival distribution. Use
+	// queueing.NewExponential(phi) for a Poisson stream of total rate
+	// phi, or a HyperExponential for the Figure 3.6/4.8 experiments.
+	InterArrival queueing.Distribution
+
+	// UserShare[j] is the probability an arriving job belongs to user j.
+	// Leave nil for a single-class system (all jobs are user 0).
+	UserShare []float64
+
+	// Routing[j][i] is the probability that a user-j job is dispatched
+	// to computer i — the strategy profile of the scheme under test. For
+	// a single-class system provide one row. Rows must sum to 1.
+	Routing [][]float64
+
+	// Horizon is the virtual duration of a replication in seconds.
+	Horizon float64
+
+	// Warmup discards jobs arriving before this virtual time so queues
+	// reach steady state before measurement begins.
+	Warmup float64
+
+	// Seed seeds the root random stream; each replication derives an
+	// independent stream (the paper's "different random number
+	// streams").
+	Seed uint64
+
+	// Replications is the number of independent runs averaged; 0 means
+	// 5, the paper's count.
+	Replications int
+
+	// Breakdowns optionally injects failures: computer i alternates
+	// exponentially distributed up-times (rate FailRate) and repair
+	// times (rate RepairRate). While a computer is down its service
+	// pauses (the job in service resumes after repair — valid as a
+	// fresh exponential draw by memorylessness) and the dispatcher
+	// reroutes arrivals destined for it proportionally among the up
+	// computers. Leave nil or per-entry zero FailRate for no failures.
+	Breakdowns []Breakdown
+}
+
+// Breakdown is one computer's failure/repair model.
+type Breakdown struct {
+	FailRate   float64 // rate of the exponential up-time (0 = never fails)
+	RepairRate float64 // rate of the exponential repair time
+}
+
+func (c Config) validate() error {
+	if len(c.Mu) == 0 {
+		return errors.New("des: need at least one computer")
+	}
+	for i, m := range c.Mu {
+		if m <= 0 {
+			return fmt.Errorf("des: computer %d has non-positive rate %g", i, m)
+		}
+	}
+	if c.InterArrival == nil {
+		return errors.New("des: missing inter-arrival distribution")
+	}
+	if len(c.Routing) == 0 {
+		return errors.New("des: missing routing fractions")
+	}
+	users := len(c.Routing)
+	if c.UserShare != nil && len(c.UserShare) != users {
+		return fmt.Errorf("des: %d user shares for %d routing rows", len(c.UserShare), users)
+	}
+	if c.UserShare == nil && users != 1 {
+		return errors.New("des: multi-user routing requires UserShare")
+	}
+	for j, row := range c.Routing {
+		if len(row) != len(c.Mu) {
+			return fmt.Errorf("des: routing row %d has %d entries, want %d", j, len(row), len(c.Mu))
+		}
+		var sum float64
+		for i, f := range row {
+			if f < 0 {
+				return fmt.Errorf("des: routing row %d has negative fraction at computer %d", j, i)
+			}
+			sum += f
+		}
+		if sum <= 0 {
+			return fmt.Errorf("des: routing row %d routes nowhere", j)
+		}
+	}
+	if c.Horizon <= 0 {
+		return errors.New("des: horizon must be positive")
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Horizon {
+		return fmt.Errorf("des: warmup %g outside [0, horizon)", c.Warmup)
+	}
+	if c.Breakdowns != nil {
+		if len(c.Breakdowns) != len(c.Mu) {
+			return fmt.Errorf("des: %d breakdown models for %d computers", len(c.Breakdowns), len(c.Mu))
+		}
+		for i, bd := range c.Breakdowns {
+			if bd.FailRate < 0 || bd.RepairRate < 0 {
+				return fmt.Errorf("des: computer %d has negative breakdown rates", i)
+			}
+			if bd.FailRate > 0 && bd.RepairRate == 0 {
+				return fmt.Errorf("des: computer %d fails but never repairs", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Result aggregates a simulation's measurements across replications.
+type Result struct {
+	// Overall is the job-averaged response time: per-replication means
+	// summarized across replications.
+	Overall metrics.Summary
+	// P95 summarizes the per-replication 95th-percentile response time
+	// (P² streaming estimate) — the tail the mean hides.
+	P95 metrics.Summary
+	// PerComputer[i] summarizes the mean response time at computer i
+	// across replications (0 observations if the computer was idle).
+	PerComputer []metrics.Summary
+	// PerUser[j] summarizes user j's mean response time.
+	PerUser []metrics.Summary
+	// Utilization[i] is computer i's measured busy-time fraction over
+	// the horizon, averaged across replications; it should match the
+	// analytic λ_i/μ_i for stable stations.
+	Utilization []float64
+	// Jobs is the total number of measured job completions.
+	Jobs int
+}
+
+// server is one computer's FCFS queue state.
+type server struct {
+	queue        []*job
+	busy         bool
+	inService    *job    // the job being served while busy
+	serviceStart float64 // when the current service began
+	busyTime     float64 // accumulated service time inside the horizon
+}
+
+// Run executes the scenario and returns averaged measurements. Each
+// replication simulates Config.Horizon virtual seconds; jobs arriving
+// before Warmup are served but not measured.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	reps := cfg.Replications
+	if reps <= 0 {
+		reps = 5
+	}
+	users := len(cfg.Routing)
+
+	overall := make([]float64, 0, reps)
+	p95s := make([]float64, 0, reps)
+	perComp := make([][]float64, len(cfg.Mu))
+	perUser := make([][]float64, users)
+	util := make([]float64, len(cfg.Mu))
+	totalJobs := 0
+
+	root := queueing.NewRNG(cfg.Seed)
+	for r := 0; r < reps; r++ {
+		rng := root.Split(uint64(r))
+		rep := runOnce(cfg, rng, users)
+		totalJobs += rep.total.N()
+		if rep.total.N() > 0 {
+			overall = append(overall, rep.total.Mean())
+			p95s = append(p95s, rep.p95.Value())
+		}
+		for i := range cfg.Mu {
+			if rep.comp[i].N() > 0 {
+				perComp[i] = append(perComp[i], rep.comp[i].Mean())
+			}
+			util[i] += rep.busyTime[i] / cfg.Horizon / float64(reps)
+		}
+		for j := 0; j < users; j++ {
+			if rep.user[j].N() > 0 {
+				perUser[j] = append(perUser[j], rep.user[j].Mean())
+			}
+		}
+	}
+
+	res := Result{
+		Overall:     metrics.Summarize(overall),
+		P95:         metrics.Summarize(p95s),
+		PerComputer: make([]metrics.Summary, len(cfg.Mu)),
+		PerUser:     make([]metrics.Summary, users),
+		Utilization: util,
+		Jobs:        totalJobs,
+	}
+	for i := range perComp {
+		res.PerComputer[i] = metrics.Summarize(perComp[i])
+	}
+	for j := range perUser {
+		res.PerUser[j] = metrics.Summarize(perUser[j])
+	}
+	return res, nil
+}
+
+type replication struct {
+	total    metrics.Accumulator
+	p95      *metrics.Quantile
+	comp     []metrics.Accumulator
+	user     []metrics.Accumulator
+	busyTime []float64
+}
+
+func runOnce(cfg Config, rng *queueing.RNG, users int) replication {
+	rep := replication{
+		p95:      metrics.MustQuantile(0.95),
+		comp:     make([]metrics.Accumulator, len(cfg.Mu)),
+		user:     make([]metrics.Accumulator, users),
+		busyTime: make([]float64, len(cfg.Mu)),
+	}
+	n := len(cfg.Mu)
+	servers := make([]server, n)
+	down := make([]bool, n)
+	epoch := make([]uint64, n)
+	sched := &scheduler{}
+
+	// Prime the arrival stream and the failure processes.
+	sched.schedule(cfg.InterArrival.Sample(rng), evArrival, -1, nil)
+	for i := range cfg.Breakdowns {
+		if cfg.Breakdowns[i].FailRate > 0 {
+			sched.schedule(rng.Exp(cfg.Breakdowns[i].FailRate), evFail, i, nil)
+		}
+	}
+
+	startService := func(i int, now float64) {
+		s := &servers[i]
+		if s.busy || down[i] || len(s.queue) == 0 {
+			return
+		}
+		s.busy = true
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.inService = j
+		s.serviceStart = now
+		sched.scheduleEpoch(now+rng.Exp(cfg.Mu[i]), evDeparture, i, j, epoch[i])
+	}
+
+	// clampBusy accumulates the [start, end] service interval clipped to
+	// the measurement horizon, for utilization reporting.
+	clampBusy := func(i int, start, end float64) {
+		if start > cfg.Horizon {
+			return
+		}
+		if end > cfg.Horizon {
+			end = cfg.Horizon
+		}
+		if end > start {
+			rep.busyTime[i] += end - start
+		}
+	}
+
+	// route picks the destination for a job of user u, rerouting away
+	// from failed computers by renormalizing the routing row over the
+	// up set; if everything it would use is down, the original pick is
+	// kept and the job waits out the repair.
+	route := func(u int) int {
+		i := rng.Pick(cfg.Routing[u])
+		if !down[i] {
+			return i
+		}
+		weights := make([]float64, n)
+		var total float64
+		for k, w := range cfg.Routing[u] {
+			if !down[k] {
+				weights[k] = w
+				total += w
+			}
+		}
+		if total <= 0 {
+			return i
+		}
+		return rng.Pick(weights)
+	}
+
+	for !sched.empty() {
+		ev := sched.next()
+		if ev.time > cfg.Horizon && ev.kind == evArrival {
+			// Stop admitting new jobs; drain the remaining events so
+			// in-flight jobs complete (run-to-completion). Failures stop
+			// at the horizon too (inside evFail) while pending repairs
+			// still fire so paused jobs can finish.
+			continue
+		}
+		switch ev.kind {
+		case evArrival:
+			now := ev.time
+			// Next arrival.
+			sched.schedule(now+cfg.InterArrival.Sample(rng), evArrival, -1, nil)
+			// Classify and route the job.
+			u := 0
+			if cfg.UserShare != nil {
+				u = rng.Pick(cfg.UserShare)
+			}
+			i := route(u)
+			j := &job{user: u, arrival: now}
+			servers[i].queue = append(servers[i].queue, j)
+			startService(i, now)
+
+		case evDeparture:
+			i := ev.server
+			if ev.epoch != epoch[i] {
+				continue // cancelled by a failure while in service
+			}
+			servers[i].busy = false
+			servers[i].inService = nil
+			clampBusy(i, servers[i].serviceStart, ev.time)
+			j := ev.job
+			if j.arrival >= cfg.Warmup {
+				rt := ev.time - j.arrival
+				rep.total.Add(rt)
+				rep.comp[i].Add(rt)
+				rep.user[j.user].Add(rt)
+				rep.p95.Add(rt)
+			}
+			startService(i, ev.time)
+
+		case evFail:
+			i := ev.server
+			if ev.time > cfg.Horizon {
+				continue
+			}
+			down[i] = true
+			epoch[i]++ // invalidate the pending departure, if any
+			if servers[i].busy {
+				// Push the interrupted job back to the head of the
+				// queue; its remaining service is re-drawn on repair,
+				// distributionally identical by memorylessness.
+				interrupted := servers[i].inService
+				servers[i].busy = false
+				servers[i].inService = nil
+				clampBusy(i, servers[i].serviceStart, ev.time)
+				servers[i].queue = append([]*job{interrupted}, servers[i].queue...)
+			}
+			sched.schedule(ev.time+rng.Exp(cfg.Breakdowns[i].RepairRate), evRepair, i, nil)
+
+		case evRepair:
+			i := ev.server
+			down[i] = false
+			startService(i, ev.time)
+			// Schedule the next failure.
+			sched.schedule(ev.time+rng.Exp(cfg.Breakdowns[i].FailRate), evFail, i, nil)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,90 @@
+// Package des is a discrete-event simulator of the paper's experimental
+// environment (§3.4.1, §4.4.1): jobs arrive at a central dispatcher,
+// which routes each one to a computer according to the load-balancing
+// scheme's allocation fractions; every computer serves its queue in FCFS
+// order, run-to-completion (no preemption); runs are replicated with
+// independent random streams and the results averaged. It replaces the
+// Sim++ C++ package the paper used (see DESIGN.md, Substitutions).
+package des
+
+import "container/heap"
+
+// eventKind discriminates the simulator's event types.
+type eventKind uint8
+
+const (
+	evArrival   eventKind = iota // a new job enters the system
+	evDeparture                  // a computer finishes its job in service
+	evFail                       // a computer breaks down
+	evRepair                     // a broken computer comes back up
+)
+
+// event is a scheduled occurrence in virtual time. seq breaks ties so
+// simultaneous events fire in schedule order, keeping runs deterministic.
+// epoch implements lazy cancellation: a departure scheduled before its
+// computer failed carries a stale epoch and is ignored when popped.
+type event struct {
+	time   float64
+	seq    uint64
+	kind   eventKind
+	server int  // evDeparture/evFail/evRepair: which computer
+	job    *job // the job concerned
+	epoch  uint64
+}
+
+// job carries a unit of work through the system.
+type job struct {
+	user    int     // originating user (0 for single-class systems)
+	arrival float64 // time it entered the system
+}
+
+// eventQueue is a binary min-heap of events ordered by (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push appends an event (heap.Interface).
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+// Pop removes the last event (heap.Interface).
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// scheduler wraps the heap with a monotone sequence counter.
+type scheduler struct {
+	q   eventQueue
+	seq uint64
+}
+
+func (s *scheduler) schedule(t float64, kind eventKind, server int, j *job) {
+	s.scheduleEpoch(t, kind, server, j, 0)
+}
+
+func (s *scheduler) scheduleEpoch(t float64, kind eventKind, server int, j *job, epoch uint64) {
+	s.seq++
+	heap.Push(&s.q, &event{time: t, seq: s.seq, kind: kind, server: server, job: j, epoch: epoch})
+}
+
+func (s *scheduler) next() *event {
+	if len(s.q) == 0 {
+		return nil
+	}
+	return heap.Pop(&s.q).(*event)
+}
+
+func (s *scheduler) empty() bool { return len(s.q) == 0 }

@@ -1,0 +1,165 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"gtlb/internal/queueing"
+)
+
+func TestBreakdownValidation(t *testing.T) {
+	base := Config{
+		Mu:           []float64{2, 2},
+		InterArrival: queueing.NewExponential(1),
+		Routing:      [][]float64{{0.5, 0.5}},
+		Horizon:      100,
+	}
+	bad := base
+	bad.Breakdowns = []Breakdown{{FailRate: 0.1, RepairRate: 1}}
+	if err := bad.validate(); err == nil {
+		t.Error("breakdown length mismatch accepted")
+	}
+	bad = base
+	bad.Breakdowns = []Breakdown{{FailRate: 0.1}, {}}
+	if err := bad.validate(); err == nil {
+		t.Error("failing-but-never-repairing computer accepted")
+	}
+	bad = base
+	bad.Breakdowns = []Breakdown{{FailRate: -1, RepairRate: 1}, {}}
+	if err := bad.validate(); err == nil {
+		t.Error("negative fail rate accepted")
+	}
+	good := base
+	good.Breakdowns = []Breakdown{{FailRate: 0.1, RepairRate: 1}, {}}
+	if err := good.validate(); err != nil {
+		t.Errorf("valid breakdown config rejected: %v", err)
+	}
+}
+
+// TestZeroFailRateIsNoop: an all-zero breakdown model reproduces the
+// failure-free results exactly (same random stream consumption).
+func TestZeroFailRateIsNoop(t *testing.T) {
+	base := Config{
+		Mu:           []float64{3, 1},
+		InterArrival: queueing.NewExponential(2),
+		Routing:      [][]float64{{0.8, 0.2}},
+		Horizon:      2_000,
+		Warmup:       100,
+		Seed:         77,
+		Replications: 2,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withModel := base
+	withModel.Breakdowns = []Breakdown{{}, {}}
+	modeled, err := Run(withModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Overall.Mean != modeled.Overall.Mean || plain.Jobs != modeled.Jobs {
+		t.Errorf("zero-rate breakdowns changed results: %v/%d vs %v/%d",
+			plain.Overall.Mean, plain.Jobs, modeled.Overall.Mean, modeled.Jobs)
+	}
+}
+
+// TestFailuresDegradeService: injecting failures raises the measured
+// response time but every admitted job still completes.
+func TestFailuresDegradeService(t *testing.T) {
+	base := Config{
+		Mu:           []float64{2, 2},
+		InterArrival: queueing.NewExponential(2),
+		Routing:      [][]float64{{0.5, 0.5}},
+		Horizon:      20_000,
+		Warmup:       500,
+		Seed:         9,
+		Replications: 3,
+	}
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := base
+	flaky.Breakdowns = []Breakdown{
+		{FailRate: 0.05, RepairRate: 0.5}, // down ~9% of the time
+		{FailRate: 0.05, RepairRate: 0.5},
+	}
+	degraded, err := Run(flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Overall.Mean <= healthy.Overall.Mean {
+		t.Errorf("failures did not degrade response time: %v vs %v",
+			degraded.Overall.Mean, healthy.Overall.Mean)
+	}
+	// Same arrival process, so admitted job counts are comparable; all
+	// in-flight jobs drain even across failures.
+	ratio := float64(degraded.Jobs) / float64(healthy.Jobs)
+	if math.Abs(ratio-1) > 0.05 {
+		t.Errorf("job completion count changed by %.0f%% under failures", (ratio-1)*100)
+	}
+}
+
+// TestDispatcherReroutesAroundDownComputer: with one computer failing
+// frequently, the other absorbs most of the flow and the system stays
+// far more stable than the naive split would be.
+func TestDispatcherReroutesAroundDownComputer(t *testing.T) {
+	cfg := Config{
+		Mu:           []float64{5, 5},
+		InterArrival: queueing.NewExponential(3),
+		Routing:      [][]float64{{0.5, 0.5}},
+		Horizon:      20_000,
+		Warmup:       500,
+		Seed:         21,
+		Replications: 3,
+		Breakdowns: []Breakdown{
+			{FailRate: 1.0, RepairRate: 1.0}, // computer 1 down half the time
+			{},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The healthy computer must have served more jobs than the flaky
+	// one (rerouting), and the system must remain stable.
+	n0 := res.PerComputer[0].N
+	n1 := res.PerComputer[1].N
+	if n0 == 0 || n1 == 0 {
+		t.Fatalf("both computers should serve jobs (n0=%d, n1=%d)", n0, n1)
+	}
+	if res.Overall.Mean > 5 {
+		t.Errorf("system response time %v suggests instability despite rerouting", res.Overall.Mean)
+	}
+}
+
+// TestAllDownQueues: when every routable computer is down, jobs wait for
+// repair rather than being lost.
+func TestAllDownQueues(t *testing.T) {
+	cfg := Config{
+		Mu:           []float64{4},
+		InterArrival: queueing.NewExponential(1),
+		Routing:      [][]float64{{1}},
+		Horizon:      10_000,
+		Warmup:       200,
+		Seed:         4,
+		Replications: 2,
+		Breakdowns:   []Breakdown{{FailRate: 0.2, RepairRate: 2}},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs == 0 {
+		t.Fatal("no jobs completed")
+	}
+	// M/M/1 with server vacations is slower than plain M/M/1 (1/3 s)
+	// but finite.
+	if res.Overall.Mean <= 1.0/3 {
+		t.Errorf("response %v should exceed the failure-free M/M/1 value", res.Overall.Mean)
+	}
+	if res.Overall.Mean > 3 {
+		t.Errorf("response %v unreasonably large for ~9%% downtime", res.Overall.Mean)
+	}
+}

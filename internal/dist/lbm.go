@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"gtlb/internal/mechanism"
+)
+
+// The §5.4 LBM protocol has two phases. Bidding: the dispatcher sends a
+// request-for-bids (ReqBid) to every computer, which answers with its
+// bid b_i. Completion: the dispatcher computes the optimal allocation
+// and the truthful payments, and sends each computer its load and
+// payment; the computer evaluates its profit.
+
+// Message kinds used by the LBM protocol.
+const (
+	kindReqBid = "lbm.reqbid" // dispatcher → computer
+	kindBid    = "lbm.bid"    // computer → dispatcher
+	kindAward  = "lbm.award"  // dispatcher → computer: load and payment
+)
+
+type bidPayload struct {
+	Computer int
+	Bid      float64
+}
+
+type awardPayload struct {
+	Load    float64
+	Payment float64
+}
+
+// BidPolicy decides what a computer agent reports given its true value.
+// The identity policy is truthful; the experiments use scaled policies.
+type BidPolicy func(trueValue float64) float64
+
+// Truthful reports the true value unchanged.
+func Truthful(t float64) float64 { return t }
+
+// ScaledBid reports factor × the true value (factor > 1 overbids —
+// claims to be slower; factor < 1 underbids).
+func ScaledBid(factor float64) BidPolicy {
+	return func(t float64) float64 { return t * factor }
+}
+
+// ComputerReport is what each computer agent knows at the end of an LBM
+// round.
+type ComputerReport struct {
+	Bid     float64
+	Load    float64
+	Payment float64
+	Cost    float64 // true value × load
+	Profit  float64 // payment − cost
+}
+
+// LBMResult is the dispatcher-side outcome plus every agent's own view.
+type LBMResult struct {
+	Bids      []float64
+	Outcome   mechanism.Outcome
+	Computers []ComputerReport
+}
+
+// computerAgent runs one computer's side of the protocol.
+func computerAgent(conn Conn, trueValue float64, policy BidPolicy, out *ComputerReport, wg *sync.WaitGroup, errCh chan<- error) {
+	defer wg.Done()
+	req, err := conn.Recv()
+	if err != nil {
+		errCh <- err
+		return
+	}
+	if req.Kind != kindReqBid {
+		errCh <- fmt.Errorf("dist: computer %s expected ReqBid, got %s", conn.Name(), req.Kind)
+		return
+	}
+	bid := policy(trueValue)
+	reply := Message{To: req.From, Kind: kindBid}
+	var idx int
+	if err := req.Decode(&idx); err != nil {
+		errCh <- err
+		return
+	}
+	if err := reply.Encode(bidPayload{Computer: idx, Bid: bid}); err != nil {
+		errCh <- err
+		return
+	}
+	if err := conn.Send(reply); err != nil {
+		errCh <- err
+		return
+	}
+	award, err := conn.Recv()
+	if err != nil {
+		errCh <- err
+		return
+	}
+	if award.Kind != kindAward {
+		errCh <- fmt.Errorf("dist: computer %s expected award, got %s", conn.Name(), award.Kind)
+		return
+	}
+	var a awardPayload
+	if err := award.Decode(&a); err != nil {
+		errCh <- err
+		return
+	}
+	out.Bid = bid
+	out.Load = a.Load
+	out.Payment = a.Payment
+	out.Cost = trueValue * a.Load
+	out.Profit = a.Payment - out.Cost
+}
+
+// RunLBM executes the LBM protocol over the network: n computer agents
+// with the given true values and bid policies, one dispatcher running
+// the mechanism with total arrival rate phi. It returns the dispatcher's
+// outcome evaluated against the true values together with each agent's
+// own report.
+func RunLBM(netw Network, trueValues []float64, policies []BidPolicy, phi float64) (LBMResult, error) {
+	n := len(trueValues)
+	if n == 0 {
+		return LBMResult{}, fmt.Errorf("dist: LBM needs at least one computer")
+	}
+	if len(policies) != n {
+		return LBMResult{}, fmt.Errorf("dist: %d policies for %d computers", len(policies), n)
+	}
+
+	disp, err := netw.Join("dispatcher")
+	if err != nil {
+		return LBMResult{}, err
+	}
+	defer disp.Close()
+
+	reports := make([]ComputerReport, n)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	conns := make([]Conn, n)
+	for i := 0; i < n; i++ {
+		c, err := netw.Join(computerName(i))
+		if err != nil {
+			return LBMResult{}, err
+		}
+		conns[i] = c
+		pol := policies[i]
+		if pol == nil {
+			pol = Truthful
+		}
+		wg.Add(1)
+		go computerAgent(c, trueValues[i], pol, &reports[i], &wg, errCh)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	// Phase I: bidding.
+	for i := 0; i < n; i++ {
+		req := Message{To: computerName(i), Kind: kindReqBid}
+		if err := req.Encode(i); err != nil {
+			return LBMResult{}, err
+		}
+		if err := disp.Send(req); err != nil {
+			return LBMResult{}, err
+		}
+	}
+	bids := make([]float64, n)
+	for k := 0; k < n; k++ {
+		m, err := disp.Recv()
+		if err != nil {
+			return LBMResult{}, err
+		}
+		if m.Kind != kindBid {
+			return LBMResult{}, fmt.Errorf("dist: dispatcher expected bid, got %s", m.Kind)
+		}
+		var b bidPayload
+		if err := m.Decode(&b); err != nil {
+			return LBMResult{}, err
+		}
+		if b.Computer < 0 || b.Computer >= n {
+			return LBMResult{}, fmt.Errorf("dist: bid from unknown computer %d", b.Computer)
+		}
+		bids[b.Computer] = b.Bid
+	}
+
+	// Phase II: completion.
+	mech := mechanism.Mechanism{Phi: phi}
+	outcome, err := mech.Run(bids, trueValues)
+	if err != nil {
+		return LBMResult{}, err
+	}
+	for i := 0; i < n; i++ {
+		award := Message{To: computerName(i), Kind: kindAward}
+		if err := award.Encode(awardPayload{Load: outcome.Loads[i], Payment: outcome.Payments[i]}); err != nil {
+			return LBMResult{}, err
+		}
+		if err := disp.Send(award); err != nil {
+			return LBMResult{}, err
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for e := range errCh {
+		if e != nil {
+			return LBMResult{}, e
+		}
+	}
+	return LBMResult{Bids: bids, Outcome: outcome, Computers: reports}, nil
+}
+
+func computerName(i int) string { return fmt.Sprintf("computer-%d", i) }

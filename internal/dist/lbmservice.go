@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// LBMService is the long-running form of the §5.4 protocol: "this
+// protocol is executed periodically or when there is a change in the
+// total job arrival rate; during two executions the jobs are allocated
+// according to the allocation computed by OPTIM". The service holds the
+// current allocation between rounds and re-runs the bidding protocol on
+// demand when the arrival rate changes.
+type LBMService struct {
+	newNet     func() Network
+	trueValues []float64
+	policies   []BidPolicy
+
+	mu      sync.Mutex
+	current LBMResult
+	phi     float64
+	rounds  int
+	stopped bool
+}
+
+// NewLBMService prepares a service over fresh networks created by
+// newNet (one per protocol round — real deployments would keep
+// persistent connections; a fresh round is equivalent and keeps node
+// lifecycles simple).
+func NewLBMService(newNet func() Network, trueValues []float64, policies []BidPolicy) (*LBMService, error) {
+	if newNet == nil {
+		return nil, errors.New("dist: LBM service needs a network factory")
+	}
+	if len(trueValues) == 0 {
+		return nil, errors.New("dist: LBM service needs at least one computer")
+	}
+	if policies != nil && len(policies) != len(trueValues) {
+		return nil, fmt.Errorf("dist: %d policies for %d computers", len(policies), len(trueValues))
+	}
+	if policies == nil {
+		policies = make([]BidPolicy, len(trueValues))
+	}
+	return &LBMService{newNet: newNet, trueValues: trueValues, policies: policies}, nil
+}
+
+// Start runs the first round at the given total arrival rate.
+func (s *LBMService) Start(phi float64) (LBMResult, error) {
+	return s.UpdateRate(phi)
+}
+
+// UpdateRate re-executes the bidding protocol for a new total arrival
+// rate and installs the resulting allocation. Concurrent calls are
+// serialized; the previous allocation stays in force if a round fails.
+func (s *LBMService) UpdateRate(phi float64) (LBMResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return LBMResult{}, errors.New("dist: LBM service stopped")
+	}
+	res, err := RunLBM(s.newNet(), s.trueValues, s.policies, phi)
+	if err != nil {
+		return LBMResult{}, fmt.Errorf("dist: LBM round at phi=%g: %w", phi, err)
+	}
+	s.current = res
+	s.phi = phi
+	s.rounds++
+	return res, nil
+}
+
+// Current returns the allocation in force and the rate it was computed
+// for; ok is false before the first successful round.
+func (s *LBMService) Current() (res LBMResult, phi float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current, s.phi, s.rounds > 0
+}
+
+// Rounds reports how many protocol rounds have completed.
+func (s *LBMService) Rounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// Stop retires the service; further updates fail, Current still answers.
+func (s *LBMService) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+}

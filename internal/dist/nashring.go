@@ -1,0 +1,316 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"gtlb/internal/noncoop"
+)
+
+// The §4.3 NASH protocol runs m user nodes in a logical ring plus one
+// state node ("the run queues"): when a user receives the token it
+// obtains the computers' available processing rates from the state node
+// (the paper's "statistical estimation of the run queue length"),
+// computes its BEST-REPLY, publishes the new strategy, adds |ΔD_j| to
+// the token's norm, and forwards the token. User 0 closes each round:
+// when the accumulated norm falls to Eps it circulates STOP.
+
+// Message kinds used by the NASH ring protocol.
+const (
+	kindToken    = "nash.token"    // the circulating (norm, iteration) token
+	kindQuery    = "nash.query"    // user → state: request available rates
+	kindRates    = "nash.rates"    // state → user: available rates
+	kindStrategy = "nash.strategy" // user → state: publish new strategy
+	kindStop     = "nash.stop"     // user 0 → ring: equilibrium reached
+)
+
+type tokenPayload struct {
+	Iteration int
+	Norm      float64
+}
+
+type queryPayload struct{ User int }
+
+type ratesPayload struct{ Avail []float64 }
+
+type strategyPayload struct {
+	User int
+	S    []float64
+}
+
+// NashRingResult is the outcome of a distributed NASH run.
+type NashRingResult struct {
+	Profile    noncoop.Profile
+	Iterations int
+}
+
+// stateNode serializes access to the evolving strategy profile. It
+// stands in for the observable run-queue state of the real system.
+type stateNode struct {
+	conn Conn
+	sys  noncoop.System
+	prof noncoop.Profile
+}
+
+func (st *stateNode) run(users int) {
+	for {
+		m, err := st.conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case kindQuery:
+			var q queryPayload
+			if m.Decode(&q) != nil {
+				continue
+			}
+			reply := Message{To: m.From, Kind: kindRates}
+			if reply.Encode(ratesPayload{Avail: st.sys.Available(st.prof, q.User)}) != nil {
+				continue
+			}
+			_ = st.conn.Send(reply)
+		case kindStrategy:
+			var s strategyPayload
+			if m.Decode(&s) != nil {
+				continue
+			}
+			st.prof.S[s.User] = s.S
+		case kindStop:
+			return
+		}
+	}
+}
+
+// userNode is one selfish user executing the protocol.
+type userNode struct {
+	conn Conn
+	sys  noncoop.System
+	id   int
+	m    int // ring size
+	eps  float64
+	max  int
+
+	prevTime float64
+	result   *NashRingResult
+	resMu    *sync.Mutex
+	errCh    chan<- error
+}
+
+func userName(j int) string { return fmt.Sprintf("user-%d", j) }
+func (u *userNode) next() string {
+	return userName((u.id + 1) % u.m)
+}
+
+func (u *userNode) run() {
+	for {
+		m, err := u.conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case kindStop:
+			// Propagate once around the ring and quit.
+			if u.id != u.m-1 {
+				stop := Message{To: u.next(), Kind: kindStop}
+				_ = u.conn.Send(stop)
+			}
+			return
+		case kindToken:
+			var tok tokenPayload
+			if err := m.Decode(&tok); err != nil {
+				u.fail(err)
+				return
+			}
+			if u.id == 0 {
+				tok.Iteration++
+				if tok.Iteration > 1 && tok.Norm <= u.eps {
+					u.finish(tok.Iteration - 1)
+					return
+				}
+				if tok.Iteration > u.max {
+					u.fail(fmt.Errorf("dist: NASH ring exceeded %d iterations (norm=%g)", u.max, tok.Norm))
+					return
+				}
+				tok.Norm = 0
+			}
+			if err := u.bestReply(&tok); err != nil {
+				u.fail(err)
+				return
+			}
+			fwd := Message{To: u.next(), Kind: kindToken}
+			if err := fwd.Encode(tok); err != nil {
+				u.fail(err)
+				return
+			}
+			if err := u.conn.Send(fwd); err != nil {
+				u.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// bestReply performs one protocol step: query, compute, publish,
+// accumulate the norm contribution.
+func (u *userNode) bestReply(tok *tokenPayload) error {
+	q := Message{To: "state", Kind: kindQuery}
+	if err := q.Encode(queryPayload{User: u.id}); err != nil {
+		return err
+	}
+	if err := u.conn.Send(q); err != nil {
+		return err
+	}
+	reply, err := u.conn.Recv()
+	if err != nil {
+		return err
+	}
+	if reply.Kind != kindRates {
+		return fmt.Errorf("dist: user %d expected rates, got %s", u.id, reply.Kind)
+	}
+	var rates ratesPayload
+	if err := reply.Decode(&rates); err != nil {
+		return err
+	}
+	s, err := noncoop.BestReply(rates.Avail, u.sys.Phi[u.id])
+	if err != nil {
+		return err
+	}
+	pub := Message{To: "state", Kind: kindStrategy}
+	if err := pub.Encode(strategyPayload{User: u.id, S: s}); err != nil {
+		return err
+	}
+	if err := u.conn.Send(pub); err != nil {
+		return err
+	}
+	t := noncoop.BestReplyTime(rates.Avail, s, u.sys.Phi[u.id])
+	d := math.Abs(t - u.prevTime)
+	if math.IsInf(d, 1) || math.IsNaN(d) {
+		d = math.MaxFloat64 / float64(u.m)
+	}
+	tok.Norm += d
+	u.prevTime = t
+	return nil
+}
+
+func (u *userNode) finish(iter int) {
+	u.resMu.Lock()
+	u.result.Iterations = iter
+	u.resMu.Unlock()
+	stop := Message{To: "state", Kind: kindStop}
+	_ = u.conn.Send(stop)
+	if u.m > 1 {
+		ring := Message{To: u.next(), Kind: kindStop}
+		_ = u.conn.Send(ring)
+	}
+	u.errCh <- nil
+}
+
+func (u *userNode) fail(err error) {
+	u.errCh <- err
+}
+
+// RunNashRing executes the §4.3 NASH protocol over the given network and
+// returns the equilibrium profile. Each user starts from the NASH_P
+// proportional initialization; eps is the acceptance tolerance on the
+// per-round norm and maxIter bounds the rounds.
+func RunNashRing(netw Network, sys noncoop.System, eps float64, maxIter int) (NashRingResult, error) {
+	if err := sys.Validate(); err != nil {
+		return NashRingResult{}, err
+	}
+	m := sys.NumUsers()
+	prof := noncoop.NewProfile(m, sys.NumComputers())
+	total := sys.TotalMu()
+	for j := 0; j < m; j++ {
+		for i, mu := range sys.Mu {
+			prof.S[j][i] = mu / total
+		}
+	}
+	return RunNashRingFrom(netw, sys, prof, eps, maxIter)
+}
+
+// RunNashRingFrom runs the NASH ring protocol starting from a checkpoint
+// profile — typically the Profile of a NashRingResult whose run was cut
+// short (node crash, iteration budget). The state node is re-seeded with
+// the checkpoint and the users resume best replies from there, so a
+// restarted computation converges to the same equilibrium without
+// redoing the completed rounds. Even on error the returned result
+// carries the latest profile, usable as the next checkpoint.
+func RunNashRingFrom(netw Network, sys noncoop.System, initial noncoop.Profile, eps float64, maxIter int) (NashRingResult, error) {
+	if err := sys.Validate(); err != nil {
+		return NashRingResult{}, err
+	}
+	if err := sys.ValidateProfile(initial); err != nil {
+		return NashRingResult{}, fmt.Errorf("dist: checkpoint profile invalid: %w", err)
+	}
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	if maxIter <= 0 {
+		maxIter = 10_000
+	}
+	m := sys.NumUsers()
+	prof := initial.Clone()
+
+	stConn, err := netw.Join("state")
+	if err != nil {
+		return NashRingResult{}, err
+	}
+	st := &stateNode{conn: stConn, sys: sys, prof: prof}
+
+	result := &NashRingResult{}
+	var resMu sync.Mutex
+	errCh := make(chan error, m)
+	conns := make([]Conn, m)
+	for j := 0; j < m; j++ {
+		c, err := netw.Join(userName(j))
+		if err != nil {
+			return NashRingResult{}, err
+		}
+		conns[j] = c
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st.run(m)
+	}()
+	for j := 0; j < m; j++ {
+		u := &userNode{
+			conn: conns[j], sys: sys, id: j, m: m,
+			eps: eps, max: maxIter,
+			prevTime: sys.UserTime(prof, j),
+			result:   result, resMu: &resMu, errCh: errCh,
+		}
+		go u.run()
+	}
+
+	// Inject the token at user 0.
+	tok := Message{To: userName(0), Kind: kindToken}
+	if err := tok.Encode(tokenPayload{}); err != nil {
+		return NashRingResult{}, err
+	}
+	if err := conns[m-1].Send(tok); err != nil {
+		return NashRingResult{}, err
+	}
+
+	// Wait for user 0 to finish (or any user to fail). The extra STOP
+	// makes the state node exit even when a user failed mid-round.
+	runErr := <-errCh
+	_ = conns[0].Send(Message{To: "state", Kind: kindStop})
+	wg.Wait()
+	for _, c := range conns {
+		c.Close()
+	}
+	stConn.Close()
+	resMu.Lock()
+	defer resMu.Unlock()
+	// Hand back the latest profile even on failure: it is the
+	// checkpoint a restarted run resumes from (RunNashRingFrom).
+	result.Profile = st.prof
+	if runErr != nil {
+		return *result, runErr
+	}
+	return *result, nil
+}

@@ -1,0 +1,66 @@
+package dist
+
+import (
+	"testing"
+
+	"gtlb/internal/metrics"
+	"gtlb/internal/noncoop"
+)
+
+// TestNashRingResume: a run cut short by its iteration budget returns a
+// checkpoint profile; restarting from it reaches the same equilibrium as
+// an uninterrupted run — the node-restart story promised in DESIGN.md.
+func TestNashRingResume(t *testing.T) {
+	sys := paperSystem(t, 0.7)
+
+	// Phase 1: crash after 3 rounds.
+	partial, err := RunNashRing(NewMemNetwork(), sys, 1e-12, 3)
+	if err == nil {
+		t.Fatal("expected a budget failure")
+	}
+	if len(partial.Profile.S) != sys.NumUsers() {
+		t.Fatalf("failed run returned no checkpoint profile")
+	}
+	if err := sys.ValidateProfile(partial.Profile); err != nil {
+		t.Fatalf("checkpoint infeasible: %v", err)
+	}
+
+	// Phase 2: resume from the checkpoint on a fresh network.
+	resumed, err := RunNashRingFrom(NewMemNetwork(), sys, partial.Profile, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := noncoop.IsNashEquilibrium(sys, resumed.Profile, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("resumed run did not reach a Nash equilibrium")
+	}
+
+	// Must match the uninterrupted equilibrium.
+	direct, err := RunNashRing(NewMemNetwork(), sys, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.LInfNorm(sys.Loads(resumed.Profile), sys.Loads(direct.Profile)); d > 1e-6 {
+		t.Errorf("resumed equilibrium differs from direct by %v", d)
+	}
+
+	// Resuming from a converged profile terminates almost immediately.
+	again, err := RunNashRingFrom(NewMemNetwork(), sys, resumed.Profile, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Iterations > 3 {
+		t.Errorf("resume from equilibrium took %d iterations", again.Iterations)
+	}
+}
+
+func TestNashRingFromRejectsBadCheckpoint(t *testing.T) {
+	sys := paperSystem(t, 0.5)
+	bad := noncoop.NewProfile(sys.NumUsers(), sys.NumComputers()) // rows sum to 0
+	if _, err := RunNashRingFrom(NewMemNetwork(), sys, bad, 1e-9, 0); err == nil {
+		t.Error("invalid checkpoint accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpNetwork is a hub-and-spoke TCP transport: a broker listens on a
+// loopback port; every node dials in, announces its name, and the broker
+// relays messages between them. It exists to demonstrate the protocols
+// running over real sockets; the in-memory transport is preferred for
+// tests.
+type tcpNetwork struct {
+	ln   net.Listener
+	mu   sync.Mutex
+	conn map[string]*gob.Encoder
+	encM map[string]*sync.Mutex
+}
+
+// NewTCPNetwork starts a broker on addr ("127.0.0.1:0" picks a free
+// port) and returns the network together with the address nodes connect
+// to. Close the returned closer to shut the broker down.
+func NewTCPNetwork(addr string) (Network, string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("dist: broker listen: %w", err)
+	}
+	n := &tcpNetwork{
+		ln:   ln,
+		conn: make(map[string]*gob.Encoder),
+		encM: make(map[string]*sync.Mutex),
+	}
+	go n.acceptLoop()
+	return n, ln.Addr().String(), ln.Close, nil
+}
+
+func (n *tcpNetwork) acceptLoop() {
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // broker closed
+		}
+		go n.serve(c)
+	}
+}
+
+// serve handles one node connection: first message announces the node's
+// name; subsequent messages are relayed to their recipients.
+func (n *tcpNetwork) serve(c net.Conn) {
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	var hello Message
+	if err := dec.Decode(&hello); err != nil || hello.Kind != "hello" {
+		c.Close()
+		return
+	}
+	name := hello.From
+	mu := &sync.Mutex{}
+	n.mu.Lock()
+	n.conn[name] = enc
+	n.encM[name] = mu
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.conn, name)
+		delete(n.encM, name)
+		n.mu.Unlock()
+		c.Close()
+	}()
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		m.From = name
+		n.relay(m)
+	}
+}
+
+func (n *tcpNetwork) relay(m Message) {
+	n.mu.Lock()
+	enc := n.conn[m.To]
+	mu := n.encM[m.To]
+	n.mu.Unlock()
+	if enc == nil {
+		return // recipient unknown or gone; the protocols tolerate loss on shutdown
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	_ = enc.Encode(m)
+}
+
+// Join dials the broker and announces the node name.
+func (n *tcpNetwork) Join(name string) (Conn, error) {
+	c, err := net.Dial("tcp", n.ln.Addr().String())
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial broker: %w", err)
+	}
+	tc := &tcpConn{name: name, c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	if err := tc.enc.Encode(Message{From: name, Kind: "hello"}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dist: hello: %w", err)
+	}
+	return tc, nil
+}
+
+type tcpConn struct {
+	name   string
+	c      net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	sendMu sync.Mutex
+}
+
+func (t *tcpConn) Name() string { return t.name }
+
+func (t *tcpConn) Send(m Message) error {
+	m.From = t.name
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if err := t.enc.Encode(m); err != nil {
+		return fmt.Errorf("dist: tcp send: %w", err)
+	}
+	return nil
+}
+
+func (t *tcpConn) Recv() (Message, error) {
+	var m Message
+	if err := t.dec.Decode(&m); err != nil {
+		return Message{}, ErrClosed
+	}
+	return m, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }

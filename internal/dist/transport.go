@@ -1,0 +1,152 @@
+// Package dist provides the simulated distributed runtime the protocols
+// of Chapters 4 and 5 execute on: named nodes exchanging messages over a
+// pluggable transport. Two transports are provided — an in-memory one
+// built on channels (deterministic, used by tests and examples) and a
+// TCP loopback one (shows the protocols running across real sockets).
+//
+// The two protocols implemented on top are:
+//
+//   - the NASH distributed load-balancing algorithm of §4.3, in which m
+//     user nodes compute best replies round-robin, circulating a token
+//     that accumulates the convergence norm; and
+//   - the LBM bidding protocol of §5.4, in which a dispatcher collects
+//     bids from computer agents, computes the optimal allocation and
+//     truthful payments, and hands them back.
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Message is one unit of communication between nodes.
+type Message struct {
+	From string // sender node name
+	To   string // recipient node name
+	Kind string // protocol-defined message type
+	Data []byte // gob-encoded payload
+}
+
+// Encode gob-encodes a payload value into the message's Data.
+func (m *Message) Encode(v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("dist: encode %s payload: %w", m.Kind, err)
+	}
+	m.Data = buf.Bytes()
+	return nil
+}
+
+// Decode gob-decodes the message's Data into v.
+func (m *Message) Decode(v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(m.Data)).Decode(v); err != nil {
+		return fmt.Errorf("dist: decode %s payload: %w", m.Kind, err)
+	}
+	return nil
+}
+
+// Conn is one node's endpoint on a transport.
+type Conn interface {
+	// Name returns the node name this endpoint joined as.
+	Name() string
+	// Send delivers the message to its recipient. It is safe for
+	// concurrent use.
+	Send(m Message) error
+	// Recv blocks until a message addressed to this node arrives. It
+	// returns an error once the connection is closed and drained.
+	Recv() (Message, error)
+	// Close releases the endpoint; pending Recv calls return an error.
+	Close() error
+}
+
+// Network creates endpoints for named nodes.
+type Network interface {
+	// Join registers a node and returns its endpoint. Node names must
+	// be unique on a network.
+	Join(name string) (Conn, error)
+}
+
+// ErrClosed is returned by Recv after Close.
+var ErrClosed = errors.New("dist: connection closed")
+
+// memNetwork is the in-memory transport: a mailbox channel per node.
+type memNetwork struct {
+	mu    sync.Mutex
+	boxes map[string]chan Message
+}
+
+// NewMemNetwork returns an in-memory Network. Mailboxes are buffered so
+// protocol fan-out (a dispatcher messaging n computers) cannot deadlock.
+func NewMemNetwork() Network {
+	return &memNetwork{boxes: make(map[string]chan Message)}
+}
+
+func (n *memNetwork) Join(name string) (Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.boxes[name]; dup {
+		return nil, fmt.Errorf("dist: node %q already joined", name)
+	}
+	box := make(chan Message, 1024)
+	n.boxes[name] = box
+	return &memConn{net: n, name: name, box: box}, nil
+}
+
+func (n *memNetwork) lookup(name string) (chan Message, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	box, ok := n.boxes[name]
+	return box, ok
+}
+
+func (n *memNetwork) leave(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if box, ok := n.boxes[name]; ok {
+		close(box)
+		delete(n.boxes, name)
+	}
+}
+
+type memConn struct {
+	net  *memNetwork
+	name string
+	box  chan Message
+
+	closeOnce sync.Once
+}
+
+func (c *memConn) Name() string { return c.name }
+
+func (c *memConn) Send(m Message) (err error) {
+	m.From = c.name
+	box, ok := c.net.lookup(m.To)
+	if !ok {
+		return fmt.Errorf("dist: unknown node %q", m.To)
+	}
+	// Racing with the recipient's Close can panic on the closed channel;
+	// surface that as an error instead.
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("dist: node %q closed", m.To)
+		}
+	}()
+	box <- m
+	return nil
+}
+
+func (c *memConn) Recv() (Message, error) {
+	m, ok := <-c.box
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return m, nil
+}
+
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() { c.net.leave(c.name) })
+	return nil
+}

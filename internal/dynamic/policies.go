@@ -1,0 +1,228 @@
+// Package dynamic implements the classical dynamic load-balancing
+// policies the dissertation surveys in §2.2.2 — the baselines against
+// which the game-theoretic static schemes position themselves:
+//
+//   - Local: no balancing; every job runs where it arrives.
+//   - Random (Eager et al. sender-initiated): a computer whose queue
+//     exceeds the threshold transfers the arriving job to a uniformly
+//     random peer, no state examined.
+//   - Threshold (Eager et al.): probe up to ProbeLimit random peers and
+//     transfer to the first whose queue is below the threshold.
+//   - Shortest (Eager et al.): probe ProbeLimit random peers and pick
+//     the shortest queue among those below the threshold.
+//   - Receiver (Eager/Livny-style): when a computer idles it probes up
+//     to ProbeLimit random peers and pulls a waiting job from the first
+//     whose queue exceeds the threshold.
+//   - Symmetric (Shivaratri & Krueger-style): sender-initiated while
+//     loaded, receiver-initiated while idle.
+//   - JSQ: the centralized join-the-shortest-queue policy — full state
+//     information, the strongest practical baseline.
+//
+// All policies run on the dynamic mode of internal/des.
+package dynamic
+
+import (
+	"gtlb/internal/des"
+	"gtlb/internal/queueing"
+)
+
+// Local is the no-balancing baseline.
+type Local struct{}
+
+// Name returns "LOCAL".
+func (Local) Name() string { return "LOCAL" }
+
+// OnArrival keeps the job at home.
+func (Local) OnArrival(home int, _ []int, _ *queueing.RNG) int { return home }
+
+// OnIdle never pulls.
+func (Local) OnIdle(int, []int, *queueing.RNG) int { return -1 }
+
+// Random is the sender-initiated Random policy of Eager et al.: if the
+// home queue length (including the new job) would exceed Threshold, the
+// job is transferred to a uniformly random other computer regardless of
+// its state.
+type Random struct {
+	Threshold int
+}
+
+// Name returns "RANDOM".
+func (Random) Name() string { return "RANDOM" }
+
+// OnArrival implements the random location policy.
+func (p Random) OnArrival(home int, q []int, r *queueing.RNG) int {
+	if q[home] < p.Threshold || len(q) == 1 {
+		return home
+	}
+	dest := r.Intn(len(q) - 1)
+	if dest >= home {
+		dest++
+	}
+	return dest
+}
+
+// OnIdle never pulls.
+func (Random) OnIdle(int, []int, *queueing.RNG) int { return -1 }
+
+// Threshold is the sender-initiated Threshold policy: probe up to
+// ProbeLimit random peers and transfer to the first found below the
+// threshold; keep the job local if every probe fails.
+type Threshold struct {
+	Threshold  int
+	ProbeLimit int
+}
+
+// Name returns "THRESHOLD".
+func (Threshold) Name() string { return "THRESHOLD" }
+
+// OnArrival implements the threshold location policy.
+func (p Threshold) OnArrival(home int, q []int, r *queueing.RNG) int {
+	if q[home] < p.Threshold || len(q) == 1 {
+		return home
+	}
+	for probe := 0; probe < p.ProbeLimit; probe++ {
+		cand := r.Intn(len(q) - 1)
+		if cand >= home {
+			cand++
+		}
+		if q[cand] < p.Threshold {
+			return cand
+		}
+	}
+	return home
+}
+
+// OnIdle never pulls.
+func (Threshold) OnIdle(int, []int, *queueing.RNG) int { return -1 }
+
+// Shortest is the sender-initiated Shortest policy: probe ProbeLimit
+// random peers and transfer to the least loaded among those below the
+// threshold. Eager et al.'s finding — "Shortest is not significantly
+// better than Threshold" — is reproduced in the tests.
+type Shortest struct {
+	Threshold  int
+	ProbeLimit int
+}
+
+// Name returns "SHORTEST".
+func (Shortest) Name() string { return "SHORTEST" }
+
+// OnArrival implements the shortest-queue-of-probed location policy.
+func (p Shortest) OnArrival(home int, q []int, r *queueing.RNG) int {
+	if q[home] < p.Threshold || len(q) == 1 {
+		return home
+	}
+	best, bestLen := home, q[home]
+	for probe := 0; probe < p.ProbeLimit; probe++ {
+		cand := r.Intn(len(q) - 1)
+		if cand >= home {
+			cand++
+		}
+		if q[cand] < p.Threshold && q[cand] < bestLen {
+			best, bestLen = cand, q[cand]
+		}
+	}
+	return best
+}
+
+// OnIdle never pulls.
+func (Shortest) OnIdle(int, []int, *queueing.RNG) int { return -1 }
+
+// Receiver is the receiver-initiated policy: jobs always run at home,
+// but an idling computer probes up to ProbeLimit random peers and pulls
+// a waiting job from the first whose queue exceeds the threshold.
+type Receiver struct {
+	Threshold  int
+	ProbeLimit int
+}
+
+// Name returns "RECEIVER".
+func (Receiver) Name() string { return "RECEIVER" }
+
+// OnArrival keeps the job at home.
+func (Receiver) OnArrival(home int, _ []int, _ *queueing.RNG) int { return home }
+
+// OnIdle probes for an overloaded peer to pull from.
+func (p Receiver) OnIdle(idle int, q []int, r *queueing.RNG) int {
+	if len(q) == 1 {
+		return -1
+	}
+	for probe := 0; probe < p.ProbeLimit; probe++ {
+		cand := r.Intn(len(q) - 1)
+		if cand >= idle {
+			cand++
+		}
+		if q[cand] > p.Threshold {
+			return cand
+		}
+	}
+	return -1
+}
+
+// Symmetric combines the Threshold sender with the Receiver puller, the
+// symmetrically-initiated class of §2.2.2: the sender side is effective
+// at low load, the receiver side at high load.
+type Symmetric struct {
+	Threshold  int
+	ProbeLimit int
+}
+
+// Name returns "SYMMETRIC".
+func (Symmetric) Name() string { return "SYMMETRIC" }
+
+// OnArrival delegates to the Threshold sender policy.
+func (p Symmetric) OnArrival(home int, q []int, r *queueing.RNG) int {
+	return Threshold{Threshold: p.Threshold, ProbeLimit: p.ProbeLimit}.OnArrival(home, q, r)
+}
+
+// OnIdle delegates to the Receiver pull policy.
+func (p Symmetric) OnIdle(idle int, q []int, r *queueing.RNG) int {
+	return Receiver{Threshold: p.Threshold, ProbeLimit: p.ProbeLimit}.OnIdle(idle, q, r)
+}
+
+// JSQ is centralized join-the-shortest-queue: every arriving job goes to
+// the globally least-loaded computer (ties keep it at home when home is
+// among the shortest).
+type JSQ struct{}
+
+// Name returns "JSQ".
+func (JSQ) Name() string { return "JSQ" }
+
+// OnArrival picks the globally shortest queue.
+func (JSQ) OnArrival(home int, q []int, _ *queueing.RNG) int {
+	best, bestLen := home, q[home]
+	for i, l := range q {
+		if l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// OnIdle never pulls (arrival-time placement is already global).
+func (JSQ) OnIdle(int, []int, *queueing.RNG) int { return -1 }
+
+// All returns the surveyed policies with the conventional parameters
+// (threshold 2, probe limit 3, per Eager et al.'s experiments).
+func All() []des.DynamicPolicy {
+	return []des.DynamicPolicy{
+		Local{},
+		Random{Threshold: 2},
+		Threshold{Threshold: 2, ProbeLimit: 3},
+		Shortest{Threshold: 2, ProbeLimit: 3},
+		Receiver{Threshold: 1, ProbeLimit: 3},
+		Symmetric{Threshold: 2, ProbeLimit: 3},
+		JSQ{},
+	}
+}
+
+// Interface conformance checks.
+var (
+	_ des.DynamicPolicy = Local{}
+	_ des.DynamicPolicy = Random{}
+	_ des.DynamicPolicy = Threshold{}
+	_ des.DynamicPolicy = Shortest{}
+	_ des.DynamicPolicy = Receiver{}
+	_ des.DynamicPolicy = Symmetric{}
+	_ des.DynamicPolicy = JSQ{}
+)

@@ -1,0 +1,230 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"gtlb/internal/des"
+	"gtlb/internal/queueing"
+)
+
+// homogeneous returns a DynamicConfig for n identical computers at the
+// given utilization.
+func homogeneous(n int, mu, rho float64, pol des.DynamicPolicy) des.DynamicConfig {
+	lam := make([]float64, n)
+	mus := make([]float64, n)
+	for i := range lam {
+		mus[i] = mu
+		lam[i] = rho * mu
+	}
+	return des.DynamicConfig{
+		Mu:            mus,
+		Lambda:        lam,
+		Policy:        pol,
+		TransferDelay: 0.002,
+		Horizon:       3_000,
+		Warmup:        150,
+		Seed:          5,
+		Replications:  3,
+	}
+}
+
+func respTime(t *testing.T, cfg des.DynamicConfig) float64 {
+	t.Helper()
+	res, err := des.RunDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Overall.Mean
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := map[string]bool{
+		"LOCAL": true, "RANDOM": true, "THRESHOLD": true, "SHORTEST": true,
+		"RECEIVER": true, "SYMMETRIC": true, "JSQ": true,
+	}
+	for _, p := range All() {
+		if !want[p.Name()] {
+			t.Errorf("unexpected policy %q", p.Name())
+		}
+		delete(want, p.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing policies: %v", want)
+	}
+}
+
+// TestLocalMatchesMM1: with no balancing, each computer is an
+// independent M/M/1.
+func TestLocalMatchesMM1(t *testing.T) {
+	cfg := homogeneous(4, 2.0, 0.6, Local{})
+	got := respTime(t, cfg)
+	want := 1 / (2.0 - 1.2)
+	if math.Abs(got-want) > 0.08*want {
+		t.Errorf("LOCAL response %v, M/M/1 closed form %v", got, want)
+	}
+}
+
+// TestBalancingBeatsLocal: every surveyed policy improves on purely
+// local execution at moderate load on a homogeneous system — the basic
+// premise of §2.2.2.
+func TestBalancingBeatsLocal(t *testing.T) {
+	local := respTime(t, homogeneous(8, 2.0, 0.7, Local{}))
+	for _, p := range All() {
+		if p.Name() == "LOCAL" {
+			continue
+		}
+		got := respTime(t, homogeneous(8, 2.0, 0.7, p))
+		if got >= local {
+			t.Errorf("%s (%v) does not beat LOCAL (%v) at rho=0.7", p.Name(), got, local)
+		}
+	}
+}
+
+// TestJSQStrongest: full state information dominates the probing
+// policies (Eager et al.'s upper baseline).
+func TestJSQStrongest(t *testing.T) {
+	jsq := respTime(t, homogeneous(8, 2.0, 0.8, JSQ{}))
+	for _, p := range []des.DynamicPolicy{
+		Random{Threshold: 2},
+		Threshold{Threshold: 2, ProbeLimit: 3},
+		Receiver{Threshold: 1, ProbeLimit: 3},
+	} {
+		got := respTime(t, homogeneous(8, 2.0, 0.8, p))
+		if jsq > got*1.02 {
+			t.Errorf("JSQ (%v) worse than %s (%v)", jsq, p.Name(), got)
+		}
+	}
+}
+
+// TestShortestNotMuchBetterThanThreshold reproduces Eager et al.'s
+// finding quoted in §2.2.2: "the performance of Shortest is not
+// significantly better than that of Threshold".
+func TestShortestNotMuchBetterThanThreshold(t *testing.T) {
+	threshold := respTime(t, homogeneous(12, 2.0, 0.7, Threshold{Threshold: 2, ProbeLimit: 3}))
+	shortest := respTime(t, homogeneous(12, 2.0, 0.7, Shortest{Threshold: 2, ProbeLimit: 3}))
+	improvement := (threshold - shortest) / threshold
+	if improvement > 0.15 {
+		t.Errorf("Shortest improves on Threshold by %.0f%%; the classical result is 'not significant'", improvement*100)
+	}
+	if shortest > threshold*1.15 {
+		t.Errorf("Shortest (%v) much worse than Threshold (%v)", shortest, threshold)
+	}
+}
+
+// TestReceiverPreferableAtHighLoad reproduces the §2.2.2 claim that
+// receiver-initiated schemes are preferable at high system loads, while
+// sender-initiated are better at low to moderate loads.
+func TestReceiverPreferableAtHighLoad(t *testing.T) {
+	const n, mu = 10, 2.0
+	sender := Threshold{Threshold: 2, ProbeLimit: 3}
+	receiver := Receiver{Threshold: 1, ProbeLimit: 3}
+
+	lowSender := respTime(t, homogeneous(n, mu, 0.5, sender))
+	lowReceiver := respTime(t, homogeneous(n, mu, 0.5, receiver))
+	if lowSender > lowReceiver*1.05 {
+		t.Errorf("at rho=0.5 sender-initiated (%v) should not lose to receiver-initiated (%v)",
+			lowSender, lowReceiver)
+	}
+
+	highSender := respTime(t, homogeneous(n, mu, 0.92, sender))
+	highReceiver := respTime(t, homogeneous(n, mu, 0.92, receiver))
+	if highReceiver > highSender*1.05 {
+		t.Errorf("at rho=0.92 receiver-initiated (%v) should not lose to sender-initiated (%v)",
+			highReceiver, highSender)
+	}
+}
+
+// TestSymmetricRobust: the symmetric policy is competitive with the
+// better of its two halves at both load levels.
+func TestSymmetricRobust(t *testing.T) {
+	const n, mu = 10, 2.0
+	for _, rho := range []float64{0.5, 0.92} {
+		sym := respTime(t, homogeneous(n, mu, rho, Symmetric{Threshold: 2, ProbeLimit: 3}))
+		snd := respTime(t, homogeneous(n, mu, rho, Threshold{Threshold: 2, ProbeLimit: 3}))
+		rcv := respTime(t, homogeneous(n, mu, rho, Receiver{Threshold: 1, ProbeLimit: 3}))
+		best := math.Min(snd, rcv)
+		if sym > best*1.15 {
+			t.Errorf("rho=%.2f: SYMMETRIC (%v) trails the best half (%v) by >15%%", rho, sym, best)
+		}
+	}
+}
+
+func TestTransfersCounted(t *testing.T) {
+	res, err := des.RunDynamic(homogeneous(4, 2.0, 0.8, JSQ{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transfers == 0 {
+		t.Error("JSQ at rho=0.8 reported zero transfers")
+	}
+	local, err := des.RunDynamic(homogeneous(4, 2.0, 0.8, Local{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Transfers != 0 {
+		t.Errorf("LOCAL reported %v transfers", local.Transfers)
+	}
+}
+
+func TestDynamicConfigValidation(t *testing.T) {
+	bad := []des.DynamicConfig{
+		{},
+		{Mu: []float64{1}, Lambda: []float64{0.5, 0.5}, Horizon: 1},
+		{Mu: []float64{0}, Lambda: []float64{0}, Horizon: 1},
+		{Mu: []float64{1}, Lambda: []float64{-1}, Horizon: 1},
+		{Mu: []float64{1}, Lambda: []float64{0.5}, Horizon: 0},
+		{Mu: []float64{1}, Lambda: []float64{0.5}, Horizon: 1, Warmup: 2},
+		{Mu: []float64{1}, Lambda: []float64{0.5}, Horizon: 1, TransferDelay: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := des.RunDynamic(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestSingleComputerPoliciesDegrade(t *testing.T) {
+	// With one computer every policy must behave like LOCAL.
+	for _, p := range All() {
+		cfg := des.DynamicConfig{
+			Mu:           []float64{2},
+			Lambda:       []float64{1},
+			Policy:       p,
+			Horizon:      2_000,
+			Warmup:       100,
+			Seed:         3,
+			Replications: 2,
+		}
+		res, err := des.RunDynamic(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if math.Abs(res.Overall.Mean-1.0) > 0.1 {
+			t.Errorf("%s single M/M/1 response %v, want ~1", p.Name(), res.Overall.Mean)
+		}
+	}
+}
+
+func TestPolicyUnitDecisions(t *testing.T) {
+	r := queueing.NewRNG(1)
+	q := []int{5, 0, 3}
+	if got := (JSQ{}).OnArrival(0, q, r); got != 1 {
+		t.Errorf("JSQ picked %d, want 1", got)
+	}
+	if got := (Local{}).OnArrival(2, q, r); got != 2 {
+		t.Errorf("LOCAL moved a job to %d", got)
+	}
+	// Below threshold: stay home.
+	if got := (Threshold{Threshold: 10, ProbeLimit: 3}).OnArrival(0, q, r); got != 0 {
+		t.Errorf("Threshold transferred a below-threshold job to %d", got)
+	}
+	// Receiver pulls only from queues above threshold.
+	if got := (Receiver{Threshold: 10, ProbeLimit: 5}).OnIdle(1, q, r); got != -1 {
+		t.Errorf("Receiver pulled from %d despite no queue above threshold", got)
+	}
+	found := (Receiver{Threshold: 2, ProbeLimit: 16}).OnIdle(1, q, r)
+	if found != 0 && found != 2 {
+		t.Errorf("Receiver pulled from %d, want 0 or 2", found)
+	}
+}

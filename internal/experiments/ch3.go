@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gtlb/internal/des"
+	"gtlb/internal/metrics"
+	"gtlb/internal/queueing"
+	"gtlb/internal/schemes"
+)
+
+// schemeMetrics evaluates one Chapter 3 scheme analytically: system-wide
+// expected response time and the jobs'-view fairness index over the
+// per-computer response times.
+func schemeMetrics(a schemes.Allocator, mu []float64, phi float64) (respTime, fairness float64, err error) {
+	lam, err := a.Allocate(mu, phi)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", a.Name(), err)
+	}
+	respTime = queueing.SystemResponseTime(mu, lam)
+	times := make([]float64, 0, len(mu))
+	for i, l := range lam {
+		if l > 0 {
+			times = append(times, queueing.ResponseTime(mu[i], l))
+		}
+	}
+	return respTime, metrics.FairnessIndex(times), nil
+}
+
+// Fig3_1 regenerates Figure 3.1: expected response time and fairness
+// index versus system utilization for COOP, PROP, WARDROP and OPTIM on
+// the Table 3.1 system.
+func Fig3_1() (Figure, error) {
+	mu := Ch3Mu()
+	rhos := utilizationSweep()
+	respPanel := Panel{Title: "Expected response time (sec)", XLabel: "utilization", YLabel: "E[T] (sec)"}
+	fairPanel := Panel{Title: "Fairness index I", XLabel: "utilization", YLabel: "I"}
+	for _, a := range schemes.All() {
+		rs := Series{Name: a.Name()}
+		fs := Series{Name: a.Name()}
+		for _, rho := range rhos {
+			rt, fi, err := schemeMetrics(a, mu, rho*Ch3TotalMu)
+			if err != nil {
+				return Figure{}, err
+			}
+			rs.X = append(rs.X, rho)
+			rs.Y = append(rs.Y, rt)
+			fs.X = append(fs.X, rho)
+			fs.Y = append(fs.Y, fi)
+		}
+		respPanel.Series = append(respPanel.Series, rs)
+		fairPanel.Series = append(fairPanel.Series, fs)
+	}
+	return Figure{
+		ID:     "F3.1",
+		Title:  "Expected response time and fairness index vs. system utilization",
+		Panels: []Panel{respPanel, fairPanel},
+		Notes:  []string{"analytic M/M/1 model; Table 3.1 configuration"},
+	}, nil
+}
+
+// perComputerFigure builds Figures 3.2/3.3: expected response time at
+// each computer under COOP, PROP and OPTIM at the given utilization.
+// (WARDROP coincides with COOP and is omitted, as in the paper.)
+func perComputerFigure(id string, rho float64) (Figure, error) {
+	mu := Ch3Mu()
+	phi := rho * Ch3TotalMu
+	p := Panel{Title: fmt.Sprintf("Per-computer E[T] at rho=%.0f%%", rho*100), XLabel: "computer", YLabel: "E[T] (sec)"}
+	for _, a := range []schemes.Allocator{schemes.Coop{}, schemes.Prop{}, schemes.Optim{}} {
+		lam, err := a.Allocate(mu, phi)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Name: a.Name()}
+		for i := range mu {
+			s.X = append(s.X, float64(i+1))
+			if lam[i] > 0 {
+				s.Y = append(s.Y, queueing.ResponseTime(mu[i], lam[i]))
+			} else {
+				s.Y = append(s.Y, 0)
+			}
+		}
+		p.Series = append(p.Series, s)
+	}
+	return Figure{
+		ID:     id,
+		Title:  "Expected response time at each computer",
+		Panels: []Panel{p},
+		Notes:  []string{"computers 1..6 slow (0.013), 7..11 (0.026), 12..14 (0.065), 15..16 fast (0.13)", "WARDROP gives the same results as COOP and is not shown (paper §3.4.2)"},
+	}, nil
+}
+
+// Fig3_2 regenerates Figure 3.2 (medium load, ρ = 50%).
+func Fig3_2() (Figure, error) { return perComputerFigure("F3.2", 0.5) }
+
+// Fig3_3 regenerates Figure 3.3 (high load, ρ = 90%).
+func Fig3_3() (Figure, error) { return perComputerFigure("F3.3", 0.9) }
+
+// Fig3_4 regenerates Figure 3.4: the effect of heterogeneity. Speed
+// skewness (max/min rate) sweeps 1..20 on a system of 2 fast and 14 slow
+// computers at 60% utilization.
+func Fig3_4() (Figure, error) {
+	respPanel := Panel{Title: "Expected response time (sec)", XLabel: "max speed / min speed", YLabel: "E[T] (sec)"}
+	fairPanel := Panel{Title: "Fairness index I", XLabel: "max speed / min speed", YLabel: "I"}
+	skews := []float64{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	for _, a := range schemes.All() {
+		rs := Series{Name: a.Name()}
+		fs := Series{Name: a.Name()}
+		for _, skew := range skews {
+			mu := skewedMu(0.013, skew, 2, 14)
+			var total float64
+			for _, m := range mu {
+				total += m
+			}
+			rt, fi, err := schemeMetrics(a, mu, 0.6*total)
+			if err != nil {
+				return Figure{}, err
+			}
+			rs.X = append(rs.X, skew)
+			rs.Y = append(rs.Y, rt)
+			fs.X = append(fs.X, skew)
+			fs.Y = append(fs.Y, fi)
+		}
+		respPanel.Series = append(respPanel.Series, rs)
+		fairPanel.Series = append(fairPanel.Series, fs)
+	}
+	return Figure{
+		ID:     "F3.4",
+		Title:  "The effect of heterogeneity on the expected response time and fairness index",
+		Panels: []Panel{respPanel, fairPanel},
+		Notes:  []string{"2 fast + 14 slow computers, rho=60%"},
+	}, nil
+}
+
+// Fig3_5 regenerates Figure 3.5: the effect of system size, 2..20
+// computers (2 fast rate-10 plus slow rate-1 machines) at ρ = 60%.
+func Fig3_5() (Figure, error) {
+	respPanel := Panel{Title: "Expected response time (sec)", XLabel: "number of computers", YLabel: "E[T] (sec)"}
+	fairPanel := Panel{Title: "Fairness index I", XLabel: "number of computers", YLabel: "I"}
+	for _, a := range schemes.All() {
+		rs := Series{Name: a.Name()}
+		fs := Series{Name: a.Name()}
+		for n := 2; n <= 20; n += 2 {
+			mu := sizedMu(0.013, n)
+			var total float64
+			for _, m := range mu {
+				total += m
+			}
+			rt, fi, err := schemeMetrics(a, mu, 0.6*total)
+			if err != nil {
+				return Figure{}, err
+			}
+			rs.X = append(rs.X, float64(n))
+			rs.Y = append(rs.Y, rt)
+			fs.X = append(fs.X, float64(n))
+			fs.Y = append(fs.Y, fi)
+		}
+		respPanel.Series = append(respPanel.Series, rs)
+		fairPanel.Series = append(fairPanel.Series, fs)
+	}
+	return Figure{
+		ID:     "F3.5",
+		Title:  "The effect of system size on the expected response time and fairness",
+		Panels: []Panel{respPanel, fairPanel},
+		Notes:  []string{"2 fast (relative 10) computers plus n-2 slow ones, rho=60%"},
+	}, nil
+}
+
+// fig36Opts tunes the Figure 3.6 simulation so the bench harness can run
+// a quick version; the full version matches the paper's replication
+// methodology.
+type fig36Opts struct {
+	horizon      float64
+	warmup       float64
+	replications int
+	rhos         []float64
+}
+
+func quick36() fig36Opts {
+	return fig36Opts{horizon: 1_200, warmup: 100, replications: 3, rhos: []float64{0.3, 0.5, 0.7, 0.9}}
+}
+
+// full36 matches the paper's methodology: five replications per point,
+// each long enough for 1–2 million jobs (§3.4.1), over the full
+// utilization grid.
+func full36() fig36Opts {
+	return fig36Opts{horizon: 4_500, warmup: 225, replications: 5, rhos: utilizationSweep()}
+}
+
+// fig36 runs the hyper-exponential arrival experiment on a ×1000-scaled
+// Table 3.1 system (13..130 jobs/sec) so that simulated job counts match
+// the paper's within tractable horizons; response times scale by 1/1000
+// and every ratio is preserved.
+func fig36(opt fig36Opts) (Figure, error) {
+	mu := make([]float64, 0, 16)
+	for _, m := range Ch3Mu() {
+		mu = append(mu, m*1000)
+	}
+	var totalMu float64
+	for _, m := range mu {
+		totalMu += m
+	}
+	respPanel := Panel{Title: "Expected response time (sec, x1000 scale)", XLabel: "utilization", YLabel: "E[T]"}
+	fairPanel := Panel{Title: "Fairness index I (per-computer)", XLabel: "utilization", YLabel: "I"}
+	for _, a := range schemes.All() {
+		rs := Series{Name: a.Name()}
+		fs := Series{Name: a.Name()}
+		for _, rho := range opt.rhos {
+			phi := rho * totalMu
+			lam, err := a.Allocate(mu, phi)
+			if err != nil {
+				return Figure{}, err
+			}
+			routing := make([]float64, len(lam))
+			for i, l := range lam {
+				routing[i] = l / phi
+			}
+			arrivals, err := queueing.NewHyperExponential(1/phi, 1.6)
+			if err != nil {
+				return Figure{}, err
+			}
+			res, err := des.Run(des.Config{
+				Mu:           mu,
+				InterArrival: arrivals,
+				Routing:      [][]float64{routing},
+				Horizon:      opt.horizon,
+				Warmup:       opt.warmup,
+				Seed:         42,
+				Replications: opt.replications,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			rs.X = append(rs.X, rho)
+			rs.Y = append(rs.Y, res.Overall.Mean)
+			rs.Err = append(rs.Err, res.Overall.StdErr)
+			perComp := make([]float64, 0, len(mu))
+			for _, s := range res.PerComputer {
+				if s.N > 0 {
+					perComp = append(perComp, s.Mean)
+				}
+			}
+			fs.X = append(fs.X, rho)
+			fs.Y = append(fs.Y, metrics.FairnessIndex(perComp))
+		}
+		respPanel.Series = append(respPanel.Series, rs)
+		fairPanel.Series = append(fairPanel.Series, fs)
+	}
+	return Figure{
+		ID:     "F3.6",
+		Title:  "Expected response time and fairness (hyper-exponential distribution of arrivals)",
+		Panels: []Panel{respPanel, fairPanel},
+		Notes: []string{
+			"two-stage hyper-exponential inter-arrival times, CV = 1.6 (paper §3.4.2)",
+			"rates scaled x1000 vs Table 3.1 to keep simulated job counts tractable; all ratios preserved",
+		},
+	}, nil
+}
+
+// Fig3_6 regenerates Figure 3.6 with quick simulation settings.
+func Fig3_6() (Figure, error) { return fig36(quick36()) }
+
+// Fig3_6Full regenerates Figure 3.6 with the paper's full replication
+// methodology (5 replications, dense utilization grid).
+func Fig3_6Full() (Figure, error) { return fig36(full36()) }

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gtlb/internal/des"
+	"gtlb/internal/metrics"
+	"gtlb/internal/noncoop"
+	"gtlb/internal/queueing"
+)
+
+// ch4System builds the Table 4.1 system at utilization rho.
+func ch4System(rho float64) (noncoop.System, error) {
+	return noncoop.NewSystem(Ch4Mu(), Ch4Phi(rho))
+}
+
+// Fig4_2 regenerates Figure 4.2: the convergence norm of the NASH
+// distributed algorithm versus the iteration count, for the NASH_0 and
+// NASH_P initializations (16 computers, 10 users, ρ = 60%).
+func Fig4_2() (Figure, error) {
+	sys, err := ch4System(0.6)
+	if err != nil {
+		return Figure{}, err
+	}
+	p := Panel{Title: "Norm vs. number of iterations", XLabel: "iteration", YLabel: "norm"}
+	for _, init := range []noncoop.Init{noncoop.InitZero, noncoop.InitProportional} {
+		res, err := noncoop.Nash(sys, noncoop.NashOptions{Init: init, Eps: 1e-10})
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Name: init.String()}
+		for k, norm := range res.Norms {
+			s.X = append(s.X, float64(k+1))
+			s.Y = append(s.Y, norm)
+		}
+		p.Series = append(p.Series, s)
+	}
+	return Figure{
+		ID:     "F4.2",
+		Title:  "Norm vs. number of iterations",
+		Panels: []Panel{p},
+		Notes:  []string{"16 computers, 10 users, rho=60%; norm = sum_j |D_j^(l) - D_j^(l-1)|"},
+	}, nil
+}
+
+// Fig4_3 regenerates Figure 4.3: iterations needed to reach
+// norm ≤ 1e-4 as the number of users grows from 4 to 32 (equal traffic
+// shares; the 16 Table 4.1 computers at ρ = 60%).
+func Fig4_3() (Figure, error) {
+	p := Panel{Title: "Convergence of best reply algorithms (until norm <= 1e-4)", XLabel: "users", YLabel: "iterations"}
+	series := map[noncoop.Init]*Series{
+		noncoop.InitZero:         {Name: noncoop.InitZero.String()},
+		noncoop.InitProportional: {Name: noncoop.InitProportional.String()},
+	}
+	for m := 4; m <= 32; m += 4 {
+		total := 0.6 * Ch4TotalMu
+		phi := make([]float64, m)
+		for j := range phi {
+			phi[j] = total / float64(m)
+		}
+		sys, err := noncoop.NewSystem(Ch4Mu(), phi)
+		if err != nil {
+			return Figure{}, err
+		}
+		for init, s := range series {
+			res, err := noncoop.Nash(sys, noncoop.NashOptions{Init: init, Eps: 1e-4})
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(m))
+			s.Y = append(s.Y, float64(res.Iterations))
+		}
+	}
+	p.Series = append(p.Series, *series[noncoop.InitZero], *series[noncoop.InitProportional])
+	return Figure{
+		ID:     "F4.3",
+		Title:  "Convergence of best reply algorithms (until norm <= 1e-4)",
+		Panels: []Panel{p},
+		Notes:  []string{"equal per-user traffic shares; rho=60%"},
+	}, nil
+}
+
+// Fig4_4 regenerates Figure 4.4: expected response time and users'-view
+// fairness versus utilization for NASH, GOS, IOS and PS.
+func Fig4_4() (Figure, error) {
+	respPanel := Panel{Title: "Expected response time (sec)", XLabel: "utilization", YLabel: "E[T] (sec)"}
+	fairPanel := Panel{Title: "Fairness index I (users)", XLabel: "utilization", YLabel: "I"}
+	for _, sch := range noncoop.AllSchemes() {
+		rs := Series{Name: sch.Name()}
+		fs := Series{Name: sch.Name()}
+		for _, rho := range utilizationSweep() {
+			sys, err := ch4System(rho)
+			if err != nil {
+				return Figure{}, err
+			}
+			prof, err := sch.Profile(sys)
+			if err != nil {
+				return Figure{}, fmt.Errorf("%s at rho=%.1f: %w", sch.Name(), rho, err)
+			}
+			rs.X = append(rs.X, rho)
+			rs.Y = append(rs.Y, sys.OverallTime(prof))
+			fs.X = append(fs.X, rho)
+			fs.Y = append(fs.Y, metrics.FairnessIndex(sys.UserTimes(prof)))
+		}
+		respPanel.Series = append(respPanel.Series, rs)
+		fairPanel.Series = append(fairPanel.Series, fs)
+	}
+	return Figure{
+		ID:     "F4.4",
+		Title:  "The expected response time and fairness index vs. system utilization",
+		Panels: []Panel{respPanel, fairPanel},
+		Notes:  []string{"Table 4.1 configuration, 10 users"},
+	}, nil
+}
+
+// Fig4_5 regenerates Figure 4.5: the expected response time for each
+// user at ρ = 60% under all four schemes.
+func Fig4_5() (Figure, error) {
+	sys, err := ch4System(0.6)
+	if err != nil {
+		return Figure{}, err
+	}
+	p := Panel{Title: "Expected response time for each user (rho=60%)", XLabel: "user", YLabel: "E[T] (sec)"}
+	for _, sch := range noncoop.AllSchemes() {
+		prof, err := sch.Profile(sys)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Name: sch.Name()}
+		for j, t := range sys.UserTimes(prof) {
+			s.X = append(s.X, float64(j+1))
+			s.Y = append(s.Y, t)
+		}
+		p.Series = append(p.Series, s)
+	}
+	return Figure{
+		ID:     "F4.5",
+		Title:  "Expected response time for each user",
+		Panels: []Panel{p},
+		Notes:  []string{"user traffic shares 30/20/10/7/7/6/6/6/4/4 %"},
+	}, nil
+}
+
+// Fig4_6 regenerates Figure 4.6: the effect of heterogeneity (speed
+// skewness 1..20, 2 fast + 14 slow computers, 10 users, ρ = 60%).
+func Fig4_6() (Figure, error) {
+	respPanel := Panel{Title: "Expected response time (sec)", XLabel: "max speed / min speed", YLabel: "E[T] (sec)"}
+	fairPanel := Panel{Title: "Fairness index I (users)", XLabel: "max speed / min speed", YLabel: "I"}
+	skews := []float64{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	for _, sch := range noncoop.AllSchemes() {
+		rs := Series{Name: sch.Name()}
+		fs := Series{Name: sch.Name()}
+		for _, skew := range skews {
+			mu := skewedMu(10, skew, 2, 14)
+			var total float64
+			for _, m := range mu {
+				total += m
+			}
+			fr := Ch4UserFractions()
+			phi := make([]float64, len(fr))
+			for j, f := range fr {
+				phi[j] = f * 0.6 * total
+			}
+			sys, err := noncoop.NewSystem(mu, phi)
+			if err != nil {
+				return Figure{}, err
+			}
+			prof, err := sch.Profile(sys)
+			if err != nil {
+				return Figure{}, err
+			}
+			rs.X = append(rs.X, skew)
+			rs.Y = append(rs.Y, sys.OverallTime(prof))
+			fs.X = append(fs.X, skew)
+			fs.Y = append(fs.Y, metrics.FairnessIndex(sys.UserTimes(prof)))
+		}
+		respPanel.Series = append(respPanel.Series, rs)
+		fairPanel.Series = append(fairPanel.Series, fs)
+	}
+	return Figure{
+		ID:     "F4.6",
+		Title:  "The effect of heterogeneity on the expected response time and fairness index",
+		Panels: []Panel{respPanel, fairPanel},
+		Notes:  []string{"2 fast + 14 slow computers, 10 users, rho=60%"},
+	}, nil
+}
+
+// Fig4_7 regenerates Figure 4.7: the effect of system size (2..20
+// computers, 10 users, ρ = 60%).
+func Fig4_7() (Figure, error) {
+	respPanel := Panel{Title: "Expected response time (sec)", XLabel: "number of computers", YLabel: "E[T] (sec)"}
+	fairPanel := Panel{Title: "Fairness index I (users)", XLabel: "number of computers", YLabel: "I"}
+	for _, sch := range noncoop.AllSchemes() {
+		rs := Series{Name: sch.Name()}
+		fs := Series{Name: sch.Name()}
+		for n := 2; n <= 20; n += 2 {
+			mu := sizedMu(10, n)
+			var total float64
+			for _, m := range mu {
+				total += m
+			}
+			fr := Ch4UserFractions()
+			phi := make([]float64, len(fr))
+			for j, f := range fr {
+				phi[j] = f * 0.6 * total
+			}
+			sys, err := noncoop.NewSystem(mu, phi)
+			if err != nil {
+				return Figure{}, err
+			}
+			prof, err := sch.Profile(sys)
+			if err != nil {
+				return Figure{}, err
+			}
+			rs.X = append(rs.X, float64(n))
+			rs.Y = append(rs.Y, sys.OverallTime(prof))
+			fs.X = append(fs.X, float64(n))
+			fs.Y = append(fs.Y, metrics.FairnessIndex(sys.UserTimes(prof)))
+		}
+		respPanel.Series = append(respPanel.Series, rs)
+		fairPanel.Series = append(fairPanel.Series, fs)
+	}
+	return Figure{
+		ID:     "F4.7",
+		Title:  "The effect of system size on the expected response time and fairness index",
+		Panels: []Panel{respPanel, fairPanel},
+		Notes:  []string{"2 fast (relative 10) computers plus n-2 slow ones, 10 users, rho=60%"},
+	}, nil
+}
+
+// fig48 runs the Chapter 4 hyper-exponential arrival experiment by
+// simulation: each user's equilibrium routing fractions drive the
+// dispatcher, inter-arrival times are H2 with CV = 1.6.
+func fig48(opt fig36Opts) (Figure, error) {
+	respPanel := Panel{Title: "Expected response time (sec)", XLabel: "utilization", YLabel: "E[T]"}
+	fairPanel := Panel{Title: "Fairness index I (users)", XLabel: "utilization", YLabel: "I"}
+	for _, sch := range noncoop.AllSchemes() {
+		rs := Series{Name: sch.Name()}
+		fs := Series{Name: sch.Name()}
+		for _, rho := range opt.rhos {
+			sys, err := ch4System(rho)
+			if err != nil {
+				return Figure{}, err
+			}
+			prof, err := sch.Profile(sys)
+			if err != nil {
+				return Figure{}, err
+			}
+			total := sys.TotalPhi()
+			share := make([]float64, sys.NumUsers())
+			for j, f := range sys.Phi {
+				share[j] = f / total
+			}
+			arrivals, err := queueing.NewHyperExponential(1/total, 1.6)
+			if err != nil {
+				return Figure{}, err
+			}
+			res, err := des.Run(des.Config{
+				Mu:           sys.Mu,
+				InterArrival: arrivals,
+				UserShare:    share,
+				Routing:      prof.S,
+				Horizon:      opt.horizon,
+				Warmup:       opt.warmup,
+				Seed:         7,
+				Replications: opt.replications,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			rs.X = append(rs.X, rho)
+			rs.Y = append(rs.Y, res.Overall.Mean)
+			rs.Err = append(rs.Err, res.Overall.StdErr)
+			userTimes := make([]float64, 0, sys.NumUsers())
+			for _, s := range res.PerUser {
+				if s.N > 0 {
+					userTimes = append(userTimes, s.Mean)
+				}
+			}
+			fs.X = append(fs.X, rho)
+			fs.Y = append(fs.Y, metrics.FairnessIndex(userTimes))
+		}
+		respPanel.Series = append(respPanel.Series, rs)
+		fairPanel.Series = append(fairPanel.Series, fs)
+	}
+	return Figure{
+		ID:     "F4.8",
+		Title:  "Expected response time and fairness (hyper-exponential distribution of arrivals)",
+		Panels: []Panel{respPanel, fairPanel},
+		Notes:  []string{"two-stage hyper-exponential inter-arrival times, CV = 1.6; Table 4.1 rates"},
+	}, nil
+}
+
+// Fig4_8 regenerates Figure 4.8 with quick simulation settings.
+func Fig4_8() (Figure, error) {
+	return fig48(fig36Opts{horizon: 600, warmup: 50, replications: 3, rhos: []float64{0.3, 0.5, 0.7, 0.9}})
+}
+
+// Fig4_8Full regenerates Figure 4.8 with the paper's methodology.
+func Fig4_8Full() (Figure, error) {
+	return fig48(fig36Opts{horizon: 4_000, warmup: 200, replications: 5, rhos: utilizationSweep()})
+}

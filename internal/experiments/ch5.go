@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"math"
+
+	"gtlb/internal/des"
+	"gtlb/internal/mechanism"
+	"gtlb/internal/metrics"
+	"gtlb/internal/queueing"
+)
+
+// ch5Scenario is one bidding scenario of §5.5: which factor C1 (the
+// fastest computer, index 0) applies to its true value.
+type ch5Scenario struct {
+	name   string
+	factor float64
+}
+
+func ch5Scenarios() []ch5Scenario {
+	return []ch5Scenario{
+		{name: "OPTIM(true)", factor: 1},
+		{name: "OPTIM(high)", factor: 1.33}, // bids 33% higher (slower)
+		{name: "OPTIM(low)", factor: 0.93},  // bids 7% lower (faster)
+	}
+}
+
+func ch5Bids(trueVals []float64, factor float64) []float64 {
+	bids := append([]float64(nil), trueVals...)
+	bids[0] *= factor
+	return bids
+}
+
+// ch5SimulateResponse estimates the system response time by simulation
+// when the allocation from false bids overloads a computer and the
+// analytic M/M/1 value is +Inf. The simulation runs on a ×1000-scaled
+// system (response times in scaled units) for a fixed horizon, exactly
+// the situation in which the paper observed the ~300% degradation.
+func ch5SimulateResponse(trueVals, loads []float64, phi float64) (float64, error) {
+	mu := make([]float64, len(trueVals))
+	for i, t := range trueVals {
+		mu[i] = 1000 / t
+	}
+	routing := make([]float64, len(loads))
+	for i, l := range loads {
+		routing[i] = l / phi
+	}
+	res, err := des.Run(des.Config{
+		Mu:           mu,
+		InterArrival: queueing.NewExponential(phi * 1000),
+		Routing:      [][]float64{routing},
+		Horizon:      600,
+		Warmup:       30,
+		Seed:         13,
+		Replications: 3,
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Unscale back to Table 5.1 units.
+	return res.Overall.Mean * 1000, nil
+}
+
+// ch5Response returns the system-wide expected response time for loads
+// executed on the true rates; falls back to simulation when unstable.
+func ch5Response(trueVals, loads []float64, phi float64) (rt float64, simulated bool, err error) {
+	rt = mechanism.TrueResponseTime(loads, trueVals)
+	if !math.IsInf(rt, 1) {
+		return rt, false, nil
+	}
+	rt, err = ch5SimulateResponse(trueVals, loads, phi)
+	return rt, true, err
+}
+
+// Fig5_2 regenerates Figure 5.2: performance degradation versus system
+// utilization when C1 overbids by 33% and underbids by 7%.
+func Fig5_2() (Figure, error) {
+	trueVals := Ch5TrueValues()
+	p := Panel{Title: "Performance degradation (%)", XLabel: "utilization", YLabel: "PD (%)"}
+	notes := []string{"PD = (T_false - T_true)/T_true x 100, loads from false bids executed on true rates"}
+	simNoted := false
+	for _, sc := range ch5Scenarios()[1:] { // high and low only
+		s := Series{Name: sc.name}
+		for _, rho := range utilizationSweep() {
+			m := mechanism.Mechanism{Phi: rho * Ch3TotalMu}
+			falseLoads, err := m.Allocate(ch5Bids(trueVals, sc.factor))
+			if err != nil {
+				return Figure{}, err
+			}
+			trueLoads, err := m.Allocate(trueVals)
+			if err != nil {
+				return Figure{}, err
+			}
+			tTrue := mechanism.TrueResponseTime(trueLoads, trueVals)
+			tFalse, simulated, err := ch5Response(trueVals, falseLoads, m.Phi)
+			if err != nil {
+				return Figure{}, err
+			}
+			if simulated && !simNoted {
+				notes = append(notes, "points where underbidding overloads C1 are estimated by finite-horizon simulation (the analytic M/M/1 value is infinite)")
+				simNoted = true
+			}
+			s.X = append(s.X, rho)
+			s.Y = append(s.Y, (tFalse-tTrue)/tTrue*100)
+		}
+		p.Series = append(p.Series, s)
+	}
+	return Figure{
+		ID:     "F5.2",
+		Title:  "Performance degradation vs. system utilization",
+		Panels: []Panel{p},
+		Notes:  notes,
+	}, nil
+}
+
+// Fig5_3 regenerates Figure 5.3: the fairness index versus utilization
+// for truthful bidding and the two lying scenarios.
+func Fig5_3() (Figure, error) {
+	trueVals := Ch5TrueValues()
+	p := Panel{Title: "Fairness index I", XLabel: "utilization", YLabel: "I"}
+	for _, sc := range ch5Scenarios() {
+		s := Series{Name: sc.name}
+		for _, rho := range utilizationSweep() {
+			m := mechanism.Mechanism{Phi: rho * Ch3TotalMu}
+			loads, err := m.Allocate(ch5Bids(trueVals, sc.factor))
+			if err != nil {
+				return Figure{}, err
+			}
+			times := make([]float64, 0, len(loads))
+			for i, l := range loads {
+				if l <= 0 {
+					continue
+				}
+				t := queueing.ResponseTime(1/trueVals[i], l)
+				if math.IsInf(t, 1) {
+					// Overloaded computer: estimate its response time by
+					// simulation of the whole system and attribute the
+					// overall simulated time to it (dominant term).
+					t, _, err = ch5Response(trueVals, loads, m.Phi)
+					if err != nil {
+						return Figure{}, err
+					}
+				}
+				times = append(times, t)
+			}
+			s.X = append(s.X, rho)
+			s.Y = append(s.Y, metrics.FairnessIndex(times))
+		}
+		p.Series = append(p.Series, s)
+	}
+	return Figure{
+		ID:     "F5.3",
+		Title:  "Fairness index vs. system utilization",
+		Panels: []Panel{p},
+		Notes:  []string{"fairness over per-computer expected response times on the true rates"},
+	}, nil
+}
+
+// Fig5_4 regenerates Figure 5.4: the profit of each computer at medium
+// load (ρ = 50%) for the three bidding scenarios.
+func Fig5_4() (Figure, error) {
+	trueVals := Ch5TrueValues()
+	m := mechanism.Mechanism{Phi: 0.5 * Ch3TotalMu}
+	p := Panel{Title: "Profit for each computer (rho=50%)", XLabel: "computer", YLabel: "profit"}
+	for _, sc := range ch5Scenarios() {
+		out, err := m.Run(ch5Bids(trueVals, sc.factor), trueVals)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Name: sc.name}
+		for i, pr := range out.Profits {
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, pr)
+		}
+		p.Series = append(p.Series, s)
+	}
+	return Figure{
+		ID:     "F5.4",
+		Title:  "Profit for each computer (medium system load)",
+		Panels: []Panel{p},
+		Notes:  []string{"computer 1 is the fastest (0.13 jobs/sec) and is the lying agent"},
+	}, nil
+}
+
+// paymentStructureFigure builds Figures 5.5/5.6: per-computer cost and
+// profit as fractions of the payment under one scenario at ρ = 50%.
+func paymentStructureFigure(id string, sc ch5Scenario) (Figure, error) {
+	trueVals := Ch5TrueValues()
+	m := mechanism.Mechanism{Phi: 0.5 * Ch3TotalMu}
+	out, err := m.Run(ch5Bids(trueVals, sc.factor), trueVals)
+	if err != nil {
+		return Figure{}, err
+	}
+	p := Panel{Title: "Payment structure per computer (rho=50%)", XLabel: "computer", YLabel: "fraction of payment"}
+	cost := Series{Name: "cost/payment"}
+	profit := Series{Name: "profit/payment"}
+	payment := Series{Name: "payment"}
+	for i := range trueVals {
+		x := float64(i + 1)
+		cost.X, profit.X, payment.X = append(cost.X, x), append(profit.X, x), append(payment.X, x)
+		if out.Payments[i] > 0 {
+			cost.Y = append(cost.Y, out.Costs[i]/out.Payments[i])
+			profit.Y = append(profit.Y, out.Profits[i]/out.Payments[i])
+		} else {
+			cost.Y = append(cost.Y, 0)
+			profit.Y = append(profit.Y, 0)
+		}
+		payment.Y = append(payment.Y, out.Payments[i])
+	}
+	p.Series = []Series{cost, profit, payment}
+	return Figure{
+		ID:     id,
+		Title:  "Payment structure for each computer (" + sc.name + ")",
+		Panels: []Panel{p},
+	}, nil
+}
+
+// Fig5_5 regenerates Figure 5.5 (C1 bids 33% higher).
+func Fig5_5() (Figure, error) { return paymentStructureFigure("F5.5", ch5Scenarios()[1]) }
+
+// Fig5_6 regenerates Figure 5.6 (C1 bids 7% lower).
+func Fig5_6() (Figure, error) { return paymentStructureFigure("F5.6", ch5Scenarios()[2]) }
+
+// Fig5_7 regenerates Figure 5.7: the total cost and total profit as
+// fractions of the total payment versus utilization, truthful bids.
+func Fig5_7() (Figure, error) {
+	trueVals := Ch5TrueValues()
+	p := Panel{Title: "Total payment vs. system utilization", XLabel: "utilization", YLabel: "fraction of total payment"}
+	cost := Series{Name: "total cost/payment"}
+	profit := Series{Name: "total profit/payment"}
+	for _, rho := range utilizationSweep() {
+		m := mechanism.Mechanism{Phi: rho * Ch3TotalMu}
+		out, err := m.Run(trueVals, trueVals)
+		if err != nil {
+			return Figure{}, err
+		}
+		var totalPay, totalCost float64
+		for i := range trueVals {
+			totalPay += out.Payments[i]
+			totalCost += out.Costs[i]
+		}
+		cost.X = append(cost.X, rho)
+		cost.Y = append(cost.Y, totalCost/totalPay)
+		profit.X = append(profit.X, rho)
+		profit.Y = append(profit.Y, 1-totalCost/totalPay)
+	}
+	p.Series = []Series{cost, profit}
+	return Figure{
+		ID:     "F5.7",
+		Title:  "Total payment vs. system utilization",
+		Panels: []Panel{p},
+		Notes:  []string{"truthful bids; the lower bound on the payment is the total cost (voluntary participation)"},
+	}, nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"gtlb/internal/verification"
+)
+
+func ch6Mechanism() verification.Mechanism {
+	return verification.Mechanism{Lambda: Ch6Lambda}
+}
+
+// Fig6_1 regenerates Figure 6.1: the total latency for each of the eight
+// Table 6.2 experiments.
+func Fig6_1() (Figure, error) {
+	m := ch6Mechanism()
+	trueVals := Ch6TrueValues()
+	p := Panel{Title: "Total latency for each experiment", XLabel: "experiment", YLabel: "total latency"}
+	s := Series{Name: "total latency"}
+	var notes []string
+	for k, e := range verification.Experiments() {
+		out, err := m.RunExperiment(trueVals, e)
+		if err != nil {
+			return Figure{}, err
+		}
+		s.X = append(s.X, float64(k+1))
+		s.Y = append(s.Y, out.Total)
+		notes = append(notes, labelNote(k+1, e.Name))
+	}
+	p.Series = []Series{s}
+	return Figure{
+		ID:     "F6.1",
+		Title:  "Total latency for each experiment",
+		Panels: []Panel{p},
+		Notes:  notes,
+	}, nil
+}
+
+func labelNote(x int, name string) string {
+	return "experiment " + trimFloat(float64(x)) + " = " + name
+}
+
+// Fig6_2 regenerates Figure 6.2: computer C1's payment and utility in
+// each experiment.
+func Fig6_2() (Figure, error) {
+	m := ch6Mechanism()
+	trueVals := Ch6TrueValues()
+	p := Panel{Title: "Payment and utility for computer C1", XLabel: "experiment", YLabel: "value"}
+	pay := Series{Name: "payment"}
+	util := Series{Name: "utility"}
+	var notes []string
+	for k, e := range verification.Experiments() {
+		out, err := m.RunExperiment(trueVals, e)
+		if err != nil {
+			return Figure{}, err
+		}
+		pay.X = append(pay.X, float64(k+1))
+		pay.Y = append(pay.Y, out.Payments[0])
+		util.X = append(util.X, float64(k+1))
+		util.Y = append(util.Y, out.Utilities[0])
+		notes = append(notes, labelNote(k+1, e.Name))
+	}
+	p.Series = []Series{pay, util}
+	return Figure{
+		ID:     "F6.2",
+		Title:  "Payment and utility for computer C1",
+		Panels: []Panel{p},
+		Notes:  append(notes, "compensation at the executed value; see EXPERIMENTS.md for the reported-bid variant"),
+	}, nil
+}
+
+// perComputerCh6 builds Figures 6.3–6.5: payment and utility for every
+// computer under one experiment.
+func perComputerCh6(id, expName string) (Figure, error) {
+	m := ch6Mechanism()
+	trueVals := Ch6TrueValues()
+	var exp verification.Experiment
+	for _, e := range verification.Experiments() {
+		if e.Name == expName {
+			exp = e
+		}
+	}
+	out, err := m.RunExperiment(trueVals, exp)
+	if err != nil {
+		return Figure{}, err
+	}
+	p := Panel{Title: "Payment and utility for each computer (" + expName + ")", XLabel: "computer", YLabel: "value"}
+	pay := Series{Name: "payment"}
+	util := Series{Name: "utility"}
+	for i := range trueVals {
+		pay.X = append(pay.X, float64(i+1))
+		pay.Y = append(pay.Y, out.Payments[i])
+		util.X = append(util.X, float64(i+1))
+		util.Y = append(util.Y, out.Utilities[i])
+	}
+	p.Series = []Series{pay, util}
+	return Figure{
+		ID:     id,
+		Title:  "Payment and utility for each computer (" + expName + ")",
+		Panels: []Panel{p},
+	}, nil
+}
+
+// Fig6_3 regenerates Figure 6.3 (experiment True1).
+func Fig6_3() (Figure, error) { return perComputerCh6("F6.3", "True1") }
+
+// Fig6_4 regenerates Figure 6.4 (experiment High1).
+func Fig6_4() (Figure, error) { return perComputerCh6("F6.4", "High1") }
+
+// Fig6_5 regenerates Figure 6.5 (experiment Low1).
+func Fig6_5() (Figure, error) { return perComputerCh6("F6.5", "Low1") }
+
+// Fig6_6 regenerates Figure 6.6: the payment structure — total valuation
+// (executed cost) and total payment per experiment; their ratio is the
+// mechanism's frugality measure (the paper observes payments at most
+// ~2.5× the valuation).
+func Fig6_6() (Figure, error) {
+	m := ch6Mechanism()
+	trueVals := Ch6TrueValues()
+	p := Panel{Title: "Payment structure", XLabel: "experiment", YLabel: "value"}
+	val := Series{Name: "total valuation"}
+	pay := Series{Name: "total payment"}
+	ratio := Series{Name: "payment/valuation"}
+	var notes []string
+	for k, e := range verification.Experiments() {
+		out, err := m.RunExperiment(trueVals, e)
+		if err != nil {
+			return Figure{}, err
+		}
+		var totalPay float64
+		for _, q := range out.Payments {
+			totalPay += q
+		}
+		// Total valuation magnitude: the executed latency cost of all
+		// computers, Σ b̃_i x_i² = the executed total latency.
+		totalVal := out.Total
+		x := float64(k + 1)
+		val.X, val.Y = append(val.X, x), append(val.Y, totalVal)
+		pay.X, pay.Y = append(pay.X, x), append(pay.Y, totalPay)
+		ratio.X, ratio.Y = append(ratio.X, x), append(ratio.Y, totalPay/totalVal)
+		notes = append(notes, labelNote(k+1, e.Name))
+	}
+	p.Series = []Series{val, pay, ratio}
+	return Figure{
+		ID:     "F6.6",
+		Title:  "Payment structure",
+		Panels: []Panel{p},
+		Notes:  notes,
+	}, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+// This file holds the paper's system configurations (Tables 3.1, 4.1,
+// 5.1 and 6.1) as fixtures every experiment builds on.
+
+// Ch3Mu returns the Table 3.1 processing rates: 16 computers with
+// relative rates 1:2:5:10 and slowest rate 0.013 jobs/sec
+// (aggregate 0.663 jobs/sec). Also the Table 5.1 configuration.
+func Ch3Mu() []float64 {
+	return ratesOf(0.013, []classCount{{1, 6}, {2, 5}, {5, 3}, {10, 2}})
+}
+
+// Ch3TotalMu is the aggregate processing rate of the Table 3.1 system.
+const Ch3TotalMu = 0.663
+
+// Ch4Mu returns the Table 4.1 processing rates: the same relative mix at
+// 10/20/50/100 jobs/sec (aggregate 510 jobs/sec).
+func Ch4Mu() []float64 {
+	return ratesOf(10, []classCount{{1, 6}, {2, 5}, {5, 3}, {10, 2}})
+}
+
+// Ch4TotalMu is the aggregate processing rate of the Table 4.1 system.
+const Ch4TotalMu = 510.0
+
+// Ch4UserFractions is the 10-user traffic split (the dissertation does
+// not list it; this is the split from the journal version of the work —
+// see DESIGN.md, Substitutions).
+func Ch4UserFractions() []float64 {
+	return []float64{0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.06, 0.04, 0.04}
+}
+
+// Ch4Phi returns the per-user arrival rates at system utilization rho.
+func Ch4Phi(rho float64) []float64 {
+	total := rho * Ch4TotalMu
+	fr := Ch4UserFractions()
+	phi := make([]float64, len(fr))
+	for j, f := range fr {
+		phi[j] = f * total
+	}
+	return phi
+}
+
+// Ch5TrueValues returns the Table 5.1 agents' true values t_i = 1/μ_i
+// with the two fastest computers first (C1 is the fastest, as in the
+// §5.5 experiments where C1 is the lying agent).
+func Ch5TrueValues() []float64 {
+	mu := ratesOf(0.013, []classCount{{10, 2}, {5, 3}, {2, 5}, {1, 6}})
+	t := make([]float64, len(mu))
+	for i, m := range mu {
+		t[i] = 1 / m
+	}
+	return t
+}
+
+// Ch6TrueValues returns the Table 6.1 linear-latency coefficients:
+// C1-C2 value 1, C3-C5 value 2, C6-C10 value 5, C11-C16 value 10
+// (Σ 1/t = 5.1).
+func Ch6TrueValues() []float64 {
+	out := make([]float64, 0, 16)
+	for i := 0; i < 2; i++ {
+		out = append(out, 1)
+	}
+	for i := 0; i < 3; i++ {
+		out = append(out, 2)
+	}
+	for i := 0; i < 5; i++ {
+		out = append(out, 5)
+	}
+	for i := 0; i < 6; i++ {
+		out = append(out, 10)
+	}
+	return out
+}
+
+// Ch6Lambda is the job arrival rate of the Chapter 6 experiments,
+// back-derived from the True1 total latency of 78.43 in Figure 6.1
+// (λ² = 78.43 · 5.1 → λ = 20).
+const Ch6Lambda = 20.0
+
+type classCount struct {
+	relative float64
+	count    int
+}
+
+func ratesOf(base float64, classes []classCount) []float64 {
+	var out []float64
+	for _, c := range classes {
+		for k := 0; k < c.count; k++ {
+			out = append(out, base*c.relative)
+		}
+	}
+	return out
+}
+
+// skewedMu builds the heterogeneity-sweep configuration of Figures 3.4
+// and 4.6: nFast fast computers of rate skew×slow and nSlow slow ones.
+func skewedMu(slow float64, skew float64, nFast, nSlow int) []float64 {
+	out := make([]float64, 0, nFast+nSlow)
+	for i := 0; i < nFast; i++ {
+		out = append(out, slow*skew)
+	}
+	for i := 0; i < nSlow; i++ {
+		out = append(out, slow)
+	}
+	return out
+}
+
+// sizedMu builds the system-size sweep of Figures 3.5 and 4.7: 2 fast
+// computers (relative rate 10) plus n−2 slow ones.
+func sizedMu(slow float64, n int) []float64 {
+	out := []float64{slow * 10, slow * 10}
+	for i := 2; i < n; i++ {
+		out = append(out, slow)
+	}
+	return out
+}
+
+// utilizationSweep is the ρ grid of the utilization figures.
+func utilizationSweep() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}

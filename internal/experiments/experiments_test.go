@@ -1,0 +1,621 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func series(t *testing.T, f Figure, panel int, name string) Series {
+	t.Helper()
+	if panel >= len(f.Panels) {
+		t.Fatalf("%s: panel %d missing", f.ID, panel)
+	}
+	for _, s := range f.Panels[panel].Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("%s panel %d: no series %q", f.ID, panel, name)
+	return Series{}
+}
+
+func at(t *testing.T, s Series, x float64) float64 {
+	t.Helper()
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i]
+		}
+	}
+	t.Fatalf("series %s has no x=%v", s.Name, x)
+	return 0
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// All 25 tables/figures of the four evaluation sections.
+	want := []string{
+		"T3.1", "F3.1", "F3.2", "F3.3", "F3.4", "F3.5", "F3.6",
+		"T4.1", "F4.2", "F4.3", "F4.4", "F4.5", "F4.6", "F4.7", "F4.8",
+		"T5.1", "F5.2", "F5.3", "F5.4", "F5.5", "F5.6", "F5.7",
+		"T6.1", "T6.2", "F6.1", "F6.2", "F6.3", "F6.4", "F6.5", "F6.6",
+		"X1", "X2", "X3", "X4", "X5", // extensions
+	}
+	ids := IDs()
+	got := map[string]bool{}
+	for _, id := range ids {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(ids), len(want))
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("F9.9"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestFig3_1PaperShape(t *testing.T) {
+	f, err := Fig3_1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coop := series(t, f, 0, "COOP")
+	prop := series(t, f, 0, "PROP")
+	optim := series(t, f, 0, "OPTIM")
+	wardrop := series(t, f, 0, "WARDROP")
+	// Medium load anchors (§3.4.2): COOP 19% below PROP, 20% above OPTIM.
+	c, p, o := at(t, coop, 0.5), at(t, prop, 0.5), at(t, optim, 0.5)
+	if !(o < c && c < p) {
+		t.Errorf("ordering at rho=0.5: OPTIM=%v COOP=%v PROP=%v", o, c, p)
+	}
+	if math.Abs(c-39.44) > 0.05 {
+		t.Errorf("COOP at rho=0.5 = %v, want 39.44", c)
+	}
+	// WARDROP == COOP across the sweep.
+	for i := range coop.X {
+		if math.Abs(coop.Y[i]-wardrop.Y[i]) > 1e-6*(1+coop.Y[i]) {
+			t.Errorf("WARDROP differs from COOP at rho=%v", coop.X[i])
+		}
+	}
+	// Fairness panel: COOP pinned at 1, PROP at 0.731.
+	coopF := series(t, f, 1, "COOP")
+	for _, y := range coopF.Y {
+		if math.Abs(y-1) > 1e-9 {
+			t.Errorf("COOP fairness = %v, want 1", y)
+		}
+	}
+	propF := series(t, f, 1, "PROP")
+	for _, y := range propF.Y {
+		if math.Abs(y-0.731) > 5e-3 {
+			t.Errorf("PROP fairness = %v, want 0.731", y)
+		}
+	}
+}
+
+func TestFig3_2EqualTimes(t *testing.T) {
+	f, err := Fig3_2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coop := series(t, f, 0, "COOP")
+	// All used computers share 39.44 s; the six slowest are idle (0).
+	used, idle := 0, 0
+	for _, y := range coop.Y {
+		switch {
+		case y == 0:
+			idle++
+		case math.Abs(y-39.44) < 0.05:
+			used++
+		default:
+			t.Errorf("COOP per-computer time %v is neither 0 nor 39.44", y)
+		}
+	}
+	if used != 10 || idle != 6 {
+		t.Errorf("used=%d idle=%d, want 10/6", used, idle)
+	}
+	// PROP's fast/slow difference is large (paper: 15 vs 155 sec).
+	prop := series(t, f, 0, "PROP")
+	min, max := prop.Y[0], prop.Y[0]
+	for _, y := range prop.Y {
+		min = math.Min(min, y)
+		max = math.Max(max, y)
+	}
+	if max/min < 5 {
+		t.Errorf("PROP spread %v..%v too small; paper shows ~10x", min, max)
+	}
+}
+
+func TestFig3_3AllUsed(t *testing.T) {
+	f, err := Fig3_3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coop := series(t, f, 0, "COOP")
+	for i, y := range coop.Y {
+		if y <= 0 {
+			t.Errorf("computer %d idle at high load; paper: all utilized", i+1)
+		}
+	}
+}
+
+func TestFig3_4Shape(t *testing.T) {
+	f, err := Fig3_4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High skewness: COOP and OPTIM effective (low E[T]); PROP poor.
+	coop := series(t, f, 0, "COOP")
+	prop := series(t, f, 0, "PROP")
+	optim := series(t, f, 0, "OPTIM")
+	if !(at(t, coop, 20) < at(t, prop, 20)) {
+		t.Error("COOP should beat PROP at high skewness")
+	}
+	if at(t, optim, 20) > at(t, coop, 20)+1e-9 {
+		t.Error("OPTIM should be lowest at high skewness")
+	}
+	// At skew 1 (homogeneous) all schemes coincide.
+	if math.Abs(at(t, coop, 1)-at(t, prop, 1)) > 1e-6 {
+		t.Error("homogeneous system: COOP and PROP should coincide")
+	}
+}
+
+func TestFig3_5Shape(t *testing.T) {
+	f, err := Fig3_5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coop := series(t, f, 0, "COOP")
+	prop := series(t, f, 0, "PROP")
+	// COOP approaches PROP as the system grows (paper §3.4.2) but stays fair.
+	gapSmall := at(t, prop, 4) - at(t, coop, 4)
+	gapLarge := at(t, prop, 20) - at(t, coop, 20)
+	if gapLarge > gapSmall {
+		t.Errorf("COOP/PROP gap should shrink with size: small=%v large=%v", gapSmall, gapLarge)
+	}
+	coopF := series(t, f, 1, "COOP")
+	for _, y := range coopF.Y {
+		if math.Abs(y-1) > 1e-9 {
+			t.Errorf("COOP fairness = %v, want 1", y)
+		}
+	}
+}
+
+func TestFig3_6Simulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	f, err := Fig3_6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coop := series(t, f, 0, "COOP")
+	prop := series(t, f, 0, "PROP")
+	// The qualitative Figure 3.6 shape at medium load: COOP below PROP.
+	if !(at(t, coop, 0.5) < at(t, prop, 0.5)) {
+		t.Errorf("COOP (%v) should beat PROP (%v) at rho=0.5 under H2 arrivals",
+			at(t, coop, 0.5), at(t, prop, 0.5))
+	}
+	// COOP fairness stays near 1 (paper: between 0.95 and 1).
+	coopF := series(t, f, 1, "COOP")
+	for i, y := range coopF.Y {
+		if y < 0.9 {
+			t.Errorf("COOP fairness at rho=%v = %v, paper reports >= 0.95", coopF.X[i], y)
+		}
+	}
+}
+
+func TestFig4_2NormsShrink(t *testing.T) {
+	f, err := Fig4_2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"NASH_0", "NASH_P"} {
+		s := series(t, f, 0, name)
+		if len(s.Y) < 3 {
+			t.Fatalf("%s: only %d iterations recorded", name, len(s.Y))
+		}
+		if s.Y[len(s.Y)-1] > 1e-9 {
+			t.Errorf("%s final norm = %v, want <= 1e-9", name, s.Y[len(s.Y)-1])
+		}
+	}
+	n0 := series(t, f, 0, "NASH_0")
+	np := series(t, f, 0, "NASH_P")
+	if len(np.Y) >= len(n0.Y) {
+		t.Errorf("NASH_P (%d iters) should converge faster than NASH_0 (%d)", len(np.Y), len(n0.Y))
+	}
+}
+
+func TestFig4_3FewerIterationsForNashP(t *testing.T) {
+	f, err := Fig4_3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := series(t, f, 0, "NASH_0")
+	np := series(t, f, 0, "NASH_P")
+	for i := range n0.X {
+		if np.Y[i] >= n0.Y[i] {
+			t.Errorf("m=%v: NASH_P took %v iterations, NASH_0 %v; want NASH_P fewer",
+				n0.X[i], np.Y[i], n0.Y[i])
+		}
+	}
+}
+
+func TestFig4_4PaperShape(t *testing.T) {
+	f, err := Fig4_4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nash := series(t, f, 0, "NASH")
+	gos := series(t, f, 0, "GOS")
+	ps := series(t, f, 0, "PS")
+	if !(at(t, gos, 0.5) < at(t, nash, 0.5) && at(t, nash, 0.5) < at(t, ps, 0.5)) {
+		t.Errorf("ordering at rho=0.5: GOS=%v NASH=%v PS=%v",
+			at(t, gos, 0.5), at(t, nash, 0.5), at(t, ps, 0.5))
+	}
+	psF := series(t, f, 1, "PS")
+	for _, y := range psF.Y {
+		if math.Abs(y-1) > 1e-9 {
+			t.Errorf("PS fairness = %v, want 1", y)
+		}
+	}
+	nashF := series(t, f, 1, "NASH")
+	for _, y := range nashF.Y {
+		if y < 0.95 {
+			t.Errorf("NASH fairness = %v, want close to 1", y)
+		}
+	}
+}
+
+func TestFig4_5GOSUnequal(t *testing.T) {
+	f, err := Fig4_5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gos := series(t, f, 0, "GOS")
+	min, max := gos.Y[0], gos.Y[0]
+	for _, y := range gos.Y {
+		min = math.Min(min, y)
+		max = math.Max(max, y)
+	}
+	if max/min < 1.2 {
+		t.Errorf("GOS per-user times nearly equal (%v..%v); paper shows large differences", min, max)
+	}
+	ps := series(t, f, 0, "PS")
+	for i := 1; i < len(ps.Y); i++ {
+		if math.Abs(ps.Y[i]-ps.Y[0]) > 1e-9*(1+ps.Y[0]) {
+			t.Error("PS should give all users equal expected times")
+		}
+	}
+}
+
+func TestFig4_6And4_7Generate(t *testing.T) {
+	for _, gen := range []Generator{Fig4_6, Fig4_7} {
+		f, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Panels) != 2 {
+			t.Errorf("%s: %d panels, want 2", f.ID, len(f.Panels))
+		}
+		for _, p := range f.Panels {
+			if len(p.Series) != 4 {
+				t.Errorf("%s: %d series, want 4 schemes", f.ID, len(p.Series))
+			}
+		}
+	}
+}
+
+func TestFig4_8Simulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	f, err := Fig4_8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nash := series(t, f, 0, "NASH")
+	ps := series(t, f, 0, "PS")
+	if !(at(t, nash, 0.5) < at(t, ps, 0.5)) {
+		t.Errorf("NASH (%v) should beat PS (%v) at rho=0.5 under H2 arrivals",
+			at(t, nash, 0.5), at(t, ps, 0.5))
+	}
+}
+
+func TestFig5_2PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses simulation fallback at high load")
+	}
+	f, err := Fig5_2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := series(t, f, 0, "OPTIM(high)")
+	low := series(t, f, 0, "OPTIM(low)")
+	// Low/medium utilization: underbid PD small (~2%).
+	if y := at(t, low, 0.5); y < 0 || y > 10 {
+		t.Errorf("OPTIM(low) PD at rho=0.5 = %v%%, paper ~2%%", y)
+	}
+	// Overbid: ~6% low, ~15% medium, >80% high.
+	if y := at(t, high, 0.5); y < 3 || y > 40 {
+		t.Errorf("OPTIM(high) PD at rho=0.5 = %v%%, paper ~15%%", y)
+	}
+	if y := at(t, high, 0.9); y < 40 {
+		t.Errorf("OPTIM(high) PD at rho=0.9 = %v%%, paper >80%%", y)
+	}
+	// Underbid at high load: drastic (paper ~300% from simulation).
+	if y := at(t, low, 0.9); y < 100 {
+		t.Errorf("OPTIM(low) PD at rho=0.9 = %v%%, paper ~300%%", y)
+	}
+}
+
+func TestFig5_3UnderbidUnfairAtHighLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses simulation fallback at high load")
+	}
+	f, err := Fig5_3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := series(t, f, 0, "OPTIM(low)")
+	truth := series(t, f, 0, "OPTIM(true)")
+	if !(at(t, low, 0.9) < at(t, truth, 0.9)) {
+		t.Errorf("underbidding fairness (%v) should drop below truthful (%v) at high load",
+			at(t, low, 0.9), at(t, truth, 0.9))
+	}
+	for _, y := range truth.Y {
+		if y < 0.8 {
+			t.Errorf("truthful fairness = %v, paper keeps it ~0.9", y)
+		}
+	}
+}
+
+func TestFig5_4TruthMaximizesProfit(t *testing.T) {
+	f, err := Fig5_4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := series(t, f, 0, "OPTIM(true)")
+	high := series(t, f, 0, "OPTIM(high)")
+	low := series(t, f, 0, "OPTIM(low)")
+	if !(at(t, truth, 1) > at(t, high, 1) && at(t, truth, 1) > at(t, low, 1)) {
+		t.Errorf("C1 profit: truth=%v high=%v low=%v; truth must be maximal",
+			at(t, truth, 1), at(t, high, 1), at(t, low, 1))
+	}
+}
+
+func TestFig5_5And5_6Fractions(t *testing.T) {
+	for _, gen := range []Generator{Fig5_5, Fig5_6} {
+		f, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := series(t, f, 0, "cost/payment")
+		for i, y := range cost.Y {
+			if y < 0 || y > 1.0001 {
+				t.Errorf("%s: cost fraction %v at computer %v outside [0,1]", f.ID, y, cost.X[i])
+			}
+		}
+	}
+}
+
+func TestFig5_7CostShareFalls(t *testing.T) {
+	f, err := Fig5_7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := series(t, f, 0, "total cost/payment")
+	if !(at(t, cost, 0.9) < at(t, cost, 0.1)) {
+		t.Error("total cost share should fall with utilization (Figure 5.7)")
+	}
+	if y := at(t, cost, 0.9); math.Abs(y-0.21) > 0.08 {
+		t.Errorf("cost share at rho=0.9 = %v, paper ~0.21", y)
+	}
+}
+
+func TestFig6_1Anchors(t *testing.T) {
+	f, err := Fig6_1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series(t, f, 0, "total latency")
+	if math.Abs(s.Y[0]-78.43) > 0.01 {
+		t.Errorf("True1 = %v, want 78.43", s.Y[0])
+	}
+	// Low2 (experiment 8) is the worst case (+66%).
+	if math.Abs(s.Y[7]/s.Y[0]-1.66) > 0.03 {
+		t.Errorf("Low2/True1 = %v, want ~1.66", s.Y[7]/s.Y[0])
+	}
+}
+
+func TestFig6_2TruthBest(t *testing.T) {
+	f, err := Fig6_2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := series(t, f, 0, "utility")
+	for i := 1; i < len(util.Y); i++ {
+		if util.Y[i] > util.Y[0]+1e-9 {
+			t.Errorf("experiment %d utility %v exceeds True1's %v", i+1, util.Y[i], util.Y[0])
+		}
+	}
+	// Low2 utility negative.
+	if util.Y[7] >= 0 {
+		t.Errorf("Low2 utility = %v, want negative", util.Y[7])
+	}
+}
+
+func TestFig6_3to6_5Generate(t *testing.T) {
+	for _, gen := range []Generator{Fig6_3, Fig6_4, Fig6_5} {
+		f, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pay := series(t, f, 0, "payment")
+		util := series(t, f, 0, "utility")
+		if len(pay.Y) != 16 || len(util.Y) != 16 {
+			t.Errorf("%s: want 16 computers", f.ID)
+		}
+		// Truthful computers (2..16) never lose.
+		for i := 1; i < 16; i++ {
+			if util.Y[i] < -1e-9 {
+				t.Errorf("%s: truthful computer %d utility %v", f.ID, i+1, util.Y[i])
+			}
+		}
+	}
+}
+
+func TestFig6_6Frugality(t *testing.T) {
+	f, err := Fig6_6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := series(t, f, 0, "payment/valuation")
+	for i, y := range ratio.Y {
+		if y > 2.5 {
+			t.Errorf("experiment %v: payment/valuation = %v, paper bound ~2.5", ratio.X[i], y)
+		}
+	}
+	// True1 ratio at least 1 (voluntary participation).
+	if ratio.Y[0] < 1 {
+		t.Errorf("True1 payment/valuation = %v, want >= 1", ratio.Y[0])
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	for _, id := range []string{"T3.1", "T4.1", "T5.1", "T6.1", "T6.2"} {
+		f, err := Generate(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := Render(f)
+		if !strings.Contains(out, id) {
+			t.Errorf("%s: render missing id:\n%s", id, out)
+		}
+		if len(out) < 50 {
+			t.Errorf("%s: suspiciously short render", id)
+		}
+	}
+}
+
+func TestRenderFigureWithErrors(t *testing.T) {
+	f := Figure{
+		ID:    "X",
+		Title: "test",
+		Panels: []Panel{{
+			Title:  "panel",
+			XLabel: "x",
+			Series: []Series{
+				{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}, Err: []float64{0.1, 0.2}},
+				{Name: "b", X: []float64{1}, Y: []float64{9}},
+			},
+		}},
+		Notes: []string{"hello"},
+	}
+	out := Render(f)
+	for _, want := range []string{"3±0.1", "hello", "a", "b", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigX1Ablation(t *testing.T) {
+	f, err := FigX1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := series(t, f, 0, "gauss-seidel")
+	jac := series(t, f, 0, "jacobi")
+	// The sequential norm keeps shrinking; the jacobi norm does not
+	// (saturated rounds are plotted as -1).
+	if gs.Y[len(gs.Y)-1] >= gs.Y[0] {
+		t.Errorf("gauss-seidel norm did not shrink: %v -> %v", gs.Y[0], gs.Y[len(gs.Y)-1])
+	}
+	last := jac.Y[len(jac.Y)-1]
+	if last != -1 && last < 1 {
+		t.Errorf("jacobi norm %v looks converged; the ablation expects oscillation", last)
+	}
+}
+
+func TestFigX2DynamicComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	f, err := FigX2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsq := series(t, f, 0, "JSQ")
+	local := series(t, f, 0, "LOCAL")
+	for i := range jsq.X {
+		if jsq.Y[i] >= local.Y[i] {
+			t.Errorf("rho=%v: JSQ (%v) should beat LOCAL (%v)", jsq.X[i], jsq.Y[i], local.Y[i])
+		}
+	}
+}
+
+func TestFigX3Stackelberg(t *testing.T) {
+	f, err := FigX3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pigou := series(t, f, 0, "pigou")
+	// alpha=0 is the anarchy ratio 4/3; alpha=1 reaches the optimum.
+	if math.Abs(pigou.Y[0]-4.0/3) > 1e-9 {
+		t.Errorf("pigou at alpha=0: %v, want 4/3", pigou.Y[0])
+	}
+	if math.Abs(pigou.Y[len(pigou.Y)-1]-1) > 1e-9 {
+		t.Errorf("pigou at alpha=1: %v, want 1", pigou.Y[len(pigou.Y)-1])
+	}
+	for i := 1; i < len(pigou.Y); i++ {
+		if pigou.Y[i] > pigou.Y[i-1]+1e-9 {
+			t.Errorf("pigou cost ratio rose at alpha=%v", pigou.X[i])
+		}
+	}
+}
+
+func TestFigX4GIM1Validation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	f, err := FigX4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := series(t, f, 0, "GI/M/1 closed form")
+	simulated := series(t, f, 0, "simulated")
+	mm1 := series(t, f, 0, "M/M/1 (Poisson)")
+	for i := range analytic.X {
+		rel := math.Abs(simulated.Y[i]-analytic.Y[i]) / analytic.Y[i]
+		if rel > 0.1 {
+			t.Errorf("rho=%v: simulation %v vs closed form %v (%.0f%% off)",
+				analytic.X[i], simulated.Y[i], analytic.Y[i], rel*100)
+		}
+		if analytic.Y[i] <= mm1.Y[i] {
+			t.Errorf("rho=%v: bursty arrivals should be worse than Poisson", analytic.X[i])
+		}
+	}
+}
+
+func TestFigX5BayesianHedging(t *testing.T) {
+	f, err := FigX5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series(t, f, 0, "bayesian equilibrium")
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] < s.Y[i-1]-1e-6 {
+			t.Errorf("load on the uncertain computer fell at P(healthy)=%v", s.X[i])
+		}
+	}
+	if !(s.Y[0] < s.Y[len(s.Y)-1]) {
+		t.Error("equilibrium load should grow with health probability")
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps experiment ids to their generators. Ids follow the
+// dissertation's numbering; the Chapter 3 entries are the IPPS 2002
+// paper's own figures.
+var registry = map[string]Generator{
+	"T3.1": Table3_1,
+	"F3.1": Fig3_1,
+	"F3.2": Fig3_2,
+	"F3.3": Fig3_3,
+	"F3.4": Fig3_4,
+	"F3.5": Fig3_5,
+	"F3.6": Fig3_6,
+	"T4.1": Table4_1,
+	"F4.2": Fig4_2,
+	"F4.3": Fig4_3,
+	"F4.4": Fig4_4,
+	"F4.5": Fig4_5,
+	"F4.6": Fig4_6,
+	"F4.7": Fig4_7,
+	"F4.8": Fig4_8,
+	"T5.1": Table5_1,
+	"F5.2": Fig5_2,
+	"F5.3": Fig5_3,
+	"F5.4": Fig5_4,
+	"F5.5": Fig5_5,
+	"F5.6": Fig5_6,
+	"F5.7": Fig5_7,
+	"T6.1": Table6_1,
+	"T6.2": Table6_2,
+	"F6.1": Fig6_1,
+	"F6.2": Fig6_2,
+	"F6.3": Fig6_3,
+	"F6.4": Fig6_4,
+	"F6.5": Fig6_5,
+	"F6.6": Fig6_6,
+	// Extensions beyond the paper (see extensions.go).
+	"X1": FigX1,
+	"X2": FigX2,
+	"X3": FigX3,
+	"X4": FigX4,
+	"X5": FigX5,
+}
+
+// IDs returns the registered experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate regenerates the experiment with the given id.
+func Generate(id string) (Figure, error) {
+	gen, ok := registry[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return gen()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import "gtlb/internal/verification"
+
+// configTable renders a Table 3.1-style system configuration.
+func configTable(id, title string, relative []float64, counts []int, rates []float64) Figure {
+	rel := Series{Name: "relative processing rate", X: indices(len(relative)), Y: relative}
+	cnt := Series{Name: "number of computers", X: indices(len(counts)), Y: floats(counts)}
+	rat := Series{Name: "processing rate (jobs/sec)", X: indices(len(rates)), Y: rates}
+	return Figure{
+		ID:    id,
+		Title: title,
+		Panels: []Panel{{
+			Title:  "System configuration",
+			XLabel: "computer type",
+			Series: []Series{rel, cnt, rat},
+		}},
+	}
+}
+
+func indices(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+func floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Table3_1 renders the Chapter 3 system configuration.
+func Table3_1() (Figure, error) {
+	return configTable("T3.1", "System configuration (Chapter 3)",
+		[]float64{1, 2, 5, 10}, []int{6, 5, 3, 2}, []float64{0.013, 0.026, 0.065, 0.13}), nil
+}
+
+// Table4_1 renders the Chapter 4 system configuration.
+func Table4_1() (Figure, error) {
+	f := configTable("T4.1", "System configuration (Chapter 4)",
+		[]float64{1, 2, 5, 10}, []int{6, 5, 3, 2}, []float64{10, 20, 50, 100})
+	f.Notes = []string{"shared by 10 users with traffic fractions 30/20/10/7/7/6/6/6/4/4 %"}
+	return f, nil
+}
+
+// Table5_1 renders the Chapter 5 system configuration.
+func Table5_1() (Figure, error) {
+	f := configTable("T5.1", "System configuration (Chapter 5)",
+		[]float64{1, 2, 5, 10}, []int{6, 5, 3, 2}, []float64{0.013, 0.026, 0.065, 0.13})
+	f.Notes = []string{"agents' true values are t_i = 1/mu_i; C1 denotes the fastest computer"}
+	return f, nil
+}
+
+// Table6_1 renders the Chapter 6 system configuration.
+func Table6_1() (Figure, error) {
+	vals := Ch6TrueValues()
+	s := Series{Name: "true value t_i", X: indices(len(vals)), Y: vals}
+	return Figure{
+		ID:    "T6.1",
+		Title: "System configuration (Chapter 6)",
+		Panels: []Panel{{
+			Title:  "Linear latency coefficients",
+			XLabel: "computer",
+			Series: []Series{s},
+		}},
+		Notes: []string{"latency l_i(x) = t_i * x; job rate lambda = 20 jobs/sec"},
+	}, nil
+}
+
+// Table6_2 renders the eight experiment types of Chapter 6.
+func Table6_2() (Figure, error) {
+	exps := verification.Experiments()
+	bid := Series{Name: "bid b1/t1", X: indices(len(exps))}
+	exec := Series{Name: "execution b~1/t1", X: indices(len(exps))}
+	var notes []string
+	for k, e := range exps {
+		bid.Y = append(bid.Y, e.Bid)
+		exec.Y = append(exec.Y, e.Exec)
+		notes = append(notes, labelNote(k+1, e.Name))
+	}
+	return Figure{
+		ID:    "T6.2",
+		Title: "Types of experiments (Chapter 6)",
+		Panels: []Panel{{
+			Title:  "C1's bid and execution value relative to its true value",
+			XLabel: "experiment",
+			Series: []Series{bid, exec},
+		}},
+		Notes: notes,
+	}, nil
+}

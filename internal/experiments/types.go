@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation sections. Each table/figure has one harness function that
+// returns the plotted series (or table rows); cmd/lbfig renders them and
+// the repository-level benchmarks in bench_test.go time them. The
+// numbers each figure is checked against are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted line/bar group: Y (and optionally Err) against X.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// Err holds optional standard errors for simulated series (empty
+	// for analytic ones).
+	Err []float64
+}
+
+// Panel is one set of axes: the paper's figures frequently pair a
+// response-time panel with a fairness panel.
+type Panel struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Figure is one reproduced table or figure.
+type Figure struct {
+	ID     string // e.g. "F3.1" or "T4.1"
+	Title  string
+	Panels []Panel
+	// Notes documents parameter choices and substitutions relevant to
+	// reading the figure.
+	Notes []string
+}
+
+// Render formats the figure as aligned text tables, one per panel.
+func Render(f Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	for _, p := range f.Panels {
+		b.WriteString(renderPanel(p))
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func renderPanel(p Panel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n  %s\n", p.Title)
+	if len(p.Series) == 0 {
+		return b.String()
+	}
+
+	// Collect the union of X values across series (they usually agree).
+	xsSet := map[float64]bool{}
+	for _, s := range p.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := []string{p.XLabel}
+	for _, s := range p.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range p.Series {
+			row = append(row, lookup(s, x))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(formatAligned(rows, "  "))
+	return b.String()
+}
+
+func lookup(s Series, x float64) string {
+	for i, sx := range s.X {
+		if sx == x {
+			if len(s.Err) == len(s.Y) && s.Err[i] != 0 {
+				return fmt.Sprintf("%.4g±%.2g", s.Y[i], s.Err[i])
+			}
+			return trimFloat(s.Y[i])
+		}
+	}
+	return "-"
+}
+
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%.6g", v)
+}
+
+// formatAligned renders rows as space-padded columns with the given left
+// indent.
+func formatAligned(rows [][]string, indent string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		b.WriteString(indent)
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Generator produces one figure; the registry in registry.go maps figure
+// ids to generators.
+type Generator func() (Figure, error)

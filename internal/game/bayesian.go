@@ -1,0 +1,69 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// EnvelopeGame builds the Figure 2.3 game for a known state of the world
+// (m, n): the father hands player 1 an envelope with $10^m and player 2
+// one with $10^n. Each may pay $1 to bet on swapping; the envelopes are
+// swapped only if both bet. Strategies are B(et) and N(o)B(et).
+//
+// With complete information the equilibrium is (NB, NB) — the richer
+// brother never bets, so the poorer one would only lose his dollar. The
+// dissertation (§7.3) points at Bayesian load-balancing games as future
+// work; ExpectedEnvelopePayoff below is the incomplete-information
+// building block for that: each player knows only his own amount.
+func EnvelopeGame(m, n int) (Matrix, error) {
+	if m < 1 || n < 1 || m == n {
+		return Matrix{}, fmt.Errorf("game: envelope game needs distinct positive exponents, got (%d, %d)", m, n)
+	}
+	vm := math.Pow(10, float64(m))
+	vn := math.Pow(10, float64(n))
+	return Matrix{
+		Name:       fmt.Sprintf("Envelope game (m=%d, n=%d)", m, n),
+		Strategies: [2][]string{{"B", "NB"}, {"B", "NB"}},
+		Payoffs: [][]Outcome{
+			{{P1: vn - 1, P2: vm - 1}, {P1: vm - 1, P2: vn}},
+			{{P1: vm, P2: vn - 1}, {P1: vm, P2: vn}},
+		},
+	}, nil
+}
+
+// EnvelopeBelief is a probability distribution over the opponent's
+// exponent given one's own, encoding the Bayesian game's incomplete
+// information: the father draws adjacent exponents, so a player holding
+// 10^k believes the other envelope is 10^(k−1) or 10^(k+1).
+type EnvelopeBelief struct {
+	// ProbLower is the probability the opponent holds the smaller
+	// amount 10^(own−1).
+	ProbLower float64
+}
+
+// ExpectedEnvelopePayoff returns player 1's expected payoff for betting
+// (bet=true) versus not betting when holding 10^own, assuming the
+// opponent bets with probability oppBets and the belief about the
+// opponent's amount. This is the quantity a Bayesian equilibrium check
+// compares across the two actions.
+func ExpectedEnvelopePayoff(own int, belief EnvelopeBelief, bet bool, oppBets float64) float64 {
+	vOwn := math.Pow(10, float64(own))
+	vLow := math.Pow(10, float64(own-1))
+	vHigh := math.Pow(10, float64(own+1))
+	if !bet {
+		return vOwn
+	}
+	// Betting costs $1 always; the swap happens only if the opponent
+	// also bets.
+	expSwap := belief.ProbLower*vLow + (1-belief.ProbLower)*vHigh
+	return oppBets*(expSwap-1) + (1-oppBets)*(vOwn-1)
+}
+
+// BayesianNoBetIsEquilibrium reports whether "never bet" is a Bayesian
+// equilibrium for a player holding 10^own under the given belief: when
+// the opponent never bets (oppBets=0), not betting must weakly dominate.
+func BayesianNoBetIsEquilibrium(own int, belief EnvelopeBelief) bool {
+	noBet := ExpectedEnvelopePayoff(own, belief, false, 0)
+	bet := ExpectedEnvelopePayoff(own, belief, true, 0)
+	return noBet >= bet
+}

@@ -1,0 +1,207 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gtlb/internal/core"
+)
+
+func TestPrisonersDilemmaEquilibrium(t *testing.T) {
+	g := PrisonersDilemma()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eq := g.NashEquilibria()
+	if len(eq) != 1 || eq[0] != (Cell{I: 1, J: 1}) {
+		t.Fatalf("equilibria = %v, want only (D, D)", eq)
+	}
+	if g.Label(eq[0]) != "(D, D)" {
+		t.Errorf("label = %s", g.Label(eq[0]))
+	}
+	// D is a dominant strategy for both players (§2.1, Example 2.1).
+	if g.DominantStrategy(0) != 1 || g.DominantStrategy(1) != 1 {
+		t.Error("D should be dominant for both players")
+	}
+}
+
+func TestPrisonersDilemmaParetoSuboptimal(t *testing.T) {
+	g := PrisonersDilemma()
+	for _, c := range g.ParetoOptimal() {
+		if c == (Cell{I: 1, J: 1}) {
+			t.Error("(D, D) must not be Pareto optimal — that is the dilemma")
+		}
+	}
+	// (C, C) is Pareto optimal.
+	found := false
+	for _, c := range g.ParetoOptimal() {
+		if c == (Cell{I: 0, J: 0}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("(C, C) should be Pareto optimal")
+	}
+}
+
+func TestBattleOfTheSexesTwoEquilibria(t *testing.T) {
+	g := BattleOfTheSexes()
+	eq := g.NashEquilibria()
+	if len(eq) != 2 {
+		t.Fatalf("equilibria = %v, want exactly two (Example 2.2)", eq)
+	}
+	want := map[Cell]bool{{I: 0, J: 0}: true, {I: 1, J: 1}: true}
+	for _, c := range eq {
+		if !want[c] {
+			t.Errorf("unexpected equilibrium %v", c)
+		}
+	}
+	if g.DominantStrategy(0) != -1 || g.DominantStrategy(1) != -1 {
+		t.Error("Battle of the Sexes has no dominant strategies")
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	bad := Matrix{
+		Strategies: [2][]string{{"A"}, {"X", "Y"}},
+		Payoffs:    [][]Outcome{{{P1: 0, P2: 0}}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged matrix validated")
+	}
+	empty := Matrix{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty matrix validated")
+	}
+}
+
+func TestEnvelopeGameEquilibrium(t *testing.T) {
+	// Example 2.3: state (2, 3) — player 2 has the larger envelope.
+	g, err := EnvelopeGame(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := g.NashEquilibria()
+	foundNBNB := false
+	for _, c := range eq {
+		if c == (Cell{I: 1, J: 1}) {
+			foundNBNB = true
+		}
+	}
+	if !foundNBNB {
+		t.Errorf("(NB, NB) not among equilibria %v (Example 2.3)", eq)
+	}
+}
+
+func TestEnvelopeGameInvalid(t *testing.T) {
+	if _, err := EnvelopeGame(2, 2); err == nil {
+		t.Error("equal exponents accepted")
+	}
+	if _, err := EnvelopeGame(0, 1); err == nil {
+		t.Error("non-positive exponent accepted")
+	}
+}
+
+func TestBayesianNoBet(t *testing.T) {
+	// Whatever the belief, not betting is an equilibrium action when the
+	// opponent does not bet: betting then just burns the dollar.
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if !BayesianNoBetIsEquilibrium(3, EnvelopeBelief{ProbLower: p}) {
+			t.Errorf("no-bet not an equilibrium under belief %v", p)
+		}
+	}
+}
+
+func TestExpectedEnvelopePayoff(t *testing.T) {
+	// Holding 10^2 = 100 and not betting yields exactly 100.
+	if got := ExpectedEnvelopePayoff(2, EnvelopeBelief{ProbLower: 0.5}, false, 1); got != 100 {
+		t.Errorf("no-bet payoff = %v, want 100", got)
+	}
+	// Betting against a certain better: expected swap value minus 1.
+	got := ExpectedEnvelopePayoff(2, EnvelopeBelief{ProbLower: 0.5}, true, 1)
+	want := 0.5*10 + 0.5*1000 - 1
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("bet payoff = %v, want %v", got, want)
+	}
+}
+
+// TestBargain2MatchesCOOP cross-checks the generic bargaining solver
+// against the COOP closed form on two-computer systems.
+func TestBargain2MatchesCOOP(t *testing.T) {
+	cases := []struct {
+		mu1, mu2, phi float64
+	}{
+		{4, 4, 5},
+		{10, 2, 6},
+		{7, 3, 1},
+	}
+	for _, c := range cases {
+		sys, err := core.NewSystem([]float64{c.mu1, c.mu2}, c.phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.COOP(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := math.Max(0, c.phi-c.mu2)
+		hi := math.Min(c.phi, c.mu1)
+		x, err := Bargain2(
+			func(x float64) float64 { return c.mu1 - x },
+			func(x float64) float64 { return c.mu2 - (c.phi - x) },
+			0, 0, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(x-want.Lambda[0]) > 1e-6*(1+want.Lambda[0]) {
+			t.Errorf("mu=(%g,%g) phi=%g: bargain %v, COOP %v", c.mu1, c.mu2, c.phi, x, want.Lambda[0])
+		}
+	}
+}
+
+func TestBargain2Quick(t *testing.T) {
+	prop := func(a, b, load float64) bool {
+		mu1 := math.Abs(math.Mod(a, 20)) + 0.5
+		mu2 := math.Abs(math.Mod(b, 20)) + 0.5
+		f := math.Abs(math.Mod(load, 1))
+		phi := f * 0.95 * (mu1 + mu2)
+		if phi <= 0 {
+			return true
+		}
+		sys, err := core.NewSystem([]float64{mu1, mu2}, phi)
+		if err != nil {
+			return true
+		}
+		want, err := core.COOP(sys)
+		if err != nil {
+			return false
+		}
+		lo := math.Max(0, phi-mu2)
+		hi := math.Min(phi, mu1)
+		x, err := Bargain2(
+			func(x float64) float64 { return mu1 - x },
+			func(x float64) float64 { return mu2 - (phi - x) },
+			0, 0, lo, hi)
+		if err != nil {
+			// Degenerate: one computer infeasible — COOP will have
+			// dropped somebody; accept.
+			return want.NumUsed() < 2
+		}
+		return math.Abs(x-want.Lambda[0]) <= 1e-5*(1+want.Lambda[0])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBargain2NoImprovement(t *testing.T) {
+	// Disagreement point already at the frontier: no x improves both.
+	_, err := Bargain2(
+		func(x float64) float64 { return x },
+		func(x float64) float64 { return 1 - x },
+		1, 1, 0, 1)
+	if err == nil {
+		t.Error("expected an error when nothing improves the disagreement point")
+	}
+}

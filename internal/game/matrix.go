@@ -1,0 +1,177 @@
+// Package game makes the Chapter 2 game-theory background executable: a
+// small toolkit for finite two-player matrix games (pure-strategy Nash
+// equilibria, Pareto-optimal outcomes, dominant strategies), the three
+// classical games the chapter uses as examples (the Prisoners' Dilemma,
+// the Battle of the Sexes and the Envelope game), and a generic
+// two-player Nash Bargaining Solution solver used to cross-check the
+// closed-form solution in internal/core.
+package game
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Outcome is the payoff pair of one cell of a bimatrix game.
+type Outcome struct {
+	P1, P2 float64
+}
+
+// Matrix is a finite two-player game in strategic form. Payoffs[i][j]
+// holds the players' payoffs when player 1 plays strategy i and player 2
+// plays strategy j. Both players MAXIMIZE their payoff, matching the
+// convention of the Chapter 2 examples (the load-balancing games in this
+// repository minimize costs instead; negate to convert).
+type Matrix struct {
+	Name       string
+	Strategies [2][]string // strategy labels for each player
+	Payoffs    [][]Outcome // len = |S1| rows × |S2| columns
+}
+
+// Validate checks the payoff matrix shape.
+func (g Matrix) Validate() error {
+	if len(g.Payoffs) == 0 || len(g.Payoffs) != len(g.Strategies[0]) {
+		return errors.New("game: payoff rows must match player 1 strategies")
+	}
+	for i, row := range g.Payoffs {
+		if len(row) != len(g.Strategies[1]) {
+			return fmt.Errorf("game: payoff row %d has %d entries, want %d", i, len(row), len(g.Strategies[1]))
+		}
+	}
+	return nil
+}
+
+// Cell is a pure strategy profile (row i for player 1, column j for
+// player 2).
+type Cell struct {
+	I, J int
+}
+
+// Label renders a cell using the game's strategy names.
+func (g Matrix) Label(c Cell) string {
+	return "(" + g.Strategies[0][c.I] + ", " + g.Strategies[1][c.J] + ")"
+}
+
+// NashEquilibria returns all pure-strategy Nash equilibria: cells where
+// neither player can raise her payoff by unilaterally deviating
+// (Definition in §2.1, eq. 2.2 for maximizers).
+func (g Matrix) NashEquilibria() []Cell {
+	var out []Cell
+	for i := range g.Payoffs {
+		for j := range g.Payoffs[i] {
+			if g.isBestResponse1(i, j) && g.isBestResponse2(i, j) {
+				out = append(out, Cell{I: i, J: j})
+			}
+		}
+	}
+	return out
+}
+
+func (g Matrix) isBestResponse1(i, j int) bool {
+	for k := range g.Payoffs {
+		if g.Payoffs[k][j].P1 > g.Payoffs[i][j].P1 {
+			return false
+		}
+	}
+	return true
+}
+
+func (g Matrix) isBestResponse2(i, j int) bool {
+	for k := range g.Payoffs[i] {
+		if g.Payoffs[i][k].P2 > g.Payoffs[i][j].P2 {
+			return false
+		}
+	}
+	return true
+}
+
+// ParetoOptimal returns all cells not strictly dominated in both payoffs:
+// a cell is Pareto optimal if no other cell makes one player strictly
+// better off without making the other strictly worse off
+// (Definition 3.3 adapted to two players).
+func (g Matrix) ParetoOptimal() []Cell {
+	var out []Cell
+	for i := range g.Payoffs {
+		for j := range g.Payoffs[i] {
+			if !g.paretoDominated(i, j) {
+				out = append(out, Cell{I: i, J: j})
+			}
+		}
+	}
+	return out
+}
+
+func (g Matrix) paretoDominated(i, j int) bool {
+	p := g.Payoffs[i][j]
+	for a := range g.Payoffs {
+		for b := range g.Payoffs[a] {
+			q := g.Payoffs[a][b]
+			if q.P1 >= p.P1 && q.P2 >= p.P2 && (q.P1 > p.P1 || q.P2 > p.P2) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DominantStrategy returns player's (0 or 1) weakly dominant strategy
+// index, or -1 if none exists. A strategy is weakly dominant when it is a
+// best response to every opposing strategy.
+func (g Matrix) DominantStrategy(player int) int {
+	switch player {
+	case 0:
+		for i := range g.Payoffs {
+			ok := true
+			for j := range g.Payoffs[i] {
+				if !g.isBestResponse1(i, j) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return i
+			}
+		}
+	case 1:
+		for j := range g.Payoffs[0] {
+			ok := true
+			for i := range g.Payoffs {
+				if !g.isBestResponse2(i, j) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return j
+			}
+		}
+	}
+	return -1
+}
+
+// PrisonersDilemma is the Figure 2.1 game: strategies C(ooperate) and
+// D(efect); (D, D) is the unique equilibrium despite (C, C) being Pareto
+// superior.
+func PrisonersDilemma() Matrix {
+	return Matrix{
+		Name:       "Prisoners' Dilemma",
+		Strategies: [2][]string{{"C", "D"}, {"C", "D"}},
+		Payoffs: [][]Outcome{
+			{{P1: 1, P2: 1}, {P1: -1, P2: 2}},
+			{{P1: 2, P2: -1}, {P1: 0, P2: 0}},
+		},
+	}
+}
+
+// BattleOfTheSexes is the Figure 2.2 game with two pure equilibria
+// (B, B) and (F, F).
+func BattleOfTheSexes() Matrix {
+	return Matrix{
+		Name:       "Battle of the Sexes",
+		Strategies: [2][]string{{"B", "F"}, {"B", "F"}},
+		Payoffs: [][]Outcome{
+			{{P1: 2, P2: 1}, {P1: 0, P2: 0}},
+			{{P1: 0, P2: 0}, {P1: 1, P2: 2}},
+		},
+	}
+}

@@ -1,0 +1,74 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+)
+
+// FaultTolerant extends the load-balancing mechanism toward the
+// dissertation's §7.3 future-work item "fault tolerant mechanism design
+// for resource allocation": each agent is characterized not only by its
+// processing rate but also by a publicly known failure probability p_i.
+// A failing computer re-executes the affected job, so only a fraction
+// (1−p_i) of its capacity produces completed work; the mechanism
+// therefore allocates and pays on the *effective* values
+//
+//	t_i^eff = t_i / (1 − p_i)    (effective rate μ_i·(1−p_i)).
+//
+// Truthfulness is inherited from the base mechanism because the
+// effective-bid transformation is a fixed, strictly increasing reshaping
+// of each agent's one-parameter bid: the composed output function remains
+// decreasing in the reported bid.
+type FaultTolerant struct {
+	Mechanism
+	// FailureProb[i] is agent i's failure probability in [0, 1).
+	FailureProb []float64
+}
+
+// effective maps reported bids to effective bids.
+func (f FaultTolerant) effective(bids []float64) ([]float64, error) {
+	if len(bids) != len(f.FailureProb) {
+		return nil, fmt.Errorf("mechanism: %d bids for %d failure probabilities", len(bids), len(f.FailureProb))
+	}
+	out := make([]float64, len(bids))
+	for i, b := range bids {
+		p := f.FailureProb[i]
+		if p < 0 || p >= 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("mechanism: failure probability %d must be in [0,1), got %g", i, p)
+		}
+		out[i] = b / (1 - p)
+	}
+	return out, nil
+}
+
+// Allocate assigns loads using the agents' effective rates.
+func (f FaultTolerant) Allocate(bids []float64) ([]float64, error) {
+	eff, err := f.effective(bids)
+	if err != nil {
+		return nil, err
+	}
+	return f.Mechanism.Allocate(eff)
+}
+
+// Payments computes truthful payments in effective-bid space.
+func (f FaultTolerant) Payments(bids []float64) ([]float64, error) {
+	eff, err := f.effective(bids)
+	if err != nil {
+		return nil, err
+	}
+	return f.Mechanism.Payments(eff)
+}
+
+// Run evaluates an outcome against the agents' true values; costs are
+// incurred at the effective true values since failed work is repeated.
+func (f FaultTolerant) Run(bids, trueValues []float64) (Outcome, error) {
+	effBids, err := f.effective(bids)
+	if err != nil {
+		return Outcome{}, err
+	}
+	effTrue, err := f.effective(trueValues)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return f.Mechanism.Run(effBids, effTrue)
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quantile estimates a single quantile of a stream without retaining the
+// observations, using Jain & Chlamtac's P² algorithm — fitting company
+// for the fairness index, which is due to the same Raj Jain. The
+// simulator uses it to report tail response times (p95/p99) alongside
+// means without storing millions of samples.
+type Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64 // desired position increments
+	initial []float64  // first five observations before the estimator engages
+}
+
+// NewQuantile returns a P² estimator for the p-quantile, 0 < p < 1.
+func NewQuantile(p float64) (*Quantile, error) {
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("metrics: quantile must be in (0,1), got %g", p)
+	}
+	q := &Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.incr = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q, nil
+}
+
+// MustQuantile is NewQuantile that panics on invalid p.
+func MustQuantile(p float64) *Quantile {
+	q, err := NewQuantile(p)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Add records one observation.
+func (q *Quantile) Add(x float64) {
+	q.n++
+	if len(q.initial) < 5 {
+		q.initial = append(q.initial, x)
+		if len(q.initial) == 5 {
+			sort.Float64s(q.initial)
+			copy(q.heights[:], q.initial)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x and clamp the extreme markers.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.incr[i]
+	}
+
+	// Adjust the interior markers by parabolic (or linear) interpolation.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := q.parabolic(i, s)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, s)
+			}
+			q.pos[i] += s
+		}
+	}
+}
+
+func (q *Quantile) parabolic(i int, s float64) float64 {
+	return q.heights[i] + s/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+s)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-s)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return q.heights[i] + s*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// N returns the number of observations recorded.
+func (q *Quantile) N() int { return q.n }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the order statistic of what was seen.
+func (q *Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if len(q.initial) < 5 {
+		tmp := append([]float64(nil), q.initial...)
+		sort.Float64s(tmp)
+		idx := int(q.p * float64(len(tmp)))
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return q.heights[2]
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"gtlb/internal/queueing"
+)
+
+func TestQuantileValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewQuantile(p); err == nil {
+			t.Errorf("NewQuantile(%v) accepted", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustQuantile(0) did not panic")
+		}
+	}()
+	MustQuantile(0)
+}
+
+func TestQuantileSmallSamples(t *testing.T) {
+	q := MustQuantile(0.5)
+	if q.Value() != 0 || q.N() != 0 {
+		t.Error("empty estimator should report 0")
+	}
+	q.Add(3)
+	q.Add(1)
+	q.Add(2)
+	if v := q.Value(); v != 2 {
+		t.Errorf("median of {1,2,3} = %v, want 2", v)
+	}
+}
+
+// TestQuantileUniform: the P² estimate of the uniform distribution's
+// quantiles converges to p.
+func TestQuantileUniform(t *testing.T) {
+	rng := queueing.NewRNG(1)
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		q := MustQuantile(p)
+		for i := 0; i < 200_000; i++ {
+			q.Add(rng.Float64())
+		}
+		if math.Abs(q.Value()-p) > 0.01 {
+			t.Errorf("p=%v: estimate %v", p, q.Value())
+		}
+	}
+}
+
+// TestQuantileExponential: the p-quantile of Exp(λ) is −ln(1−p)/λ.
+func TestQuantileExponential(t *testing.T) {
+	rng := queueing.NewRNG(2)
+	const rate = 2.0
+	q := MustQuantile(0.95)
+	for i := 0; i < 300_000; i++ {
+		q.Add(rng.Exp(rate))
+	}
+	want := -math.Log(1-0.95) / rate
+	if math.Abs(q.Value()-want) > 0.03*want {
+		t.Errorf("exp p95 = %v, want %v", q.Value(), want)
+	}
+}
+
+// TestQuantileAgainstExactOrderStatistic compares P² with the exact
+// empirical quantile on a moderate sample.
+func TestQuantileAgainstExactOrderStatistic(t *testing.T) {
+	rng := queueing.NewRNG(3)
+	const n = 50_000
+	xs := make([]float64, n)
+	q := MustQuantile(0.9)
+	for i := range xs {
+		// A bimodal stream to stress the marker adjustment.
+		v := rng.Float64()
+		if rng.Float64() < 0.3 {
+			v += 5
+		}
+		xs[i] = v
+		q.Add(v)
+	}
+	sort.Float64s(xs)
+	exact := xs[int(0.9*n)]
+	if math.Abs(q.Value()-exact) > 0.05*(1+exact) {
+		t.Errorf("p90 estimate %v, exact %v", q.Value(), exact)
+	}
+	if q.N() != n {
+		t.Errorf("N = %d", q.N())
+	}
+}
+
+func TestQuantileMonotoneAcrossP(t *testing.T) {
+	rng := queueing.NewRNG(4)
+	q50, q90, q99 := MustQuantile(0.5), MustQuantile(0.9), MustQuantile(0.99)
+	for i := 0; i < 100_000; i++ {
+		x := rng.Exp(1)
+		q50.Add(x)
+		q90.Add(x)
+		q99.Add(x)
+	}
+	if !(q50.Value() < q90.Value() && q90.Value() < q99.Value()) {
+		t.Errorf("quantiles not ordered: %v %v %v", q50.Value(), q90.Value(), q99.Value())
+	}
+}

@@ -1,0 +1,341 @@
+// Package multiclass implements the Chapter 2 (§2.2.1-II) multi-class
+// static load-balancing model of Kim & Kameda: R job classes share n
+// heterogeneous computers, computer i serves class-k jobs at rate μ_i^k,
+// and the overall optimum minimizes the system-wide expected response
+// time (eq. 2.13)
+//
+//	D(λ) = (1/Φ) Σ_k Σ_i λ_i^k · T_i^k(λ_i),
+//	T_i^k = (1/μ_i^k) / (1 − ρ_i),   ρ_i = Σ_k λ_i^k/μ_i^k,
+//
+// subject to per-class conservation Σ_i λ_i^k = φ^k, non-negativity and
+// per-computer stability ρ_i < 1. With one class and μ_i^1 = μ_i the
+// model collapses to the Chapter 3 M/M/1 system, and the solver is
+// validated against the closed-form OPTIM square-root rule.
+//
+// The optimum is computed with the Frank–Wolfe (conditional gradient)
+// method — the standard algorithm of the transportation-science
+// literature the dissertation cites: each iteration sends every class's
+// full traffic to its currently cheapest (marginal-cost) computers and
+// takes a golden-section step toward that extreme point.
+package multiclass
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gtlb/internal/numeric"
+)
+
+// System is a multi-class distributed system.
+type System struct {
+	// Mu[k][i] is computer i's processing rate for class-k jobs.
+	Mu [][]float64
+	// Phi[k] is class k's total arrival rate.
+	Phi []float64
+}
+
+// NewSystem constructs and validates a System.
+func NewSystem(mu [][]float64, phi []float64) (System, error) {
+	s := System{Mu: mu, Phi: phi}
+	if err := s.Validate(); err != nil {
+		return System{}, err
+	}
+	return s, nil
+}
+
+// Validate checks dimensions, rate positivity and aggregate feasibility
+// (there must exist an allocation with every ρ_i < 1; a sufficient and
+// necessary condition is checked by solving the relaxed flow problem
+// greedily, here approximated by the standard necessary condition
+// Σ_k φ^k / max_i μ_i^k < n and verified exactly by the solver, which
+// reports infeasibility when it cannot reach ρ < 1).
+func (s System) Validate() error {
+	if len(s.Mu) == 0 || len(s.Phi) == 0 {
+		return errors.New("multiclass: need at least one class")
+	}
+	if len(s.Mu) != len(s.Phi) {
+		return fmt.Errorf("multiclass: %d rate rows for %d classes", len(s.Mu), len(s.Phi))
+	}
+	n := len(s.Mu[0])
+	if n == 0 {
+		return errors.New("multiclass: need at least one computer")
+	}
+	for k, row := range s.Mu {
+		if len(row) != n {
+			return fmt.Errorf("multiclass: class %d has %d computer rates, want %d", k, len(row), n)
+		}
+		for i, m := range row {
+			if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+				return fmt.Errorf("multiclass: mu[%d][%d] must be positive and finite, got %g", k, i, m)
+			}
+		}
+	}
+	for k, p := range s.Phi {
+		if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("multiclass: class %d arrival rate must be positive and finite, got %g", k, p)
+		}
+	}
+	return nil
+}
+
+// NumClasses returns R.
+func (s System) NumClasses() int { return len(s.Phi) }
+
+// NumComputers returns n.
+func (s System) NumComputers() int { return len(s.Mu[0]) }
+
+// TotalPhi returns Φ = Σ φ^k.
+func (s System) TotalPhi() float64 {
+	var t float64
+	for _, p := range s.Phi {
+		t += p
+	}
+	return t
+}
+
+// Utilization returns ρ_i = Σ_k λ_i^k/μ_i^k for every computer.
+func (s System) Utilization(lambda [][]float64) []float64 {
+	rho := make([]float64, s.NumComputers())
+	for k := range s.Mu {
+		for i := range rho {
+			rho[i] += lambda[k][i] / s.Mu[k][i]
+		}
+	}
+	return rho
+}
+
+// ResponseTime evaluates the system-wide expected response time D(λ);
+// +Inf if any computer is saturated.
+func (s System) ResponseTime(lambda [][]float64) float64 {
+	rho := s.Utilization(lambda)
+	var d float64
+	for i, r := range rho {
+		if r >= 1 {
+			carried := false
+			for k := range lambda {
+				if lambda[k][i] > 0 {
+					carried = true
+				}
+			}
+			if carried {
+				return math.Inf(1)
+			}
+			continue
+		}
+		for k := range lambda {
+			if lambda[k][i] > 0 {
+				d += lambda[k][i] / s.Mu[k][i] / (1 - r)
+			}
+		}
+	}
+	return d / s.TotalPhi()
+}
+
+// marginals computes ∂(Φ·D)/∂λ_i^k. With w_i = Σ_k λ_i^k/μ_i^k:
+//
+//	∂/∂λ_i^k Σ_c λ_i^c/μ_i^c/(1−w_i) = (1/μ_i^k)·(1−w_i+w_i... )
+//
+// precisely: let W_i = Σ_c λ_i^c/μ_i^c (so the computer's cost is
+// W_i/(1−W_i)); then ∂/∂λ_i^k = (1/μ_i^k)·1/(1−W_i)².
+func (s System) marginals(lambda [][]float64) [][]float64 {
+	rho := s.Utilization(lambda)
+	out := make([][]float64, s.NumClasses())
+	for k := range out {
+		out[k] = make([]float64, s.NumComputers())
+		for i := range out[k] {
+			d := 1 - rho[i]
+			if d <= 0 {
+				out[k][i] = math.Inf(1)
+				continue
+			}
+			out[k][i] = 1 / s.Mu[k][i] / (d * d)
+		}
+	}
+	return out
+}
+
+// Options tunes the Frank–Wolfe solver.
+type Options struct {
+	// Tol is the relative duality-gap tolerance; 0 means 1e-9.
+	Tol float64
+	// MaxIter bounds the iterations; 0 means 100,000.
+	MaxIter int
+}
+
+// Result is the solver outcome.
+type Result struct {
+	Lambda     [][]float64 // the optimal per-class loads
+	Objective  float64     // D(λ)
+	Iterations int
+	Gap        float64 // final relative duality gap
+}
+
+// ErrInfeasible is returned when no stable allocation exists.
+var ErrInfeasible = errors.New("multiclass: no allocation keeps every computer stable")
+
+// ErrNoConvergence is returned when the solver exhausts its budget.
+var ErrNoConvergence = errors.New("multiclass: Frank-Wolfe did not reach the tolerance")
+
+// Optimize computes the overall-optimal multi-class allocation.
+func Optimize(sys System, opt Options) (Result, error) {
+	if err := sys.Validate(); err != nil {
+		return Result{}, err
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-6 // Frank–Wolfe's O(1/k) rate makes tighter gaps costly
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200_000
+	}
+	R, n := sys.NumClasses(), sys.NumComputers()
+
+	lambda, err := feasibleStart(sys)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{}
+	for iter := 1; iter <= maxIter; iter++ {
+		grads := sys.marginals(lambda)
+		// All-or-nothing target: each class routes everything to its
+		// cheapest computer by current marginal cost.
+		target := make([][]float64, R)
+		var gap float64
+		for k := 0; k < R; k++ {
+			target[k] = make([]float64, n)
+			best := 0
+			for i := 1; i < n; i++ {
+				if grads[k][i] < grads[k][best] {
+					best = i
+				}
+			}
+			target[k][best] = sys.Phi[k]
+			// Duality-gap contribution: Σ grad·(λ − target). Entries
+			// with zero flow difference contribute nothing even when
+			// the gradient is infinite (saturated target vertex).
+			for i := 0; i < n; i++ {
+				d := lambda[k][i] - target[k][i]
+				if d != 0 {
+					gap += grads[k][i] * d
+				}
+			}
+		}
+		obj := sys.ResponseTime(lambda)
+		res.Iterations = iter
+		res.Gap = gap / (1 + math.Abs(obj)*sys.TotalPhi())
+		if res.Gap <= tol {
+			res.Lambda = lambda
+			res.Objective = obj
+			return res, nil
+		}
+
+		// Line search toward the target along λ + t(target − λ).
+		blend := func(t float64) [][]float64 {
+			out := make([][]float64, R)
+			for k := 0; k < R; k++ {
+				out[k] = make([]float64, n)
+				for i := 0; i < n; i++ {
+					out[k][i] = lambda[k][i] + t*(target[k][i]-lambda[k][i])
+				}
+			}
+			return out
+		}
+		t := numeric.GoldenMin(func(t float64) float64 {
+			return sys.ResponseTime(blend(t))
+		}, 0, 1, 1e-12)
+		if t <= 0 {
+			res.Lambda = lambda
+			res.Objective = obj
+			return res, nil // stalled at a vertex-adjacent point
+		}
+		lambda = blend(t)
+	}
+	res.Lambda = lambda
+	res.Objective = sys.ResponseTime(lambda)
+	return res, fmt.Errorf("%w after %d iterations (gap=%g)", ErrNoConvergence, maxIter, res.Gap)
+}
+
+// feasibleStart spreads each class over the computers proportionally to
+// its class-specific rates, then verifies stability; if the proportional
+// point is saturated it falls back to a capacity-aware spread and errors
+// out when even that cannot stabilize the system.
+func feasibleStart(sys System) ([][]float64, error) {
+	R, n := sys.NumClasses(), sys.NumComputers()
+	lambda := make([][]float64, R)
+	for k := 0; k < R; k++ {
+		lambda[k] = make([]float64, n)
+		var total float64
+		for _, m := range sys.Mu[k] {
+			total += m
+		}
+		for i := 0; i < n; i++ {
+			lambda[k][i] = sys.Phi[k] * sys.Mu[k][i] / total
+		}
+	}
+	rho := sys.Utilization(lambda)
+	maxRho := 0.0
+	for _, r := range rho {
+		if r > maxRho {
+			maxRho = r
+		}
+	}
+	if maxRho < 1 {
+		return lambda, nil
+	}
+	// The proportional split saturates a computer (it equalizes ρ_i at
+	// Σ_k φ^k/Σ_i μ_i^k, which can exceed 1 even for feasible systems
+	// whose classes have disjoint fast computers). Fall back to a greedy
+	// capacity-aware start: classes fill their fastest computers up to a
+	// utilization cap, with progressively looser caps.
+	for _, cap := range []float64{0.9, 0.99, 0.999, 0.9999} {
+		if l, ok := greedyStart(sys, cap); ok {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (proportional utilization %g, greedy packing failed)", ErrInfeasible, maxRho)
+}
+
+// greedyStart routes each class to its fastest computers, filling every
+// computer to at most the utilization cap; reports !ok when some class
+// traffic cannot be placed.
+func greedyStart(sys System, cap float64) ([][]float64, bool) {
+	R, n := sys.NumClasses(), sys.NumComputers()
+	lambda := make([][]float64, R)
+	for k := range lambda {
+		lambda[k] = make([]float64, n)
+	}
+	rho := make([]float64, n)
+	for k := 0; k < R; k++ {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		// Decreasing class-k rate; insertion sort keeps this simple.
+		for a := 1; a < n; a++ {
+			for b := a; b > 0 && sys.Mu[k][order[b]] > sys.Mu[k][order[b-1]]; b-- {
+				order[b], order[b-1] = order[b-1], order[b]
+			}
+		}
+		remaining := sys.Phi[k]
+		for _, i := range order {
+			room := cap - rho[i]
+			if room <= 0 {
+				continue
+			}
+			take := math.Min(remaining, room*sys.Mu[k][i])
+			lambda[k][i] += take
+			rho[i] += take / sys.Mu[k][i]
+			remaining -= take
+			if remaining <= 0 {
+				break
+			}
+		}
+		if remaining > 1e-12*sys.Phi[k] {
+			return nil, false
+		}
+	}
+	return lambda, true
+}

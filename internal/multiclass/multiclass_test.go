@@ -1,0 +1,245 @@
+package multiclass
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gtlb/internal/queueing"
+	"gtlb/internal/schemes"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mu   [][]float64
+		phi  []float64
+	}{
+		{"empty", nil, nil},
+		{"row mismatch", [][]float64{{1}}, []float64{1, 2}},
+		{"no computers", [][]float64{{}}, []float64{1}},
+		{"ragged", [][]float64{{1, 2}, {1}}, []float64{1, 1}},
+		{"zero mu", [][]float64{{0}}, []float64{1}},
+		{"zero phi", [][]float64{{2}}, []float64{0}},
+		{"nan", [][]float64{{math.NaN()}}, []float64{1}},
+	}
+	for _, c := range cases {
+		if _, err := NewSystem(c.mu, c.phi); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := NewSystem([][]float64{{2, 3}}, []float64{1}); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+}
+
+// TestSingleClassMatchesOptim: with one class the model is the Chapter 3
+// M/M/1 system and Frank–Wolfe must land on the closed-form square-root
+// allocation.
+func TestSingleClassMatchesOptim(t *testing.T) {
+	mu := []float64{0.13, 0.13, 0.065, 0.065, 0.065, 0.026, 0.026, 0.026, 0.026, 0.026,
+		0.013, 0.013, 0.013, 0.013, 0.013, 0.013}
+	phi := 0.6 * 0.663
+	sys, err := NewSystem([][]float64{mu}, []float64{phi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(sys, Options{Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := schemes.Optim{}.Allocate(mu, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mu {
+		if math.Abs(res.Lambda[0][i]-want[i]) > 2e-4*(1+want[i]) {
+			t.Errorf("computer %d: FW %v, OPTIM closed form %v", i, res.Lambda[0][i], want[i])
+		}
+	}
+	wantObj := queueing.SystemResponseTime(mu, want)
+	if math.Abs(res.Objective-wantObj) > 1e-6*(1+wantObj) {
+		t.Errorf("objective %v, closed form %v", res.Objective, wantObj)
+	}
+}
+
+// TestTwoClassKKT: at the optimum, every class's marginal cost is equal
+// across the computers it uses and no unused computer is cheaper.
+func TestTwoClassKKT(t *testing.T) {
+	sys, err := NewSystem(
+		[][]float64{
+			{10, 6, 2},  // class 0 rates
+			{3, 8, 2.5}, // class 1 rates
+		},
+		[]float64{5, 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(sys, Options{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := sysMarginals(t, sys, res.Lambda)
+	for k := 0; k < sys.NumClasses(); k++ {
+		min := math.Inf(1)
+		for i := 0; i < sys.NumComputers(); i++ {
+			if grads[k][i] < min {
+				min = grads[k][i]
+			}
+		}
+		for i := 0; i < sys.NumComputers(); i++ {
+			if res.Lambda[k][i] > 1e-6 && grads[k][i] > min*(1+1e-3) {
+				t.Errorf("class %d computer %d: marginal %v above min %v despite positive flow",
+					k, i, grads[k][i], min)
+			}
+		}
+	}
+	// Conservation per class.
+	for k, phi := range sys.Phi {
+		var sum float64
+		for _, l := range res.Lambda[k] {
+			sum += l
+		}
+		if math.Abs(sum-phi) > 1e-9*(1+phi) {
+			t.Errorf("class %d conservation: %v vs %v", k, sum, phi)
+		}
+	}
+	// Stability.
+	for i, r := range sys.Utilization(res.Lambda) {
+		if r >= 1 {
+			t.Errorf("computer %d saturated: rho=%v", i, r)
+		}
+	}
+}
+
+func sysMarginals(t *testing.T, sys System, lambda [][]float64) [][]float64 {
+	t.Helper()
+	return sys.marginals(lambda)
+}
+
+// TestOptimizeBeatsPerturbationsQuick: no random feasible reallocation
+// of one class's flow improves the Frank–Wolfe objective.
+func TestOptimizeBeatsPerturbationsQuick(t *testing.T) {
+	sys, err := NewSystem(
+		[][]float64{{10, 6, 2}, {3, 8, 2.5}},
+		[]float64{5, 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(sys, Options{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Objective
+	prop := func(ck, di, dj uint, frac float64) bool {
+		k := int(ck % uint(sys.NumClasses()))
+		i := int(di % uint(sys.NumComputers()))
+		j := int(dj % uint(sys.NumComputers()))
+		if i == j {
+			return true
+		}
+		f := math.Abs(math.Mod(frac, 1))
+		pert := make([][]float64, sys.NumClasses())
+		for c := range pert {
+			pert[c] = append([]float64(nil), res.Lambda[c]...)
+		}
+		move := pert[k][i] * f
+		pert[k][i] -= move
+		pert[k][j] += move
+		obj := sys.ResponseTime(pert)
+		return obj >= base-1e-7*(1+base)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDisjointFastComputers: classes whose fast computers are disjoint
+// and whose proportional split would saturate the system still solve —
+// the greedy feasible start handles it.
+func TestDisjointFastComputers(t *testing.T) {
+	sys, err := NewSystem(
+		[][]float64{
+			{10, 1},
+			{1, 10},
+		},
+		[]float64{8, 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each class should predominantly use its own fast computer.
+	if res.Lambda[0][0] < res.Lambda[0][1] || res.Lambda[1][1] < res.Lambda[1][0] {
+		t.Errorf("classes not routed to their fast computers: %v", res.Lambda)
+	}
+	for i, r := range sys.Utilization(res.Lambda) {
+		if r >= 1 {
+			t.Errorf("computer %d saturated: %v", i, r)
+		}
+	}
+}
+
+func TestInfeasibleSystem(t *testing.T) {
+	sys, err := NewSystem([][]float64{{1, 1}}, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(sys, Options{}); err == nil {
+		t.Error("infeasible system optimized")
+	}
+}
+
+func TestResponseTimeSaturated(t *testing.T) {
+	sys, _ := NewSystem([][]float64{{2, 2}}, []float64{1})
+	if !math.IsInf(sys.ResponseTime([][]float64{{2.5, 0}}), 1) {
+		t.Error("saturated computer should give +Inf")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	sys, _ := NewSystem([][]float64{{1, 2}, {3, 4}}, []float64{0.5, 0.7})
+	if sys.NumClasses() != 2 || sys.NumComputers() != 2 {
+		t.Error("dimensions wrong")
+	}
+	if math.Abs(sys.TotalPhi()-1.2) > 1e-15 {
+		t.Errorf("TotalPhi = %v", sys.TotalPhi())
+	}
+	rho := sys.Utilization([][]float64{{0.5, 0}, {0, 0.7}})
+	if math.Abs(rho[0]-0.5) > 1e-12 || math.Abs(rho[1]-0.175) > 1e-12 {
+		t.Errorf("rho = %v", rho)
+	}
+}
+
+// TestClassesWithDifferentSizes: a "heavy" class (slow everywhere) and a
+// "light" class sharing computers — the optimum keeps every computer
+// stable and the objective is finite and below the naive proportional
+// split's.
+func TestClassesWithDifferentSizes(t *testing.T) {
+	sys, err := NewSystem(
+		[][]float64{
+			{2, 2, 2, 2},     // heavy class: 0.5s mean service
+			{20, 20, 20, 20}, // light class: 0.05s
+		},
+		[]float64{3, 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := feasibleStart(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > sys.ResponseTime(prop)+1e-9 {
+		t.Errorf("optimum %v worse than proportional start %v", res.Objective, sys.ResponseTime(prop))
+	}
+}

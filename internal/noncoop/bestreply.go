@@ -1,0 +1,92 @@
+package noncoop
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BestReply solves user j's optimization problem OPT_j (eqs. 4.4–4.7):
+// given the processing rates available to the user (avail, the μ̂_i^j of
+// §4.2) and the user's total arrival rate phi, it returns the fractions
+// s_ji minimizing the user's expected response time. This is the
+// BEST-REPLY algorithm of §4.2 built on Theorem 4.1's square-root
+// characterization:
+//
+//	s_ji = (1/φ_j)·(μ̂_i − √μ̂_i · (Σμ̂ − φ_j)/Σ√μ̂)   on the used set,
+//
+// with computers dropped slowest-available first while the closed form
+// would go negative (eq. 4.9). Runtime O(n log n).
+//
+// Computers with non-positive available rate (saturated by other users)
+// never receive load. An error is returned when φ_j is not less than the
+// total available rate, i.e. the sub-problem is infeasible.
+func BestReply(avail []float64, phi float64) ([]float64, error) {
+	n := len(avail)
+	if n == 0 {
+		return nil, fmt.Errorf("noncoop: best reply needs at least one computer")
+	}
+	if phi <= 0 || math.IsNaN(phi) {
+		return nil, fmt.Errorf("noncoop: best reply needs a positive arrival rate, got %g", phi)
+	}
+
+	// Usable computers sorted by decreasing available rate.
+	order := make([]int, 0, n)
+	var sumAvail, sumSqrt float64
+	for i, a := range avail {
+		if a > 0 {
+			order = append(order, i)
+			sumAvail += a
+			sumSqrt += math.Sqrt(a)
+		}
+	}
+	if sumAvail <= phi {
+		return nil, fmt.Errorf("noncoop: user rate %g exceeds available capacity %g", phi, sumAvail)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return avail[order[a]] > avail[order[b]] })
+
+	// Find the minimum index c satisfying inequality (4.9): drop the
+	// slowest remaining computer while its closed-form load would be
+	// non-positive.
+	c := len(order)
+	alpha := (sumAvail - phi) / sumSqrt
+	for c > 1 {
+		slow := avail[order[c-1]]
+		if math.Sqrt(slow) > alpha {
+			break
+		}
+		sumAvail -= slow
+		sumSqrt -= math.Sqrt(slow)
+		c--
+		alpha = (sumAvail - phi) / sumSqrt
+	}
+
+	out := make([]float64, n)
+	for k := 0; k < c; k++ {
+		i := order[k]
+		lam := avail[i] - alpha*math.Sqrt(avail[i])
+		if lam < 0 {
+			lam = 0
+		}
+		out[i] = lam / phi
+	}
+	return out, nil
+}
+
+// BestReplyTime returns the expected response time user j obtains by
+// playing fractions s against available rates avail with arrival rate
+// phi: Σ_i s_i/(μ̂_i − s_i φ).
+func BestReplyTime(avail, s []float64, phi float64) float64 {
+	var t float64
+	for i, f := range s {
+		if f == 0 {
+			continue
+		}
+		d := avail[i] - f*phi
+		if d <= 0 {
+			return math.Inf(1)
+		}
+		t += f / d
+	}
+	return t
+}

@@ -1,0 +1,189 @@
+package noncoop
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Init selects the initialization step of the NASH distributed algorithm.
+type Init int
+
+const (
+	// InitZero is NASH_0: every user starts with the empty strategy and
+	// the first round of best replies builds the profile from scratch.
+	InitZero Init = iota
+	// InitProportional is NASH_P: every user starts from the
+	// proportional allocation s_ji = μ_i/Σμ, which is close to the
+	// equilibrium and roughly halves the iterations (Figure 4.2).
+	InitProportional
+)
+
+// String names the initialization as the paper does.
+func (in Init) String() string {
+	switch in {
+	case InitZero:
+		return "NASH_0"
+	case InitProportional:
+		return "NASH_P"
+	default:
+		return fmt.Sprintf("Init(%d)", int(in))
+	}
+}
+
+// ErrNoConvergence is returned when the best-reply iteration does not
+// reach the acceptance tolerance within the iteration budget.
+var ErrNoConvergence = errors.New("noncoop: NASH iteration did not converge")
+
+// Update selects how best replies are applied within a round — the
+// design choice behind the §4.3 algorithm.
+type Update int
+
+const (
+	// UpdateSequential is the paper's round-robin (Gauss–Seidel)
+	// schedule: each user's best reply immediately becomes visible to
+	// the users after it in the same round.
+	UpdateSequential Update = iota
+	// UpdateSimultaneous is the Jacobi schedule: all users best-reply
+	// against the previous round's profile and the replies are applied
+	// together. Included as an ablation; simultaneous best replies can
+	// overshoot (two users grabbing the same spare capacity), which is
+	// why the paper's protocol serializes updates around the ring.
+	UpdateSimultaneous
+)
+
+// String names the update schedule.
+func (u Update) String() string {
+	switch u {
+	case UpdateSequential:
+		return "gauss-seidel"
+	case UpdateSimultaneous:
+		return "jacobi"
+	default:
+		return fmt.Sprintf("Update(%d)", int(u))
+	}
+}
+
+// NashOptions configures the NASH distributed algorithm.
+type NashOptions struct {
+	Init    Init    // initialization step (NASH_0 or NASH_P)
+	Eps     float64 // acceptance tolerance on the norm; 0 means 1e-10
+	MaxIter int     // iteration budget; 0 means 10,000
+	Update  Update  // best-reply schedule; the zero value is the paper's round-robin
+}
+
+// NashResult is the outcome of the NASH iteration.
+type NashResult struct {
+	Profile    Profile   // the equilibrium strategy profile
+	Iterations int       // rounds of best replies executed
+	Norms      []float64 // the norm after each round (Figure 4.2's series)
+}
+
+// Nash computes the Nash equilibrium of the load-balancing game with the
+// greedy round-robin best-reply algorithm of §4.3: in every round each
+// user in turn recomputes its best reply against the current strategies
+// of all the others; the round's norm is Σ_j |D_j^(l) − D_j^(l−1)|, and
+// the iteration stops once the norm drops to Eps.
+//
+// Convergence of best-reply dynamics for M/M/1 costs and more than two
+// players is an open problem (§4.3), but as in the paper's experiments
+// the iteration converges on every configuration exercised here; the
+// MaxIter budget turns a hypothetical cycle into ErrNoConvergence rather
+// than a hang.
+func Nash(sys System, opt NashOptions) (NashResult, error) {
+	if err := sys.Validate(); err != nil {
+		return NashResult{}, err
+	}
+	eps := opt.Eps
+	if eps <= 0 {
+		eps = 1e-10
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10_000
+	}
+
+	m, n := sys.NumUsers(), sys.NumComputers()
+	p := NewProfile(m, n)
+	if opt.Init == InitProportional {
+		total := sys.TotalMu()
+		for j := 0; j < m; j++ {
+			for i, mu := range sys.Mu {
+				p.S[j][i] = mu / total
+			}
+		}
+	}
+
+	// The norm baseline: zero response times for the empty NASH_0 start
+	// (the first round's norm is then Σ_j D_j, a finite, meaningful
+	// distance), the initial profile's times for NASH_P.
+	prevTimes := make([]float64, m)
+	if opt.Init == InitProportional {
+		prevTimes = sys.UserTimes(p)
+	}
+
+	res := NashResult{}
+	for iter := 1; iter <= maxIter; iter++ {
+		if opt.Update == UpdateSimultaneous {
+			// Jacobi: everyone replies to the frozen previous round.
+			next := make([][]float64, m)
+			for j := 0; j < m; j++ {
+				avail := sys.Available(p, j)
+				s, err := BestReply(avail, sys.Phi[j])
+				if err != nil {
+					return NashResult{}, fmt.Errorf("noncoop: user %d best reply failed at iteration %d: %w", j, iter, err)
+				}
+				next[j] = s
+			}
+			p.S = next
+		} else {
+			for j := 0; j < m; j++ {
+				avail := sys.Available(p, j)
+				s, err := BestReply(avail, sys.Phi[j])
+				if err != nil {
+					return NashResult{}, fmt.Errorf("noncoop: user %d best reply failed at iteration %d: %w", j, iter, err)
+				}
+				p.S[j] = s
+			}
+		}
+		times := sys.UserTimes(p)
+		var norm float64
+		for j := range times {
+			d := math.Abs(times[j] - prevTimes[j])
+			// Inf−Inf (two consecutive saturated rounds) is NaN; both
+			// cases mean "far from equilibrium".
+			if math.IsInf(d, 1) || math.IsNaN(d) {
+				d = math.MaxFloat64 / float64(m)
+			}
+			norm += d
+		}
+		copy(prevTimes, times)
+		res.Norms = append(res.Norms, norm)
+		res.Iterations = iter
+		if norm <= eps {
+			res.Profile = p
+			return res, nil
+		}
+	}
+	res.Profile = p
+	return res, fmt.Errorf("%w after %d iterations (norm=%g)", ErrNoConvergence, maxIter, res.Norms[len(res.Norms)-1])
+}
+
+// IsNashEquilibrium reports whether no user can lower its expected
+// response time by more than tol by unilaterally switching to its best
+// reply (Definition 4.1).
+func IsNashEquilibrium(sys System, p Profile, tol float64) (bool, error) {
+	for j := range sys.Phi {
+		avail := sys.Available(p, j)
+		best, err := BestReply(avail, sys.Phi[j])
+		if err != nil {
+			return false, err
+		}
+		cur := BestReplyTime(avail, p.S[j], sys.Phi[j])
+		opt := BestReplyTime(avail, best, sys.Phi[j])
+		if cur-opt > tol*(1+opt) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

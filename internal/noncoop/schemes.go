@@ -1,0 +1,170 @@
+package noncoop
+
+import (
+	"fmt"
+
+	"gtlb/internal/schemes"
+)
+
+// Scheme computes a full strategy profile for a multi-user system; it is
+// the Chapter 4 analogue of schemes.Allocator.
+type Scheme interface {
+	// Name returns the scheme's name as used in the paper's figures.
+	Name() string
+	// Profile computes the strategy profile for the system.
+	Profile(sys System) (Profile, error)
+}
+
+// PS is the proportional scheme of §4.4.2: each user allocates its jobs
+// in proportion to the computers' processing rates, s_ji = μ_i/Σμ. Its
+// user-level fairness index is always 1, but slow computers get
+// overloaded exactly as PROP does in Chapter 3. Runtime O(mn).
+type PS struct{}
+
+// Name returns "PS".
+func (PS) Name() string { return "PS" }
+
+// Profile implements Scheme.
+func (PS) Profile(sys System) (Profile, error) {
+	if err := sys.Validate(); err != nil {
+		return Profile{}, err
+	}
+	total := sys.TotalMu()
+	p := NewProfile(sys.NumUsers(), sys.NumComputers())
+	for j := range p.S {
+		for i, mu := range sys.Mu {
+			p.S[j][i] = mu / total
+		}
+	}
+	return p, nil
+}
+
+// GOS is the global optimal scheme of §4.4.2 (Kim & Kameda): it minimizes
+// the expected response time over all jobs in the system, ignoring user
+// boundaries. The per-computer totals are the Chapter 3 OPTIM loads for
+// the combined arrival rate; because the objective only constrains the
+// totals, the split among users is chosen by greedy packing (users in
+// index order fill computers in decreasing-rate order). The packing makes
+// the per-user expected times deliberately unequal, which is exactly the
+// unfairness Figure 4.5 attributes to GOS.
+type GOS struct{}
+
+// Name returns "GOS".
+func (GOS) Name() string { return "GOS" }
+
+// Profile implements Scheme.
+func (GOS) Profile(sys System) (Profile, error) {
+	return packedProfile(sys, schemes.Optim{})
+}
+
+// IOS is the individual optimal scheme of §4.4.2: the Wardrop equilibrium
+// in which every job independently minimizes its own response time. All
+// jobs — hence all users — experience the same expected time, so each
+// user's fractions equal the system-wide flow proportions.
+type IOS struct{}
+
+// Name returns "IOS".
+func (IOS) Name() string { return "IOS" }
+
+// Profile implements Scheme.
+func (IOS) Profile(sys System) (Profile, error) {
+	if err := sys.Validate(); err != nil {
+		return Profile{}, err
+	}
+	w := &schemes.Wardrop{}
+	lam, err := w.Allocate(sys.Mu, sys.TotalPhi())
+	if err != nil {
+		return Profile{}, err
+	}
+	total := sys.TotalPhi()
+	p := NewProfile(sys.NumUsers(), sys.NumComputers())
+	for j := range p.S {
+		for i := range sys.Mu {
+			p.S[j][i] = lam[i] / total
+		}
+	}
+	return p, nil
+}
+
+// NashScheme adapts the NASH distributed algorithm to the Scheme
+// interface with the given options.
+type NashScheme struct {
+	Options NashOptions
+}
+
+// Name returns "NASH".
+func (NashScheme) Name() string { return "NASH" }
+
+// Profile implements Scheme.
+func (s NashScheme) Profile(sys System) (Profile, error) {
+	res, err := Nash(sys, s.Options)
+	if err != nil {
+		return Profile{}, err
+	}
+	return res.Profile, nil
+}
+
+// packedProfile allocates the per-computer totals with alloc and splits
+// them among users by greedy packing in user order.
+func packedProfile(sys System, alloc schemes.Allocator) (Profile, error) {
+	if err := sys.Validate(); err != nil {
+		return Profile{}, err
+	}
+	lam, err := alloc.Allocate(sys.Mu, sys.TotalPhi())
+	if err != nil {
+		return Profile{}, err
+	}
+	// Computers in decreasing-rate order receive users 1,2,… in turn.
+	type slot struct {
+		i   int
+		cap float64
+	}
+	slots := make([]slot, 0, len(lam))
+	for i, l := range lam {
+		slots = append(slots, slot{i: i, cap: l})
+	}
+	// Decreasing processing rate, as the paper's algorithms order them.
+	for a := 1; a < len(slots); a++ {
+		for b := a; b > 0 && sys.Mu[slots[b].i] > sys.Mu[slots[b-1].i]; b-- {
+			slots[b], slots[b-1] = slots[b-1], slots[b]
+		}
+	}
+
+	p := NewProfile(sys.NumUsers(), sys.NumComputers())
+	si := 0
+	for j, phi := range sys.Phi {
+		remaining := phi
+		for remaining > 1e-9*phi {
+			if si >= len(slots) {
+				return Profile{}, fmt.Errorf("noncoop: packing overflow for user %d (%.3g jobs/s unplaced)", j, remaining)
+			}
+			take := remaining
+			if take > slots[si].cap {
+				take = slots[si].cap
+			}
+			p.S[j][slots[si].i] += take / phi
+			slots[si].cap -= take
+			remaining -= take
+			if slots[si].cap <= 1e-12*sys.Mu[slots[si].i] {
+				si++
+			}
+		}
+		// Absorb float residue so the row sums to exactly 1.
+		var rowSum float64
+		for _, f := range p.S[j] {
+			rowSum += f
+		}
+		if rowSum > 0 {
+			for i := range p.S[j] {
+				p.S[j][i] /= rowSum
+			}
+		}
+	}
+	return p, nil
+}
+
+// AllSchemes returns the four Chapter 4 schemes in the order the figures
+// list them: NASH, GOS, IOS, PS.
+func AllSchemes() []Scheme {
+	return []Scheme{NashScheme{Options: NashOptions{Init: InitProportional, Eps: 1e-9}}, GOS{}, IOS{}, PS{}}
+}

@@ -1,0 +1,111 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution draws positive values (inter-arrival or service times) from
+// a fixed distribution using the caller's random stream.
+type Distribution interface {
+	// Sample draws one value.
+	Sample(r *RNG) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// CV returns the coefficient of variation (stddev/mean).
+	CV() float64
+}
+
+// Exponential is the exponential distribution with the given rate; it is
+// the inter-arrival distribution of a Poisson process and the M/M/1
+// service-time distribution.
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns an exponential distribution with the given rate
+// (mean 1/rate).
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 {
+		panic("queueing: exponential rate must be positive")
+	}
+	return Exponential{Rate: rate}
+}
+
+// Sample draws one exponential variate.
+func (e Exponential) Sample(r *RNG) float64 { return r.Exp(e.Rate) }
+
+// Mean returns 1/rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// CV returns 1: the exponential's coefficient of variation.
+func (e Exponential) CV() float64 { return 1 }
+
+// HyperExponential is a two-stage hyper-exponential (H2) distribution with
+// balanced means, the arrival model of the "hyper-exponential
+// distribution of arrivals" experiments (Figures 3.6 and 4.8, CV = 1.6).
+// With probability P1 the sample is Exp(R1), otherwise Exp(R2), with
+// P1/R1 = P2/R2 (balanced means).
+type HyperExponential struct {
+	P1, R1, R2 float64
+	mean       float64
+	cv         float64
+}
+
+// NewHyperExponential constructs a balanced-means H2 distribution with the
+// given mean and coefficient of variation cv (cv must be > 1; an H2 cannot
+// represent cv <= 1).
+func NewHyperExponential(mean, cv float64) (HyperExponential, error) {
+	if mean <= 0 {
+		return HyperExponential{}, fmt.Errorf("queueing: hyperexponential mean must be positive, got %g", mean)
+	}
+	if cv <= 1 {
+		return HyperExponential{}, fmt.Errorf("queueing: hyperexponential requires cv > 1, got %g", cv)
+	}
+	c2 := cv * cv
+	p1 := (1 + math.Sqrt((c2-1)/(c2+1))) / 2
+	p2 := 1 - p1
+	// Balanced means: each branch carries half the total mean.
+	r1 := 2 * p1 / mean
+	r2 := 2 * p2 / mean
+	return HyperExponential{P1: p1, R1: r1, R2: r2, mean: mean, cv: cv}, nil
+}
+
+// MustHyperExponential is NewHyperExponential that panics on invalid
+// parameters; used by experiment fixtures with known-good constants.
+func MustHyperExponential(mean, cv float64) HyperExponential {
+	h, err := NewHyperExponential(mean, cv)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Sample draws one H2 variate.
+func (h HyperExponential) Sample(r *RNG) float64 {
+	if r.Float64() < h.P1 {
+		return r.Exp(h.R1)
+	}
+	return r.Exp(h.R2)
+}
+
+// Mean returns the configured mean.
+func (h HyperExponential) Mean() float64 { return h.mean }
+
+// CV returns the configured coefficient of variation.
+func (h HyperExponential) CV() float64 { return h.cv }
+
+// Deterministic returns the same constant value on every draw; useful in
+// tests that need a fully predictable job stream.
+type Deterministic struct {
+	Value float64
+}
+
+// Sample returns the constant value.
+func (d Deterministic) Sample(*RNG) float64 { return d.Value }
+
+// Mean returns the constant value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// CV returns 0.
+func (d Deterministic) CV() float64 { return 0 }

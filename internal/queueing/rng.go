@@ -1,0 +1,103 @@
+// Package queueing provides the queueing-theory substrate of the
+// simulator and the analytic model: M/M/1 closed forms, the inter-arrival
+// and service-time distributions used in the experiments (exponential and
+// two-stage hyper-exponential with a configurable coefficient of
+// variation), and a small deterministic random number generator that can
+// be split into independent streams, one per replication, matching the
+// "each run was replicated five times with different random number
+// streams" methodology of §3.4.1.
+package queueing
+
+import "math"
+
+// RNG is a deterministic 64-bit pseudo random number generator
+// (xoshiro256** seeded through SplitMix64). It is not safe for concurrent
+// use; split independent streams with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// SplitMix64 expansion of the seed into the xoshiro state, per
+	// Blackman & Vigna's recommendation, so nearby seeds give unrelated
+	// streams.
+	sm := seed
+	for i := range r.s {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent stream from the current generator state
+// and the stream index. Replication k of a simulation uses Split(k).
+func (r *RNG) Split(stream uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (stream+1)*0xD1B54A32D192ED03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0,1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate) using inversion. rate must be positive.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("queueing: Exp requires positive rate")
+	}
+	// 1-Float64() is in (0,1], so the log is finite.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Intn returns a uniform integer in [0,n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("queueing: Intn requires positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Pick returns an index i with probability weights[i]/Σweights. Weights
+// must be non-negative with a positive sum; used by the dispatcher to
+// route jobs according to allocation fractions.
+func (r *RNG) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("queueing: Pick requires non-negative weights")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("queueing: Pick requires a positive weight sum")
+	}
+	u := r.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1 // guard against rounding at the boundary
+}

@@ -1,0 +1,109 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stackelberg management of selfish routing (Korilis, Lazar & Orda;
+// Roughgarden's scheduling strategies): a manager (the leader) controls
+// a fraction of the total traffic and commits its flow first; the
+// remaining traffic belongs to infinitesimal selfish followers who
+// settle into a Wardrop equilibrium *given* the leader's flow. A good
+// leader strategy steers the followers toward the social optimum — the
+// §2.2.3 "architecting noncooperative equilibria" idea.
+
+// FollowerEquilibrium returns the followers' Wardrop flows when the
+// leader has fixed its flow vector: follower traffic followerRate
+// equalizes the latencies ℓ_i(leader_i + y_i) over the links it uses.
+func (n Network) FollowerEquilibrium(leader []float64, followerRate float64) ([]float64, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if len(leader) != len(n.Links) {
+		return nil, fmt.Errorf("routing: leader flow has %d entries for %d links", len(leader), len(n.Links))
+	}
+	// Followers see effective constants b_i + a_i·leader_i.
+	coef := make([]float64, len(n.Links))
+	cnst := make([]float64, len(n.Links))
+	for i, l := range n.Links {
+		if leader[i] < 0 {
+			return nil, fmt.Errorf("routing: negative leader flow on link %d", i)
+		}
+		coef[i] = l.Slope
+		cnst[i] = l.Const + l.Slope*leader[i]
+	}
+	return waterfill(coef, cnst, followerRate), nil
+}
+
+// StackelbergResult reports a leader strategy and the induced outcome.
+type StackelbergResult struct {
+	Leader    []float64 // the leader's committed flows
+	Followers []float64 // the followers' equilibrium response
+	Cost      float64   // total latency of the combined flow
+}
+
+// StackelbergLLF computes the Largest-Latency-First leader strategy
+// (Roughgarden): compute the social optimum x*, then let the leader
+// saturate the links that are *slowest under x** first, spending its
+// budget α·rate; the followers fill in the rest. For parallel affine
+// links LLF guarantees cost within 1/α of optimal and is optimal for
+// two links.
+//
+// alpha is the fraction of the total rate the leader controls (0 ≤ α ≤ 1).
+func (n Network) StackelbergLLF(alpha float64) (StackelbergResult, error) {
+	if err := n.Validate(); err != nil {
+		return StackelbergResult{}, err
+	}
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		return StackelbergResult{}, fmt.Errorf("routing: alpha must be in [0,1], got %g", alpha)
+	}
+	opt, err := n.Optimum()
+	if err != nil {
+		return StackelbergResult{}, err
+	}
+
+	// Order links by decreasing latency under the optimum.
+	order := make([]int, len(n.Links))
+	for i := range order {
+		order[i] = i
+	}
+	for a := 1; a < len(order); a++ {
+		for b := a; b > 0; b-- {
+			i, j := order[b], order[b-1]
+			if n.Links[i].Latency(opt[i]) > n.Links[j].Latency(opt[j]) {
+				order[b], order[b-1] = order[b-1], order[b]
+			} else {
+				break
+			}
+		}
+	}
+
+	leader := make([]float64, len(n.Links))
+	budget := alpha * n.Rate
+	for _, i := range order {
+		if budget <= 0 {
+			break
+		}
+		take := math.Min(budget, opt[i])
+		leader[i] = take
+		budget -= take
+	}
+	// Any residual budget (α·rate exceeds Σ opt on the slowest links —
+	// impossible since Σ opt = rate ≥ budget) would be zero; assert by
+	// construction.
+
+	followers, err := n.FollowerEquilibrium(leader, (1-alpha)*n.Rate)
+	if err != nil {
+		return StackelbergResult{}, err
+	}
+	combined := make([]float64, len(n.Links))
+	for i := range combined {
+		combined[i] = leader[i] + followers[i]
+	}
+	return StackelbergResult{
+		Leader:    leader,
+		Followers: followers,
+		Cost:      n.TotalLatency(combined),
+	}, nil
+}

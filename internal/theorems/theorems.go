@@ -1,0 +1,382 @@
+// Package theorems is the executable counterpart of the dissertation's
+// appendices: every theorem of Chapters 3–6 is a check that searches
+// randomly generated instances for a counterexample and reports the
+// first one found. The package consolidates the invariants that the
+// per-package tests exercise ad hoc into one catalog, runnable from the
+// command line via cmd/lbverify.
+//
+// Checks return nil when no counterexample was found in the given number
+// of random instances; a non-nil error carries the violating instance.
+package theorems
+
+import (
+	"fmt"
+	"math"
+
+	"gtlb/internal/core"
+	"gtlb/internal/game"
+	"gtlb/internal/mechanism"
+	"gtlb/internal/metrics"
+	"gtlb/internal/noncoop"
+	"gtlb/internal/queueing"
+	"gtlb/internal/verification"
+)
+
+// Check is one theorem's verification procedure: it examines `instances`
+// randomly generated cases drawn from rng.
+type Check func(rng *queueing.RNG, instances int) error
+
+// Entry names a theorem and its check.
+type Entry struct {
+	Name      string // e.g. "Theorem 3.8"
+	Statement string // one-line summary
+	Run       Check
+}
+
+// All returns the catalog in dissertation order.
+func All() []Entry {
+	return []Entry{
+		{"Theorem 3.4/3.5", "the NBS solves the product/log-sum maximization (cross-checked on 2-computer games)", CheckNBSEquivalence},
+		{"Theorem 3.6", "interior NBS: lambda_i = mu_i - (sum mu - phi)/n", CheckInteriorClosedForm},
+		{"Theorem 3.7", "COOP output is feasible and satisfies the equal-spare KKT structure", CheckCOOPCorrectness},
+		{"Theorem 3.8", "the COOP allocation has fairness index exactly 1", CheckFairnessOne},
+		{"Theorem 4.1/4.2", "BEST-REPLY satisfies its square-root KKT structure and beats deviations", CheckBestReplyOptimality},
+		{"Theorem 5.1", "the mechanism's load is decreasing in each agent's bid", CheckMonotoneLoads},
+		{"Theorem 5.2", "Archer-Tardos payments are truthful and satisfy voluntary participation", CheckTruthfulMechanism},
+		{"Theorem 6.1", "the PR allocation minimizes total latency", CheckPROptimality},
+		{"Theorem 6.2", "the verification mechanism is truthful in bids and execution", CheckVerifiedTruthfulness},
+		{"Theorem 6.3", "truthful agents never lose under the verification mechanism", CheckVerifiedParticipation},
+	}
+}
+
+// randomSystem draws a feasible single-class system with n in [2, maxN].
+func randomSystem(rng *queueing.RNG, maxN int) core.System {
+	n := 2 + rng.Intn(maxN-1)
+	mu := make([]float64, n)
+	var total float64
+	for i := range mu {
+		mu[i] = 0.05 + 10*rng.Float64()
+		total += mu[i]
+	}
+	phi := rng.Float64() * 0.95 * total
+	return core.System{Mu: mu, Phi: phi}
+}
+
+// CheckNBSEquivalence cross-checks COOP against an independent Nash
+// bargaining solver (golden-section maximization of the Nash product) on
+// random two-computer games — the operational content of Theorems
+// 3.4/3.5, that the NBS is the solution of the product maximization.
+func CheckNBSEquivalence(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		mu1 := 0.5 + 10*rng.Float64()
+		mu2 := 0.5 + 10*rng.Float64()
+		phi := rng.Float64() * 0.9 * (mu1 + mu2)
+		sys := core.System{Mu: []float64{mu1, mu2}, Phi: phi}
+		nbs, err := core.COOP(sys)
+		if err != nil {
+			return fmt.Errorf("instance %d %+v: %v", k, sys, err)
+		}
+		lo := math.Max(0, phi-mu2)
+		hi := math.Min(phi, mu1)
+		x, err := game.Bargain2(
+			func(x float64) float64 { return mu1 - x },
+			func(x float64) float64 { return mu2 - (phi - x) },
+			0, 0, lo, hi)
+		if err != nil {
+			// No mutually improving point: COOP must have dropped one
+			// computer.
+			if nbs.NumUsed() < 2 {
+				continue
+			}
+			return fmt.Errorf("instance %d %+v: bargain solver failed (%v) but COOP used both computers", k, sys, err)
+		}
+		if math.Abs(x-nbs.Lambda[0]) > 1e-5*(1+nbs.Lambda[0]) {
+			return fmt.Errorf("instance %d %+v: bargaining point %g, COOP %g", k, sys, x, nbs.Lambda[0])
+		}
+	}
+	return nil
+}
+
+// CheckInteriorClosedForm verifies Theorem 3.6 on random systems where
+// no computer is dropped.
+func CheckInteriorClosedForm(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		sys := randomSystem(rng, 12)
+		a, err := core.COOP(sys)
+		if err != nil {
+			return fmt.Errorf("instance %d: %v", k, err)
+		}
+		if a.NumUsed() != len(sys.Mu) {
+			continue // a computer was dropped; the interior formula does not apply
+		}
+		d := (sys.TotalMu() - sys.Phi) / float64(len(sys.Mu))
+		for i, l := range a.Lambda {
+			want := sys.Mu[i] - d
+			if math.Abs(l-want) > 1e-9*(1+want) {
+				return fmt.Errorf("instance %d %+v: lambda[%d]=%g, closed form %g", k, sys, i, l, want)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCOOPCorrectness verifies Theorem 3.7: feasibility plus the KKT
+// structure (equal spare capacity on used computers, dropped computers
+// no faster than the common spare).
+func CheckCOOPCorrectness(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		sys := randomSystem(rng, 16)
+		a, err := core.COOP(sys)
+		if err != nil {
+			return fmt.Errorf("instance %d: %v", k, err)
+		}
+		var sum float64
+		for i, l := range a.Lambda {
+			if l < 0 || l >= sys.Mu[i] {
+				return fmt.Errorf("instance %d %+v: infeasible lambda[%d]=%g", k, sys, i, l)
+			}
+			sum += l
+			if a.Used[i] {
+				if math.Abs(sys.Mu[i]-l-a.Spare) > 1e-9*(1+a.Spare) {
+					return fmt.Errorf("instance %d %+v: unequal spare at %d", k, sys, i)
+				}
+			} else if sys.Mu[i] > a.Spare*(1+1e-9) {
+				return fmt.Errorf("instance %d %+v: computer %d dropped despite mu=%g > spare=%g",
+					k, sys, i, sys.Mu[i], a.Spare)
+			}
+		}
+		if math.Abs(sum-sys.Phi) > 1e-9*(1+sys.Phi) {
+			return fmt.Errorf("instance %d %+v: conservation violated (%g)", k, sys, sum)
+		}
+	}
+	return nil
+}
+
+// CheckFairnessOne verifies Theorem 3.8 on random systems.
+func CheckFairnessOne(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		sys := randomSystem(rng, 16)
+		if sys.Phi == 0 {
+			continue
+		}
+		a, err := core.COOP(sys)
+		if err != nil {
+			return fmt.Errorf("instance %d: %v", k, err)
+		}
+		times := core.PerComputerResponseTimes(sys, a.Lambda)
+		if idx := metrics.FairnessIndex(times); math.Abs(idx-1) > 1e-9 {
+			return fmt.Errorf("instance %d %+v: fairness %g != 1", k, sys, idx)
+		}
+	}
+	return nil
+}
+
+// CheckBestReplyOptimality verifies Theorems 4.1/4.2: the best reply's
+// marginal costs are equalized on its support, and random deviations do
+// not improve the user's expected response time.
+func CheckBestReplyOptimality(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		n := 2 + rng.Intn(10)
+		avail := make([]float64, n)
+		var total float64
+		for i := range avail {
+			avail[i] = 0.1 + 10*rng.Float64()
+			total += avail[i]
+		}
+		phi := rng.Float64() * 0.9 * total
+		if phi <= 0 {
+			continue
+		}
+		s, err := noncoop.BestReply(avail, phi)
+		if err != nil {
+			return fmt.Errorf("instance %d: %v", k, err)
+		}
+		base := noncoop.BestReplyTime(avail, s, phi)
+		// KKT: marginal cost mu/(mu - s*phi)^2 equal on the support.
+		var ref float64
+		for i, f := range s {
+			if f <= 1e-12 {
+				continue
+			}
+			mc := avail[i] / math.Pow(avail[i]-f*phi, 2)
+			if ref == 0 {
+				ref = mc
+			} else if math.Abs(mc-ref) > 1e-6*ref {
+				return fmt.Errorf("instance %d: unequal marginals %g vs %g", k, mc, ref)
+			}
+		}
+		// Random pairwise deviation.
+		for trial := 0; trial < 5; trial++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			move := s[i] * rng.Float64()
+			dev := append([]float64(nil), s...)
+			dev[i] -= move
+			dev[j] += move
+			if noncoop.BestReplyTime(avail, dev, phi) < base-1e-9*(1+base) {
+				return fmt.Errorf("instance %d: deviation improves best reply", k)
+			}
+		}
+	}
+	return nil
+}
+
+// ch5Instance draws a random mechanism instance: agents' true values and
+// a feasible arrival rate.
+func ch5Instance(rng *queueing.RNG) ([]float64, mechanism.Mechanism) {
+	n := 3 + rng.Intn(8)
+	trueVals := make([]float64, n)
+	var capacity float64
+	for i := range trueVals {
+		mu := 0.05 + 2*rng.Float64()
+		trueVals[i] = 1 / mu
+		capacity += mu
+	}
+	m := mechanism.Mechanism{Phi: (0.2 + 0.7*rng.Float64()) * capacity}
+	return trueVals, m
+}
+
+// CheckMonotoneLoads verifies Theorem 5.1 on random instances and bid
+// pairs.
+func CheckMonotoneLoads(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		trueVals, m := ch5Instance(rng)
+		i := rng.Intn(len(trueVals))
+		f1 := 0.5 + 3*rng.Float64()
+		f2 := 0.5 + 3*rng.Float64()
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		low := append([]float64(nil), trueVals...)
+		low[i] *= f1
+		high := append([]float64(nil), trueVals...)
+		high[i] *= f2
+		xl, err1 := m.Allocate(low)
+		xh, err2 := m.Allocate(high)
+		if err1 != nil || err2 != nil {
+			continue // capacity infeasible for this draw
+		}
+		if xh[i] > xl[i]+1e-9 {
+			return fmt.Errorf("instance %d: load rose from %g to %g as bid grew %gx -> %gx",
+				k, xl[i], xh[i], f1, f2)
+		}
+	}
+	return nil
+}
+
+// CheckTruthfulMechanism verifies Theorem 5.2 by sampling deviations:
+// truthful profit is maximal and non-negative.
+func CheckTruthfulMechanism(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		trueVals, m := ch5Instance(rng)
+		truth, err := m.Run(trueVals, trueVals)
+		if err != nil {
+			return fmt.Errorf("instance %d: %v", k, err)
+		}
+		for i, p := range truth.Profits {
+			if p < -1e-9 {
+				return fmt.Errorf("instance %d: truthful agent %d loses %g", k, i, p)
+			}
+		}
+		i := rng.Intn(len(trueVals))
+		bids := append([]float64(nil), trueVals...)
+		bids[i] *= 0.5 + 2*rng.Float64()
+		out, err := m.Run(bids, trueVals)
+		if err != nil {
+			continue
+		}
+		if out.Profits[i] > truth.Profits[i]+1e-6*(1+math.Abs(truth.Profits[i])) {
+			return fmt.Errorf("instance %d: agent %d gains %g > %g by lying",
+				k, i, out.Profits[i], truth.Profits[i])
+		}
+	}
+	return nil
+}
+
+// ch6Instance draws a random verification-mechanism instance.
+func ch6Instance(rng *queueing.RNG) ([]float64, verification.Mechanism) {
+	n := 2 + rng.Intn(10)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 0.2 + 10*rng.Float64()
+	}
+	return vals, verification.Mechanism{Lambda: 1 + 30*rng.Float64()}
+}
+
+// CheckPROptimality verifies Theorem 6.1: the PR allocation beats random
+// feasible perturbations.
+func CheckPROptimality(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		vals, m := ch6Instance(rng)
+		x, err := m.PR(vals)
+		if err != nil {
+			return fmt.Errorf("instance %d: %v", k, err)
+		}
+		base := verification.TotalLatency(x, vals)
+		for trial := 0; trial < 5; trial++ {
+			i, j := rng.Intn(len(vals)), rng.Intn(len(vals))
+			if i == j {
+				continue
+			}
+			move := x[i] * rng.Float64()
+			pert := append([]float64(nil), x...)
+			pert[i] -= move
+			pert[j] += move
+			if verification.TotalLatency(pert, vals) < base-1e-9*(1+base) {
+				return fmt.Errorf("instance %d: perturbation beats PR", k)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckVerifiedTruthfulness verifies Theorem 6.2 by sampling bid and
+// execution deviations for a random agent.
+func CheckVerifiedTruthfulness(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		vals, m := ch6Instance(rng)
+		truth, err := m.Run(vals, vals)
+		if err != nil {
+			return fmt.Errorf("instance %d: %v", k, err)
+		}
+		i := rng.Intn(len(vals))
+		bids := append([]float64(nil), vals...)
+		bids[i] *= 0.3 + 3*rng.Float64()
+		exec := append([]float64(nil), vals...)
+		exec[i] *= 1 + 2*rng.Float64() // cannot execute faster than truth
+		out, err := m.Run(bids, exec)
+		if err != nil {
+			return fmt.Errorf("instance %d: %v", k, err)
+		}
+		if out.Utilities[i] > truth.Utilities[i]+1e-9*(1+math.Abs(truth.Utilities[i])) {
+			return fmt.Errorf("instance %d: agent %d utility %g beats truthful %g",
+				k, i, out.Utilities[i], truth.Utilities[i])
+		}
+	}
+	return nil
+}
+
+// CheckVerifiedParticipation verifies Theorem 6.3: a truthful agent's
+// utility stays non-negative whatever one other agent bids.
+func CheckVerifiedParticipation(rng *queueing.RNG, instances int) error {
+	for k := 0; k < instances; k++ {
+		vals, m := ch6Instance(rng)
+		if len(vals) < 2 {
+			continue
+		}
+		liar := rng.Intn(len(vals))
+		honest := (liar + 1) % len(vals)
+		bids := append([]float64(nil), vals...)
+		bids[liar] *= 0.3 + 3*rng.Float64()
+		out, err := m.Run(bids, vals)
+		if err != nil {
+			return fmt.Errorf("instance %d: %v", k, err)
+		}
+		if out.Utilities[honest] < -1e-9 {
+			return fmt.Errorf("instance %d: honest agent %d loses %g", k, honest, out.Utilities[honest])
+		}
+	}
+	return nil
+}

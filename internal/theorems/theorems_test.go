@@ -1,0 +1,51 @@
+package theorems
+
+import (
+	"strings"
+	"testing"
+
+	"gtlb/internal/queueing"
+)
+
+func TestCatalogRuns(t *testing.T) {
+	rng := queueing.NewRNG(2026)
+	for _, e := range All() {
+		e := e
+		t.Run(strings.ReplaceAll(e.Name, " ", "_"), func(t *testing.T) {
+			if err := e.Run(rng.Split(0), 150); err != nil {
+				t.Errorf("%s (%s): %v", e.Name, e.Statement, err)
+			}
+		})
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{
+		"Theorem 3.4/3.5", "Theorem 3.6", "Theorem 3.7", "Theorem 3.8",
+		"Theorem 4.1/4.2", "Theorem 5.1", "Theorem 5.2",
+		"Theorem 6.1", "Theorem 6.2", "Theorem 6.3",
+	}
+	entries := All()
+	if len(entries) != len(want) {
+		t.Fatalf("catalog has %d entries, want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		if e.Name != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, e.Name, want[i])
+		}
+		if e.Statement == "" {
+			t.Errorf("entry %q missing a statement", e.Name)
+		}
+	}
+}
+
+func TestChecksAreDeterministic(t *testing.T) {
+	// Same seed, same outcome (the checks must not hide flaky state).
+	for _, e := range All() {
+		a := e.Run(queueing.NewRNG(7), 40)
+		b := e.Run(queueing.NewRNG(7), 40)
+		if (a == nil) != (b == nil) {
+			t.Errorf("%s: non-deterministic outcome", e.Name)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package verification implements Chapter 6: a truthful load-balancing
+// mechanism *with verification* for computers modeled by linear
+// load-dependent latency functions.
+//
+// Computer i's latency is ℓ_i(x) = t_i·x where t_i (the true value) is
+// inversely proportional to its processing rate; the system carries a job
+// stream of rate λ and the performance measure is the total latency
+// L(x) = Σ x_i·ℓ_i(x_i) = Σ t_i·x_i². Theorem 6.1: the optimum assigns
+// jobs in proportion to processing rates (the PR algorithm),
+//
+//	x_i = (1/t_i)/Σ(1/t_k) · λ,   L* = λ² / Σ(1/t_k).
+//
+// An agent may BID a value b_i ≠ t_i and may additionally EXECUTE its
+// jobs at a slower rate given by its execution value b̃_i ≥ t_i; the
+// mechanism observes b̃_i after the jobs complete (that is the
+// "verification"). The compensation-and-bonus payment (Definition 6.4)
+//
+//	Q_i = b̃_i·x_i(b)²  +  [ L*(b_{-i}) − L(x(b), (b̃_i, b_{-i})) ]
+//
+// reimburses the agent's executed latency and pays, as a bonus, the
+// agent's marginal contribution to reducing the total latency. The
+// resulting utility equals the bonus alone, so it is maximized by
+// truthful bidding and full-speed execution (Theorem 6.2) and is
+// non-negative for truthful agents (Theorem 6.3).
+package verification
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CompensationBasis selects which value the compensation term of the
+// payment is computed at. The dissertation's Definition 6.4 is ambiguous
+// in the scanned text, and its §6.4 numbers are only mutually consistent
+// under a mix of the two readings (see EXPERIMENTS.md):
+//
+//   - CompensateExecuted (the default) pays C_i = b̃_i·x_i², exactly
+//     cancelling the agent's valuation so the utility equals the bonus.
+//     This reading reproduces the True1 latency (78.43), the High1
+//     utility drop (62%) and the Low1 utility drop (45%).
+//   - CompensateReported pays C_i = b_i·x_i² at the reported bid. This
+//     reading reproduces §6.4's claim that C1's *payment* in Low2 is
+//     negative (|bonus| exceeds the compensation).
+type CompensationBasis int
+
+const (
+	// CompensateExecuted pays compensation at the verified execution
+	// value b̃_i.
+	CompensateExecuted CompensationBasis = iota
+	// CompensateReported pays compensation at the reported bid b_i.
+	CompensateReported
+)
+
+// Mechanism is the verification mechanism for one job stream.
+type Mechanism struct {
+	// Lambda is the arrival rate of jobs to be allocated (jobs/sec).
+	Lambda float64
+	// Basis selects the compensation basis; the zero value is
+	// CompensateExecuted.
+	Basis CompensationBasis
+}
+
+// validateValues checks a vector of per-job latency coefficients.
+func validateValues(vals []float64) error {
+	if len(vals) == 0 {
+		return errors.New("verification: need at least one computer")
+	}
+	for i, v := range vals {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("verification: value %d must be positive and finite, got %g", i, v)
+		}
+	}
+	return nil
+}
+
+// PR computes the optimal allocation of Theorem 6.1 for the reported
+// bids: jobs in proportion to the processing rates 1/b_i.
+func (m Mechanism) PR(bids []float64) ([]float64, error) {
+	if err := validateValues(bids); err != nil {
+		return nil, err
+	}
+	if m.Lambda <= 0 || math.IsNaN(m.Lambda) {
+		return nil, fmt.Errorf("verification: arrival rate must be positive, got %g", m.Lambda)
+	}
+	var invSum float64
+	for _, b := range bids {
+		invSum += 1 / b
+	}
+	out := make([]float64, len(bids))
+	for i, b := range bids {
+		out[i] = (1 / b) / invSum * m.Lambda
+	}
+	return out, nil
+}
+
+// TotalLatency evaluates L = Σ v_i·x_i² for an allocation x executed at
+// the per-job values v (bids, true values, or execution values).
+func TotalLatency(x, vals []float64) float64 {
+	if len(x) != len(vals) {
+		panic("verification: TotalLatency length mismatch")
+	}
+	var l float64
+	for i, xi := range x {
+		l += vals[i] * xi * xi
+	}
+	return l
+}
+
+// OptimalLatency returns L* = λ²/Σ(1/v_i), the minimum total latency
+// achievable with computers of values vals (eq. 6.4).
+func (m Mechanism) OptimalLatency(vals []float64) (float64, error) {
+	if err := validateValues(vals); err != nil {
+		return 0, err
+	}
+	var invSum float64
+	for _, v := range vals {
+		invSum += 1 / v
+	}
+	return m.Lambda * m.Lambda / invSum, nil
+}
+
+// OptimalLatencyWithout returns the optimal total latency when computer i
+// is excluded from the allocation — the L*(b_{-i}) baseline of the bonus.
+// At least one other computer must exist.
+func (m Mechanism) OptimalLatencyWithout(vals []float64, i int) (float64, error) {
+	if i < 0 || i >= len(vals) {
+		return 0, fmt.Errorf("verification: computer index %d out of range", i)
+	}
+	rest := make([]float64, 0, len(vals)-1)
+	rest = append(rest, vals[:i]...)
+	rest = append(rest, vals[i+1:]...)
+	if len(rest) == 0 {
+		return 0, errors.New("verification: cannot exclude the only computer")
+	}
+	return m.OptimalLatency(rest)
+}
+
+// Outcome reports the full result of one run of the mechanism.
+type Outcome struct {
+	Loads     []float64 // x(b), the PR allocation on the reported bids
+	Total     float64   // L(x(b)) with agent i's jobs executed at Exec[i]
+	Payments  []float64 // Q_i, compensation plus bonus
+	Utilities []float64 // u_i = payment − executed cost = the bonus
+}
+
+// Run executes the mechanism: allocate by the reported bids, then (after
+// "observing" the execution values) compute payments and utilities. The
+// execution values exec must satisfy exec_i ≥ t_i ≥ ... (an agent cannot
+// run faster than its true speed); callers pass exec = trueVals for
+// agents that execute at full capacity.
+func (m Mechanism) Run(bids, exec []float64) (Outcome, error) {
+	if len(bids) != len(exec) {
+		return Outcome{}, fmt.Errorf("verification: %d bids for %d execution values", len(bids), len(exec))
+	}
+	if err := validateValues(exec); err != nil {
+		return Outcome{}, err
+	}
+	x, err := m.PR(bids)
+	if err != nil {
+		return Outcome{}, err
+	}
+	n := len(bids)
+	out := Outcome{
+		Loads:     x,
+		Payments:  make([]float64, n),
+		Utilities: make([]float64, n),
+	}
+	// Executed total latency: every agent's own jobs run at its
+	// execution value.
+	out.Total = TotalLatency(x, exec)
+	for i := 0; i < n; i++ {
+		// Latency actually observed with agent i executing at exec[i]
+		// and the others at their reported values (the mechanism cannot
+		// see more than reports plus i's verified execution).
+		mixed := append([]float64(nil), bids...)
+		mixed[i] = exec[i]
+		actual := TotalLatency(x, mixed)
+		compBase := exec[i]
+		if m.Basis == CompensateReported {
+			compBase = bids[i]
+		}
+		compensation := compBase * x[i] * x[i]
+		var baseline float64
+		if n > 1 {
+			baseline, err = m.OptimalLatencyWithout(bids, i)
+			if err != nil {
+				return Outcome{}, err
+			}
+		} else {
+			// A single computer's exclusion baseline is "no system";
+			// the bonus degenerates to the negated actual latency.
+			baseline = 0
+		}
+		bonus := baseline - actual
+		out.Payments[i] = compensation + bonus
+		// Utility u_i = v_i + Q_i with valuation v_i = −b̃_i·x_i²; under
+		// the executed basis this reduces to the bonus alone.
+		out.Utilities[i] = out.Payments[i] - exec[i]*x[i]*x[i]
+	}
+	return out, nil
+}
+
+// Experiment is one row of Table 6.2: how computer C1 bids and executes
+// relative to its true value.
+type Experiment struct {
+	Name string
+	Bid  float64 // b_1 as a multiple of t_1
+	Exec float64 // b̃_1 as a multiple of t_1
+}
+
+// Experiments returns the eight experiment types of Table 6.2. In every
+// experiment all computers other than C1 bid truthfully and execute at
+// full capacity.
+func Experiments() []Experiment {
+	return []Experiment{
+		{Name: "True1", Bid: 1, Exec: 1},
+		{Name: "True2", Bid: 1, Exec: 3},
+		{Name: "High1", Bid: 3, Exec: 3},
+		{Name: "High2", Bid: 3, Exec: 1},
+		{Name: "High3", Bid: 3, Exec: 2},
+		{Name: "High4", Bid: 3, Exec: 4},
+		{Name: "Low1", Bid: 0.5, Exec: 1},
+		{Name: "Low2", Bid: 0.5, Exec: 2},
+	}
+}
+
+// RunExperiment runs one Table 6.2 experiment on the given true values:
+// C1 (index 0) applies the experiment's bid and execution multipliers,
+// everyone else is truthful. Execution values below the truth are clamped
+// to the truth (a computer cannot execute faster than its capacity).
+func (m Mechanism) RunExperiment(trueVals []float64, e Experiment) (Outcome, error) {
+	if err := validateValues(trueVals); err != nil {
+		return Outcome{}, err
+	}
+	bids := append([]float64(nil), trueVals...)
+	exec := append([]float64(nil), trueVals...)
+	bids[0] = trueVals[0] * e.Bid
+	exec[0] = math.Max(trueVals[0]*e.Exec, trueVals[0])
+	return m.Run(bids, exec)
+}

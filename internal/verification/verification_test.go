@@ -1,0 +1,442 @@
+package verification
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// table61 is the Table 6.1 configuration: C1-C2 true value 1, C3-C5
+// value 2, C6-C10 value 5, C11-C16 value 10 (Σ 1/t = 5.1).
+func table61() []float64 {
+	return []float64{
+		1, 1,
+		2, 2, 2,
+		5, 5, 5, 5, 5,
+		10, 10, 10, 10, 10, 10,
+	}
+}
+
+// mech uses λ = 20 jobs/sec, which reproduces the True1 total latency of
+// 78.43 shown in Figure 6.1.
+func mech() Mechanism { return Mechanism{Lambda: 20} }
+
+func TestPRProportions(t *testing.T) {
+	m := Mechanism{Lambda: 6}
+	x, err := m.PR([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates 1 and 0.5 → shares 2/3 and 1/3.
+	if math.Abs(x[0]-4) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("PR = %v, want [4 2]", x)
+	}
+}
+
+func TestPRValidation(t *testing.T) {
+	m := mech()
+	for _, bad := range [][]float64{nil, {0}, {-1}, {math.NaN()}} {
+		if _, err := m.PR(bad); err == nil {
+			t.Errorf("PR(%v) accepted invalid bids", bad)
+		}
+	}
+	if _, err := (Mechanism{Lambda: 0}).PR([]float64{1}); err == nil {
+		t.Error("zero lambda accepted")
+	}
+}
+
+// TestPaperTrue1 checks the Figure 6.1 anchor: total latency 78.43 when
+// everyone is truthful at λ = 20.
+func TestPaperTrue1(t *testing.T) {
+	m := mech()
+	out, err := m.RunExperiment(table61(), Experiment{Name: "True1", Bid: 1, Exec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Total-78.43) > 0.01 {
+		t.Errorf("True1 total latency = %.2f, want 78.43 (Figure 6.1)", out.Total)
+	}
+	opt, err := m.OptimalLatency(table61())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Total-opt) > 1e-9 {
+		t.Errorf("truthful total %.4f != optimal %.4f", out.Total, opt)
+	}
+}
+
+// TestPaperExperimentLatencies checks the percentage increases §6.4
+// quotes: Low1 ≈ +11%, Low2 ≈ +66%, and the orderings among the High
+// variants (High3 < High1 < High4, High2 < High1).
+func TestPaperExperimentLatencies(t *testing.T) {
+	m := mech()
+	totals := map[string]float64{}
+	for _, e := range Experiments() {
+		out, err := m.RunExperiment(table61(), e)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		totals[e.Name] = out.Total
+	}
+	base := totals["True1"]
+	if inc := (totals["Low1"] - base) / base; math.Abs(inc-0.11) > 0.02 {
+		t.Errorf("Low1 increase = %.0f%%, paper reports ~11%%", inc*100)
+	}
+	if inc := (totals["Low2"] - base) / base; math.Abs(inc-0.66) > 0.03 {
+		t.Errorf("Low2 increase = %.0f%%, paper reports ~66%%", inc*100)
+	}
+	if !(totals["High3"] < totals["High1"] && totals["High1"] < totals["High4"]) {
+		t.Errorf("High ordering violated: High3=%.2f High1=%.2f High4=%.2f",
+			totals["High3"], totals["High1"], totals["High4"])
+	}
+	if !(totals["High2"] < totals["High1"]) {
+		t.Errorf("High2 (%.2f) should beat High1 (%.2f): full-speed execution", totals["High2"], totals["High1"])
+	}
+	for name, tot := range totals {
+		if name == "True1" {
+			continue
+		}
+		if tot <= base {
+			t.Errorf("%s total %.2f not above the truthful optimum %.2f", name, tot, base)
+		}
+	}
+}
+
+// TestPaperUtilityDrops checks the §6.4 utility anchors for computer C1:
+// −62% under High1 and −45% under Low1 relative to True1.
+func TestPaperUtilityDrops(t *testing.T) {
+	m := mech()
+	u := func(name string) float64 {
+		for _, e := range Experiments() {
+			if e.Name == name {
+				out, err := m.RunExperiment(table61(), e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out.Utilities[0]
+			}
+		}
+		t.Fatalf("no experiment %q", name)
+		return 0
+	}
+	base := u("True1")
+	if base <= 0 {
+		t.Fatalf("True1 utility = %v, want positive", base)
+	}
+	if drop := (base - u("High1")) / base; math.Abs(drop-0.62) > 0.03 {
+		t.Errorf("High1 utility drop = %.0f%%, paper reports 62%%", drop*100)
+	}
+	if drop := (base - u("Low1")) / base; math.Abs(drop-0.45) > 0.03 {
+		t.Errorf("Low1 utility drop = %.0f%%, paper reports 45%%", drop*100)
+	}
+}
+
+// TestPaperLow2NegativePayment reproduces the Figure 6.2 observation: in
+// Low2 computer C1's payment and utility are negative — the actual total
+// latency exceeds the without-C1 optimum, so the bonus penalizes it. The
+// negative *payment* requires the reported-bid compensation basis (see
+// EXPERIMENTS.md); the utility is negative under both bases.
+func TestPaperLow2NegativePayment(t *testing.T) {
+	low2 := Experiment{Name: "Low2", Bid: 0.5, Exec: 2}
+
+	mr := Mechanism{Lambda: 20, Basis: CompensateReported}
+	out, err := mr.RunExperiment(table61(), low2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Payments[0] >= 0 {
+		t.Errorf("Low2 payment for C1 = %v, want negative (reported basis)", out.Payments[0])
+	}
+	if out.Utilities[0] >= 0 {
+		t.Errorf("Low2 utility for C1 = %v, want negative", out.Utilities[0])
+	}
+
+	me := mech() // executed basis
+	out, err = me.RunExperiment(table61(), low2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Utilities[0] >= 0 {
+		t.Errorf("Low2 utility for C1 = %v, want negative (executed basis)", out.Utilities[0])
+	}
+	// Under the executed basis the bonus is the utility: −32.5 for this
+	// configuration (λ=20).
+	if math.Abs(out.Utilities[0]+32.52) > 0.05 {
+		t.Errorf("Low2 utility = %v, want ≈ -32.52", out.Utilities[0])
+	}
+}
+
+// TestTruthfulness (Theorem 6.2): for sampled bid/execution deviations,
+// C1's utility never exceeds its truthful utility.
+func TestTruthfulness(t *testing.T) {
+	m := mech()
+	trueVals := table61()
+	truth, err := m.Run(trueVals, trueVals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bid := range []float64{0.3, 0.5, 0.9, 1.1, 2, 3, 10} {
+		for _, exec := range []float64{1, 1.5, 2, 4} {
+			out, err := m.RunExperiment(trueVals, Experiment{Bid: bid, Exec: exec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Utilities[0] > truth.Utilities[0]+1e-9 {
+				t.Errorf("bid=%.1f exec=%.1f: utility %v beats truthful %v",
+					bid, exec, out.Utilities[0], truth.Utilities[0])
+			}
+		}
+	}
+}
+
+func TestTruthfulnessQuick(t *testing.T) {
+	m := mech()
+	trueVals := table61()
+	truth, err := m.Run(trueVals, trueVals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(rawBid, rawExec float64) bool {
+		bid := math.Abs(math.Mod(rawBid, 20)) + 0.05
+		exec := math.Abs(math.Mod(rawExec, 5)) + 1 // ≥ truth
+		out, err := m.RunExperiment(trueVals, Experiment{Bid: bid, Exec: exec})
+		if err != nil {
+			return false
+		}
+		return out.Utilities[0] <= truth.Utilities[0]+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVoluntaryParticipation (Theorem 6.3): truthful full-speed agents
+// have non-negative utility regardless of the others' bids.
+func TestVoluntaryParticipation(t *testing.T) {
+	m := mech()
+	trueVals := table61()
+	// Others lie in various ways; agent 5 stays truthful.
+	bids := append([]float64(nil), trueVals...)
+	bids[0] *= 3
+	bids[1] *= 0.5
+	bids[10] *= 2
+	exec := append([]float64(nil), trueVals...)
+	exec[0] *= 3
+	out, err := m.Run(bids, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Utilities[5] < -1e-9 {
+		t.Errorf("truthful agent 5 has negative utility %v", out.Utilities[5])
+	}
+}
+
+func TestVoluntaryParticipationQuick(t *testing.T) {
+	m := mech()
+	trueVals := table61()
+	prop := func(liar uint, rawBid float64) bool {
+		i := int(liar % uint(len(trueVals)))
+		if i == 3 {
+			return true // agent 3 is our truthful observer
+		}
+		bid := math.Abs(math.Mod(rawBid, 10)) + 0.1
+		bids := append([]float64(nil), trueVals...)
+		bids[i] = trueVals[i] * bid
+		out, err := m.Run(bids, trueVals)
+		if err != nil {
+			return false
+		}
+		return out.Utilities[3] >= -1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPaymentStructure reproduces Figure 6.6's frugality claim: the total
+// payment is bounded by ~2.5× the total valuation (executed cost).
+func TestPaymentStructure(t *testing.T) {
+	m := mech()
+	trueVals := table61()
+	out, err := m.Run(trueVals, trueVals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalPay, totalVal float64
+	for i := range trueVals {
+		totalPay += out.Payments[i]
+		totalVal += trueVals[i] * out.Loads[i] * out.Loads[i]
+	}
+	if totalPay < totalVal {
+		t.Errorf("total payment %v below total valuation %v (voluntary participation)", totalPay, totalVal)
+	}
+	if totalPay > 2.5*totalVal {
+		t.Errorf("total payment %v exceeds 2.5× total valuation %v (paper's frugality bound)", totalPay, totalVal)
+	}
+}
+
+func TestOptimalLatencyWithout(t *testing.T) {
+	m := mech()
+	vals := []float64{1, 1}
+	got, err := m.OptimalLatencyWithout(vals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-400) > 1e-9 { // λ²/1
+		t.Errorf("L* without 0 = %v, want 400", got)
+	}
+	if _, err := m.OptimalLatencyWithout(vals, 5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := m.OptimalLatencyWithout([]float64{1}, 0); err == nil {
+		t.Error("excluding the only computer accepted")
+	}
+}
+
+func TestPROptimalQuick(t *testing.T) {
+	// Property (Theorem 6.1): PR minimizes Σ t_i x_i² among random
+	// feasible perturbations.
+	m := Mechanism{Lambda: 7}
+	prop := func(raw []float64, di, dj uint, frac float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if v := math.Abs(math.Mod(r, 10)); v > 0.01 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		x, err := m.PR(vals)
+		if err != nil {
+			return false
+		}
+		base := TotalLatency(x, vals)
+		i := int(di % uint(len(vals)))
+		j := int(dj % uint(len(vals)))
+		if i == j {
+			return true
+		}
+		move := x[i] * math.Abs(math.Mod(frac, 1))
+		pert := append([]float64(nil), x...)
+		pert[i] -= move
+		pert[j] += move
+		return TotalLatency(pert, vals) >= base-1e-9*(1+base)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := mech()
+	if _, err := m.Run([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := m.Run([]float64{1}, []float64{0}); err == nil {
+		t.Error("invalid execution value accepted")
+	}
+}
+
+func TestSingleComputerBonusDegenerates(t *testing.T) {
+	m := Mechanism{Lambda: 2}
+	out, err := m.Run([]float64{1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// baseline 0 − actual latency 4 → utility −4, payment 0.
+	if math.Abs(out.Utilities[0]+4) > 1e-12 {
+		t.Errorf("single computer utility = %v, want -4", out.Utilities[0])
+	}
+	if math.Abs(out.Payments[0]) > 1e-12 {
+		t.Errorf("single computer payment = %v, want 0", out.Payments[0])
+	}
+}
+
+func TestExperimentsTable(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 8 {
+		t.Fatalf("Experiments() returned %d rows, want 8 (Table 6.2)", len(exps))
+	}
+	names := map[string]Experiment{}
+	for _, e := range exps {
+		names[e.Name] = e
+	}
+	if e := names["High2"]; e.Bid != 3 || e.Exec != 1 {
+		t.Errorf("High2 = %+v, want bid 3 exec 1", e)
+	}
+	if e := names["Low2"]; e.Bid != 0.5 || e.Exec != 2 {
+		t.Errorf("Low2 = %+v, want bid 0.5 exec 2", e)
+	}
+}
+
+func TestTotalLatencyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TotalLatency with mismatched lengths did not panic")
+		}
+	}()
+	TotalLatency([]float64{1}, []float64{1, 2})
+}
+
+// TestMultipleLiars: §6.4 expects "even larger increase if more than one
+// computer does not report its true value and does not use its full
+// processing capacity" — two liars cost more than the worst single-liar
+// experiment.
+func TestMultipleLiars(t *testing.T) {
+	m := mech()
+	trueVals := table61()
+
+	single, err := m.RunExperiment(trueVals, Experiment{Name: "Low2", Bid: 0.5, Exec: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bids := append([]float64(nil), trueVals...)
+	exec := append([]float64(nil), trueVals...)
+	bids[0] *= 0.5
+	exec[0] *= 2
+	bids[1] *= 0.5
+	exec[1] *= 2
+	double, err := m.Run(bids, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if double.Total <= single.Total {
+		t.Errorf("two liars (%v) should cost more than one (%v)", double.Total, single.Total)
+	}
+	// Truthful computers still never lose.
+	for i := 2; i < len(trueVals); i++ {
+		if double.Utilities[i] < -1e-9 {
+			t.Errorf("truthful computer %d loses %v", i+1, double.Utilities[i])
+		}
+	}
+}
+
+// TestCompensationBasisDifference pins the two Definition 6.4 readings
+// against each other: they agree whenever the agent executes at its
+// reported bid, and differ by (b̃−b)·x² otherwise.
+func TestCompensationBasisDifference(t *testing.T) {
+	trueVals := table61()
+	exp := Experiment{Name: "Low2", Bid: 0.5, Exec: 2}
+	exec, err := Mechanism{Lambda: 20, Basis: CompensateExecuted}.RunExperiment(trueVals, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Mechanism{Lambda: 20, Basis: CompensateReported}.RunExperiment(trueVals, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := exec.Loads[0]
+	wantDiff := (2.0 - 0.5) * trueVals[0] * x * x
+	if math.Abs((exec.Payments[0]-rep.Payments[0])-wantDiff) > 1e-9 {
+		t.Errorf("payment difference %v, want %v", exec.Payments[0]-rep.Payments[0], wantDiff)
+	}
+	// Agreement when exec == bid (High1).
+	h := Experiment{Name: "High1", Bid: 3, Exec: 3}
+	a, _ := Mechanism{Lambda: 20, Basis: CompensateExecuted}.RunExperiment(trueVals, h)
+	b, _ := Mechanism{Lambda: 20, Basis: CompensateReported}.RunExperiment(trueVals, h)
+	if math.Abs(a.Payments[0]-b.Payments[0]) > 1e-9 {
+		t.Errorf("bases disagree when exec == bid: %v vs %v", a.Payments[0], b.Payments[0])
+	}
+}
