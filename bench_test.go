@@ -7,9 +7,11 @@ package gtlb_test
 // GOS/IOS-style iterative solvers.
 
 import (
+	"runtime"
 	"testing"
 
 	"gtlb"
+	"gtlb/internal/benchio"
 	"gtlb/internal/experiments"
 	"gtlb/internal/noncoop"
 	"gtlb/internal/schemes"
@@ -227,6 +229,94 @@ func BenchmarkSimulator(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Jobs), "jobs/op")
+	}
+}
+
+// desSpeedupConfig is the fixed scenario of the sequential-vs-parallel
+// engine benchmarks: the ×1000-scaled Table 3.1 system under the COOP
+// allocation, 8 replications. Only Workers varies between runs, so every
+// run does the same work and produces the same Result — the benchmarks
+// measure pure scheduling gain.
+func desSpeedupConfig(b *testing.B, workers int) gtlb.SimConfig {
+	b.Helper()
+	mu := make([]float64, 16)
+	for i, m := range table31Mu() {
+		mu[i] = m * 1000
+	}
+	var total float64
+	for _, m := range mu {
+		total += m
+	}
+	phi := 0.7 * total
+	sys, err := gtlb.NewSystem(mu, phi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := gtlb.COOP(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	routing := make([]float64, len(mu))
+	for i, l := range a.Lambda {
+		routing[i] = l / phi
+	}
+	return gtlb.SimConfig{
+		Mu:           mu,
+		InterArrival: gtlb.Exponential(phi),
+		Routing:      [][]float64{routing},
+		Horizon:      60,
+		Warmup:       3,
+		Seed:         42,
+		Replications: 8,
+		Workers:      workers,
+	}
+}
+
+func benchmarkSimulatorWorkers(b *testing.B, workers int) {
+	cfg := desSpeedupConfig(b, workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorWorkers1 is the sequential baseline of the parallel
+// engine; Workers2/4/8 measure the worker-pool speedup on the identical
+// workload. TestBenchDESReport records the ratio in BENCH_DES.json.
+func BenchmarkSimulatorWorkers1(b *testing.B) { benchmarkSimulatorWorkers(b, 1) }
+func BenchmarkSimulatorWorkers2(b *testing.B) { benchmarkSimulatorWorkers(b, 2) }
+func BenchmarkSimulatorWorkers4(b *testing.B) { benchmarkSimulatorWorkers(b, 4) }
+func BenchmarkSimulatorWorkers8(b *testing.B) { benchmarkSimulatorWorkers(b, 8) }
+
+// TestBenchDESReport measures the sequential-vs-parallel engine
+// benchmarks and writes the machine-readable BENCH_DES.json report that
+// tracks the simulator's perf trajectory across PRs. The ≥2× speedup
+// expectation only applies on a multi-core runner — on fewer than 4 CPUs
+// the ratio is recorded but not asserted.
+func TestBenchDESReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark report skipped in -short mode")
+	}
+	report := benchio.NewReport()
+	nsPerOp := map[int]float64{}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		r := testing.Benchmark(func(b *testing.B) { benchmarkSimulatorWorkers(b, workers) })
+		nsPerOp[workers] = float64(r.NsPerOp())
+	}
+	speedup := nsPerOp[1] / nsPerOp[4]
+	report.Add("des.Run/workers=1", nsPerOp[1], nil)
+	report.Add("des.Run/workers=4", nsPerOp[4], map[string]float64{"speedup_vs_sequential": speedup})
+	if err := benchio.Write("BENCH_DES.json", report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("des.Run speedup at 4 workers: %.2fx (GOMAXPROCS=%d, NumCPU=%d)",
+		speedup, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if runtime.NumCPU() >= 4 && speedup < 2 {
+		t.Errorf("expected >= 2x speedup at 4 workers on a %d-CPU machine, got %.2fx", runtime.NumCPU(), speedup)
 	}
 }
 

@@ -28,6 +28,7 @@ func main() {
 	horizon := flag.Float64("horizon", 4_000, "virtual seconds per replication")
 	reps := flag.Int("reps", 5, "independent replications")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	workers := flag.Int("workers", 0, "concurrent replications (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	flag.Parse()
 
 	mu, err := cliutil.ParseRates(*muFlag)
@@ -63,6 +64,7 @@ func main() {
 			Warmup:        *horizon / 20,
 			Seed:          *seed,
 			Replications:  *reps,
+			Workers:       *workers,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbdyn: %v\n", err)

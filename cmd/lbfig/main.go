@@ -23,7 +23,9 @@ func main() {
 	fig := flag.String("fig", "", "experiment id (e.g. F3.1, T4.1) or 'all'")
 	full := flag.Bool("full", false, "use the full simulation methodology for F3.6/F4.8 (slower)")
 	list := flag.Bool("list", false, "list the available experiment ids")
+	workers := flag.Int("workers", 0, "concurrent sweep points per figure (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -28,6 +28,7 @@ func main() {
 	reps := flag.Int("reps", 5, "independent replications")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	cv := flag.Float64("cv", 1, "inter-arrival coefficient of variation (1 = Poisson, >1 = hyper-exponential)")
+	workers := flag.Int("workers", 0, "concurrent replications (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	flag.Parse()
 
 	mu, err := cliutil.ParseRates(*muFlag)
@@ -68,6 +69,7 @@ func main() {
 		Warmup:       *warmup,
 		Seed:         *seed,
 		Replications: *reps,
+		Workers:      *workers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbsim: %v\n", err)

@@ -165,7 +165,12 @@ func RunLBM(n Network, trueValues []float64, policies []BidPolicy, phi float64) 
 	return dist.RunLBM(n, trueValues, policies, phi)
 }
 
-// SimConfig configures the discrete-event simulator.
+// SimConfig configures the discrete-event simulator. Replications run
+// concurrently on a bounded worker pool (SimConfig.Workers; 0 means
+// runtime.GOMAXPROCS(0), 1 forces the sequential path). Results are
+// bit-identical for any worker count: each replication draws from its
+// own random stream split deterministically from Seed, and results are
+// aggregated in replication order.
 type SimConfig = des.Config
 
 // SimResult is the simulator's averaged measurements.
@@ -262,6 +267,9 @@ func GenerateTrace(dist queueing.Distribution, n int, seed uint64) (Trace, error
 
 // ReplayTrace wraps a trace as an inter-arrival distribution for
 // SimConfig; the replay is deterministic and cycles when exhausted.
+// The simulator forks the replay once per replication, so every
+// replication sees the same arrival sequence regardless of the worker
+// count.
 func ReplayTrace(t Trace) (queueing.Distribution, error) {
 	return workload.NewReplay(t)
 }

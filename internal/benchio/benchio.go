@@ -1,0 +1,105 @@
+// Package benchio writes machine-readable benchmark reports, so the
+// perf trajectory of the hot paths (above all the simulation engine) can
+// be recorded per-PR and compared across machines. The repository-level
+// harness in bench_test.go emits BENCH_DES.json through this package.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Entry is one measured benchmark.
+type Entry struct {
+	// Name identifies the benchmark (e.g. "des.Run/workers=4").
+	Name string `json:"name"`
+	// NsPerOp is the measured wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Extra holds benchmark-specific metrics (e.g. "speedup",
+	// "jobs_per_op"), keyed by metric name.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is a full benchmark report: the environment it ran in plus the
+// measured entries.
+type Report struct {
+	// GoVersion, GoMaxProcs and NumCPU describe the machine, because a
+	// parallel speedup number is meaningless without them.
+	GoVersion  string  `json:"go_version"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Entries    []Entry `json:"entries"`
+}
+
+// NewReport returns a report stamped with the current environment.
+func NewReport() Report {
+	return Report{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// Add appends one entry to the report.
+func (r *Report) Add(name string, nsPerOp float64, extra map[string]float64) {
+	r.Entries = append(r.Entries, Entry{Name: name, NsPerOp: nsPerOp, Extra: extra})
+}
+
+// Lookup returns the entry with the given name.
+func (r Report) Lookup(name string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Write stores the report as indented JSON at path, sorting entries by
+// name so reruns produce stable diffs. The write goes through a
+// temporary file in the same directory and a rename, so a crashed run
+// never leaves a truncated report behind.
+func Write(path string, r Report) error {
+	sort.Slice(r.Entries, func(a, b int) bool { return r.Entries[a].Name < r.Entries[b].Name })
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: encode report: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("benchio: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchio: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchio: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchio: %w", err)
+	}
+	return nil
+}
+
+// Read loads a report written by Write.
+func Read(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("benchio: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("benchio: decode %s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,55 @@
+package benchio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := NewReport()
+	r.Add("des.Run/workers=4", 1.5e6, map[string]float64{"speedup": 3.2})
+	r.Add("des.Run/workers=1", 4.8e6, nil)
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoMaxProcs != r.GoMaxProcs || got.NumCPU != r.NumCPU || got.GoVersion != r.GoVersion {
+		t.Errorf("environment fields lost: %+v vs %+v", got, r)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got.Entries))
+	}
+	// Entries are sorted by name on write.
+	if got.Entries[0].Name != "des.Run/workers=1" || got.Entries[1].Name != "des.Run/workers=4" {
+		t.Errorf("entries not sorted: %q, %q", got.Entries[0].Name, got.Entries[1].Name)
+	}
+	e, ok := got.Lookup("des.Run/workers=4")
+	if !ok || e.Extra["speedup"] != 3.2 {
+		t.Errorf("Lookup lost extras: %+v ok=%v", e, ok)
+	}
+}
+
+func TestWriteIsAtomicOnBadDir(t *testing.T) {
+	t.Parallel()
+	err := Write(filepath.Join(t.TempDir(), "missing", "bench.json"), NewReport())
+	if err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

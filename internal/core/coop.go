@@ -170,9 +170,11 @@ func COOP(sys System) (Allocation, error) {
 	for k := 0; k < c; k++ {
 		i := order[k]
 		lam := sys.Mu[i] - d
-		if lam < 0 {
-			// Only possible through floating-point underflow at the drop
-			// boundary; clamp to keep the allocation feasible.
+		if lam <= 0 {
+			// Zero happens when Φ = 0 on one computer; negative only
+			// through floating-point underflow at the drop boundary.
+			// Either way the computer carries no load: clamp and leave it
+			// marked unused so Used stays consistent with Lambda.
 			lam = 0
 		} else {
 			alloc.Used[i] = true

@@ -24,6 +24,7 @@ func table31() []float64 {
 func sum(xs []float64) float64 { return numeric.Sum(xs) }
 
 func TestSystemValidate(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		mu   []float64
@@ -49,6 +50,7 @@ func TestSystemValidate(t *testing.T) {
 }
 
 func TestCOOPInteriorSolution(t *testing.T) {
+	t.Parallel()
 	// Fast homogeneous system: nobody dropped, λ_i = μ_i - (Σμ-Φ)/n.
 	sys, err := NewSystem([]float64{4, 4, 4}, 9)
 	if err != nil {
@@ -75,6 +77,7 @@ func TestCOOPInteriorSolution(t *testing.T) {
 }
 
 func TestCOOPDropsSlowComputers(t *testing.T) {
+	t.Parallel()
 	// One extremely slow computer must receive no jobs.
 	sys, err := NewSystem([]float64{10, 10, 0.001}, 4)
 	if err != nil {
@@ -96,6 +99,7 @@ func TestCOOPDropsSlowComputers(t *testing.T) {
 }
 
 func TestCOOPPreservesInputOrder(t *testing.T) {
+	t.Parallel()
 	// Rates deliberately unsorted; the allocation must line up with the
 	// caller's order.
 	sys, err := NewSystem([]float64{1, 8, 2}, 5)
@@ -118,6 +122,7 @@ func TestCOOPPreservesInputOrder(t *testing.T) {
 // ρ = 50% on the Table 3.1 system the NBS equalizes response times at
 // 39.44 seconds and leaves the six slowest computers idle.
 func TestCOOPPaperMediumLoad(t *testing.T) {
+	t.Parallel()
 	mu := table31()
 	sys, err := NewSystem(mu, 0.5*0.663)
 	if err != nil {
@@ -147,6 +152,7 @@ func TestCOOPPaperMediumLoad(t *testing.T) {
 // TestCOOPPaperHighLoad checks Figure 3.3's claim that at ρ = 90% COOP
 // "utilizes all the computers".
 func TestCOOPPaperHighLoad(t *testing.T) {
+	t.Parallel()
 	sys, err := NewSystem(table31(), 0.9*0.663)
 	if err != nil {
 		t.Fatal(err)
@@ -163,6 +169,7 @@ func TestCOOPPaperHighLoad(t *testing.T) {
 // TestCOOPFairnessTheorem verifies Theorem 3.8: the fairness index of the
 // per-computer expected response times equals 1.
 func TestCOOPFairnessTheorem(t *testing.T) {
+	t.Parallel()
 	for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
 		sys, err := NewSystem(table31(), rho*0.663)
 		if err != nil {
@@ -180,6 +187,7 @@ func TestCOOPFairnessTheorem(t *testing.T) {
 }
 
 func TestCOOPSingleComputer(t *testing.T) {
+	t.Parallel()
 	sys, err := NewSystem([]float64{2}, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -194,6 +202,7 @@ func TestCOOPSingleComputer(t *testing.T) {
 }
 
 func TestCOOPZeroLoad(t *testing.T) {
+	t.Parallel()
 	sys, err := NewSystem([]float64{3, 1}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -210,6 +219,7 @@ func TestCOOPZeroLoad(t *testing.T) {
 }
 
 func TestCOOPRejectsInvalidSystem(t *testing.T) {
+	t.Parallel()
 	if _, err := COOP(System{Mu: []float64{1}, Phi: 2}); err == nil {
 		t.Error("COOP accepted an overloaded system")
 	}
@@ -245,6 +255,7 @@ func quickSystem(rates []float64, load float64) (System, bool) {
 // TestCOOPFeasibilityQuick: conservation, positivity and stability hold
 // for arbitrary feasible systems.
 func TestCOOPFeasibilityQuick(t *testing.T) {
+	t.Parallel()
 	prop := func(rates []float64, load float64) bool {
 		sys, ok := quickSystem(rates, load)
 		if !ok {
@@ -269,6 +280,7 @@ func TestCOOPFeasibilityQuick(t *testing.T) {
 // TestCOOPNBSOptimalityQuick: the COOP solution maximizes Σ ln(μ_i−λ_i)
 // — no random feasible perturbation may beat it (Theorem 3.5/3.7).
 func TestCOOPNBSOptimalityQuick(t *testing.T) {
+	t.Parallel()
 	objective := func(sys System, lambda []float64) float64 {
 		var s float64
 		for i, l := range lambda {
@@ -316,6 +328,7 @@ func TestCOOPNBSOptimalityQuick(t *testing.T) {
 // (Definition 3.3). For the equal-spare NBS any shift of load raises some
 // λ_i, so this follows from conservation; the test exercises it directly.
 func TestCOOPParetoOptimalQuick(t *testing.T) {
+	t.Parallel()
 	prop := func(rates []float64, load float64, seed uint64) bool {
 		sys, ok := quickSystem(rates, load)
 		if !ok || sys.Phi == 0 {
@@ -348,6 +361,7 @@ func TestCOOPParetoOptimalQuick(t *testing.T) {
 // TestCOOPEqualSpare: every used computer ends with identical spare
 // capacity (the structural content of Theorem 3.6).
 func TestCOOPEqualSpareQuick(t *testing.T) {
+	t.Parallel()
 	prop := func(rates []float64, load float64) bool {
 		sys, ok := quickSystem(rates, load)
 		if !ok {
@@ -373,6 +387,7 @@ func TestCOOPEqualSpareQuick(t *testing.T) {
 }
 
 func TestPerComputerResponseTimes(t *testing.T) {
+	t.Parallel()
 	sys, _ := NewSystem([]float64{4, 2}, 3)
 	times := PerComputerResponseTimes(sys, []float64{2, 1})
 	if math.Abs(times[0]-0.5) > 1e-12 || math.Abs(times[1]-1) > 1e-12 {
@@ -385,6 +400,7 @@ func TestPerComputerResponseTimes(t *testing.T) {
 }
 
 func TestAllocationResponseTimeDegenerate(t *testing.T) {
+	t.Parallel()
 	a := Allocation{Spare: 0}
 	if !math.IsInf(a.ResponseTime(), 1) {
 		t.Error("zero spare should give +Inf response time")
@@ -392,6 +408,7 @@ func TestAllocationResponseTimeDegenerate(t *testing.T) {
 }
 
 func TestSystemAccessors(t *testing.T) {
+	t.Parallel()
 	sys, _ := NewSystem([]float64{1, 3}, 2)
 	if sys.TotalMu() != 4 {
 		t.Errorf("TotalMu = %v, want 4", sys.TotalMu())

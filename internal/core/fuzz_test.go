@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// sanitizeRate maps an arbitrary float64 into a valid processing rate.
+// Non-finite and non-positive inputs fall back to a deterministic default
+// so the fuzzer spends its budget on the algorithm, not on Validate.
+func sanitizeRate(x float64) float64 {
+	x = math.Abs(x)
+	if !(x > 1e-6 && x < 1e9) { // also rejects NaN
+		return 1
+	}
+	return x
+}
+
+// FuzzCOOP drives the COOP algorithm with fuzzer-chosen rate vectors and
+// utilizations and checks the invariants Theorems 3.1–3.8 promise of the
+// Nash Bargaining Solution: the allocation is feasible (λ_i ≥ 0,
+// λ_i < μ_i, Σλ = Φ), Used is consistent with Lambda, and every used
+// computer keeps the same spare capacity μ_i − λ_i = Spare.
+func FuzzCOOP(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 0.5)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 240, 63}, 0.9) // single computer (bits of 1.0)
+	f.Add(make([]byte, 8*16), 0.01)               // 16 equal fallback rates, light load
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 1, 0, 0, 0, 0, 0, 0, 0}, 0.7)
+	f.Fuzz(func(t *testing.T, data []byte, frac float64) {
+		n := len(data) / 8
+		if n == 0 {
+			return
+		}
+		if n > 64 {
+			n = 64
+		}
+		mu := make([]float64, n)
+		var total float64
+		for i := range mu {
+			mu[i] = sanitizeRate(math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:])))
+			total += mu[i]
+		}
+		frac = math.Abs(frac)
+		if !(frac < 1e12) { // catches NaN/Inf
+			frac = 0.5
+		}
+		frac = 0.999 * (frac - math.Floor(frac)) // utilization in [0, 0.999)
+		phi := frac * total
+
+		sys, err := NewSystem(mu, phi)
+		if err != nil {
+			// Σμ can lose enough precision for phi=frac·Σμ to trip the
+			// stability check at extreme magnitudes; that rejection is fine.
+			return
+		}
+		alloc, err := COOP(sys)
+		if err != nil {
+			t.Fatalf("COOP rejected a validated system: %v", err)
+		}
+
+		if len(alloc.Lambda) != n || len(alloc.Used) != n {
+			t.Fatalf("allocation has wrong shape: %d lambdas, %d used flags, want %d", len(alloc.Lambda), len(alloc.Used), n)
+		}
+		var sum float64
+		for i, l := range alloc.Lambda {
+			if l < 0 || math.IsNaN(l) {
+				t.Errorf("lambda[%d] = %g, want >= 0", i, l)
+			}
+			if l >= mu[i] {
+				t.Errorf("lambda[%d] = %g >= mu[%d] = %g: computer unstable", i, l, i, mu[i])
+			}
+			if alloc.Used[i] != (l > 0) {
+				t.Errorf("Used[%d] = %v inconsistent with lambda[%d] = %g", i, alloc.Used[i], i, l)
+			}
+			// Theorem 3.8: every used computer has the same spare capacity.
+			if alloc.Used[i] {
+				if spare := mu[i] - l; math.Abs(spare-alloc.Spare) > 1e-9*math.Max(1, math.Abs(alloc.Spare)) {
+					t.Errorf("spare capacity of computer %d is %g, want common value %g", i, spare, alloc.Spare)
+				}
+			}
+			sum += l
+		}
+		// Tolerance scales with Σμ, not Φ: λ_i = μ_i − d, so the rounding
+		// error of the sum is proportional to the rate magnitudes even
+		// when Φ itself is tiny.
+		if tol := 1e-9 * math.Max(1, total); math.Abs(sum-phi) > tol {
+			t.Errorf("sum of lambda = %g, want phi = %g (diff %g)", sum, phi, sum-phi)
+		}
+		if alloc.Spare <= 0 {
+			t.Errorf("Spare = %g, want > 0 for a stable system", alloc.Spare)
+		}
+	})
+}

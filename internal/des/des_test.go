@@ -8,6 +8,7 @@ import (
 )
 
 func TestConfigValidate(t *testing.T) {
+	t.Parallel()
 	good := Config{
 		Mu:           []float64{2},
 		InterArrival: queueing.NewExponential(1),
@@ -46,6 +47,7 @@ func TestConfigValidate(t *testing.T) {
 // TestMM1ClosedForm validates the simulator against the M/M/1 response
 // time 1/(mu-lambda): a single computer at rho=0.5 must measure ~1/(2-1).
 func TestMM1ClosedForm(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		Mu:           []float64{2},
 		InterArrival: queueing.NewExponential(1),
@@ -73,6 +75,7 @@ func TestMM1ClosedForm(t *testing.T) {
 // TestTwoServerSplit validates probabilistic routing: two identical
 // computers each fed half the stream behave as two independent M/M/1s.
 func TestTwoServerSplit(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		Mu:           []float64{4, 4},
 		InterArrival: queueing.NewExponential(4),
@@ -97,6 +100,7 @@ func TestTwoServerSplit(t *testing.T) {
 // heterogeneous pair equalizes measured response times (Theorem 3.8 in
 // simulation, not just algebra).
 func TestHeterogeneousCOOPEqualization(t *testing.T) {
+	t.Parallel()
 	// mu = (8, 2), phi = 5. COOP: d = (10-5)/2 = 2.5 > mu2? mu2=2 <= 2.5
 	// so computer 2 dropped... pick phi=7: d=(10-7)/2=1.5, lambda=(6.5, 0.5).
 	mu := []float64{8, 2}
@@ -124,6 +128,7 @@ func TestHeterogeneousCOOPEqualization(t *testing.T) {
 // TestMultiUserAccounting checks that per-user statistics reflect each
 // user's own routing.
 func TestMultiUserAccounting(t *testing.T) {
+	t.Parallel()
 	// User 0 routes to the fast computer, user 1 to the slow one.
 	res, err := Run(Config{
 		Mu:           []float64{10, 2},
@@ -152,6 +157,7 @@ func TestMultiUserAccounting(t *testing.T) {
 // qualitative fact behind Figures 3.6/4.8). For M/G/1-like behaviour the
 // gap grows with load.
 func TestHyperExponentialWorse(t *testing.T) {
+	t.Parallel()
 	base := Config{
 		Mu:           []float64{2},
 		InterArrival: queueing.NewExponential(1.6),
@@ -178,6 +184,7 @@ func TestHyperExponentialWorse(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	cfg := Config{
 		Mu:           []float64{3, 1},
 		InterArrival: queueing.NewExponential(2),
@@ -202,6 +209,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestSeedsDiffer(t *testing.T) {
+	t.Parallel()
 	cfg := Config{
 		Mu:           []float64{3},
 		InterArrival: queueing.NewExponential(2),
@@ -220,6 +228,7 @@ func TestSeedsDiffer(t *testing.T) {
 }
 
 func TestUnusedComputerIdle(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		Mu:           []float64{2, 2},
 		InterArrival: queueing.NewExponential(1),
@@ -238,6 +247,7 @@ func TestUnusedComputerIdle(t *testing.T) {
 }
 
 func TestEventQueueOrdering(t *testing.T) {
+	t.Parallel()
 	s := &scheduler{}
 	s.schedule(3, evArrival, -1, nil)
 	s.schedule(1, evDeparture, 0, &job{})
@@ -264,6 +274,7 @@ func TestEventQueueOrdering(t *testing.T) {
 // TestMeasuredUtilization: the busy-time fraction matches the analytic
 // lambda/mu per computer.
 func TestMeasuredUtilization(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		Mu:           []float64{4, 2},
 		InterArrival: queueing.NewExponential(3),
@@ -287,6 +298,7 @@ func TestMeasuredUtilization(t *testing.T) {
 // TestP95MatchesMM1: the M/M/1 response-time distribution is Exp(mu-lambda),
 // so its p95 is -ln(0.05)/(mu-lambda).
 func TestP95MatchesMM1(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		Mu:           []float64{2},
 		InterArrival: queueing.NewExponential(1),

@@ -52,6 +52,11 @@ type DynamicConfig struct {
 	Warmup       float64
 	Seed         uint64
 	Replications int
+	// Workers bounds how many replications execute concurrently, as in
+	// Config.Workers: 0 means runtime.GOMAXPROCS(0), 1 is sequential,
+	// and the result is bit-identical for any value. Policies must be
+	// safe for concurrent use (the surveyed policies are stateless).
+	Workers int
 }
 
 func (c DynamicConfig) validate() error {
@@ -77,6 +82,9 @@ func (c DynamicConfig) validate() error {
 	}
 	if c.Warmup < 0 || c.Warmup >= c.Horizon {
 		return fmt.Errorf("des: warmup %g outside [0, horizon)", c.Warmup)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("des: negative worker count %d", c.Workers)
 	}
 	return nil
 }
@@ -111,18 +119,25 @@ func RunDynamic(cfg DynamicConfig) (DynamicResult, error) {
 		reps = 5
 	}
 
-	root := queueing.NewRNG(cfg.Seed)
+	streams := splitStreams(cfg.Seed, reps)
+	type dynRep struct {
+		acc   metrics.Accumulator
+		moved int
+	}
+	results := make([]dynRep, reps)
+	forEachReplication(reps, workerCount(cfg.Workers, reps), func(r int) {
+		results[r].acc, results[r].moved = runDynamicOnce(cfg, streams[r])
+	})
+
 	means := make([]float64, 0, reps)
 	var transfers float64
 	jobs := 0
 	for r := 0; r < reps; r++ {
-		rng := root.Split(uint64(r))
-		acc, moved := runDynamicOnce(cfg, rng)
-		if acc.N() > 0 {
-			means = append(means, acc.Mean())
+		if results[r].acc.N() > 0 {
+			means = append(means, results[r].acc.Mean())
 		}
-		transfers += float64(moved)
-		jobs += acc.N()
+		transfers += float64(results[r].moved)
+		jobs += results[r].acc.N()
 	}
 	return DynamicResult{
 		Overall:   metrics.Summarize(means),

@@ -44,6 +44,13 @@ type Config struct {
 	// 5, the paper's count.
 	Replications int
 
+	// Workers bounds how many replications execute concurrently. 0 (or
+	// unset) means runtime.GOMAXPROCS(0); 1 forces the sequential path.
+	// Any worker count produces bit-identical results: every replication
+	// draws from its own pre-split random stream and results are
+	// aggregated in replication order.
+	Workers int
+
 	// Breakdowns optionally injects failures: computer i alternates
 	// exponentially distributed up-times (rate FailRate) and repair
 	// times (rate RepairRate). While a computer is down its service
@@ -103,6 +110,9 @@ func (c Config) validate() error {
 	if c.Warmup < 0 || c.Warmup >= c.Horizon {
 		return fmt.Errorf("des: warmup %g outside [0, horizon)", c.Warmup)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("des: negative worker count %d", c.Workers)
+	}
 	if c.Breakdowns != nil {
 		if len(c.Breakdowns) != len(c.Mu) {
 			return fmt.Errorf("des: %d breakdown models for %d computers", len(c.Breakdowns), len(c.Mu))
@@ -152,6 +162,11 @@ type server struct {
 // Run executes the scenario and returns averaged measurements. Each
 // replication simulates Config.Horizon virtual seconds; jobs arriving
 // before Warmup are served but not measured.
+//
+// Replications execute on a bounded worker pool (Config.Workers); the
+// output is bit-identical for any worker count because each replication
+// draws from its own pre-split random stream and the per-replication
+// results are aggregated in replication order (see pool.go).
 func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
@@ -162,6 +177,16 @@ func Run(cfg Config) (Result, error) {
 	}
 	users := len(cfg.Routing)
 
+	streams := splitStreams(cfg.Seed, reps)
+	arrivals := make([]queueing.Distribution, reps)
+	for r := range arrivals {
+		arrivals[r] = forkDistribution(cfg.InterArrival)
+	}
+	results := make([]replication, reps)
+	forEachReplication(reps, workerCount(cfg.Workers, reps), func(r int) {
+		results[r] = runOnce(cfg, arrivals[r], streams[r], users)
+	})
+
 	overall := make([]float64, 0, reps)
 	p95s := make([]float64, 0, reps)
 	perComp := make([][]float64, len(cfg.Mu))
@@ -169,10 +194,8 @@ func Run(cfg Config) (Result, error) {
 	util := make([]float64, len(cfg.Mu))
 	totalJobs := 0
 
-	root := queueing.NewRNG(cfg.Seed)
 	for r := 0; r < reps; r++ {
-		rng := root.Split(uint64(r))
-		rep := runOnce(cfg, rng, users)
+		rep := &results[r]
 		totalJobs += rep.total.N()
 		if rep.total.N() > 0 {
 			overall = append(overall, rep.total.Mean())
@@ -216,7 +239,7 @@ type replication struct {
 	busyTime []float64
 }
 
-func runOnce(cfg Config, rng *queueing.RNG, users int) replication {
+func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, users int) replication {
 	rep := replication{
 		p95:      metrics.MustQuantile(0.95),
 		comp:     make([]metrics.Accumulator, len(cfg.Mu)),
@@ -230,7 +253,7 @@ func runOnce(cfg Config, rng *queueing.RNG, users int) replication {
 	sched := &scheduler{}
 
 	// Prime the arrival stream and the failure processes.
-	sched.schedule(cfg.InterArrival.Sample(rng), evArrival, -1, nil)
+	sched.schedule(interArrival.Sample(rng), evArrival, -1, nil)
 	for i := range cfg.Breakdowns {
 		if cfg.Breakdowns[i].FailRate > 0 {
 			sched.schedule(rng.Exp(cfg.Breakdowns[i].FailRate), evFail, i, nil)
@@ -300,7 +323,7 @@ func runOnce(cfg Config, rng *queueing.RNG, users int) replication {
 		case evArrival:
 			now := ev.time
 			// Next arrival.
-			sched.schedule(now+cfg.InterArrival.Sample(rng), evArrival, -1, nil)
+			sched.schedule(now+interArrival.Sample(rng), evArrival, -1, nil)
 			// Classify and route the job.
 			u := 0
 			if cfg.UserShare != nil {

@@ -8,6 +8,7 @@ import (
 )
 
 func TestBreakdownValidation(t *testing.T) {
+	t.Parallel()
 	base := Config{
 		Mu:           []float64{2, 2},
 		InterArrival: queueing.NewExponential(1),
@@ -39,6 +40,7 @@ func TestBreakdownValidation(t *testing.T) {
 // TestZeroFailRateIsNoop: an all-zero breakdown model reproduces the
 // failure-free results exactly (same random stream consumption).
 func TestZeroFailRateIsNoop(t *testing.T) {
+	t.Parallel()
 	base := Config{
 		Mu:           []float64{3, 1},
 		InterArrival: queueing.NewExponential(2),
@@ -67,6 +69,7 @@ func TestZeroFailRateIsNoop(t *testing.T) {
 // TestFailuresDegradeService: injecting failures raises the measured
 // response time but every admitted job still completes.
 func TestFailuresDegradeService(t *testing.T) {
+	t.Parallel()
 	base := Config{
 		Mu:           []float64{2, 2},
 		InterArrival: queueing.NewExponential(2),
@@ -105,6 +108,7 @@ func TestFailuresDegradeService(t *testing.T) {
 // frequently, the other absorbs most of the flow and the system stays
 // far more stable than the naive split would be.
 func TestDispatcherReroutesAroundDownComputer(t *testing.T) {
+	t.Parallel()
 	cfg := Config{
 		Mu:           []float64{5, 5},
 		InterArrival: queueing.NewExponential(3),
@@ -137,6 +141,7 @@ func TestDispatcherReroutesAroundDownComputer(t *testing.T) {
 // TestAllDownQueues: when every routable computer is down, jobs wait for
 // repair rather than being lost.
 func TestAllDownQueues(t *testing.T) {
+	t.Parallel()
 	cfg := Config{
 		Mu:           []float64{4},
 		InterArrival: queueing.NewExponential(1),

@@ -1,0 +1,210 @@
+package des
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gtlb/internal/queueing"
+)
+
+// The determinism contract of the parallel engine: for a fixed Config,
+// des.Run returns byte-identical Result structs at every worker count.
+// This is what makes all parallelism work on the simulation stack safe —
+// any future change that breaks it fails these tests immediately.
+
+// parallelScenarios are the configurations the table-driven determinism
+// test replays at worker counts 1, 2, 4 and 8. They cover the features
+// whose interleaving could plausibly leak across replications: multiple
+// users, hyper-exponential arrivals, breakdown/repair processes, and
+// more replications than workers.
+func parallelScenarios(t *testing.T) map[string]Config {
+	t.Helper()
+	h2, err := queueing.NewHyperExponential(1.0/3, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Config{
+		"single server": {
+			Mu:           []float64{2},
+			InterArrival: queueing.NewExponential(1),
+			Routing:      [][]float64{{1}},
+			Horizon:      400,
+			Warmup:       20,
+			Seed:         1,
+			Replications: 6,
+		},
+		"heterogeneous multi-user": {
+			Mu:           []float64{5, 2, 1},
+			InterArrival: queueing.NewExponential(4),
+			UserShare:    []float64{0.6, 0.4},
+			Routing:      [][]float64{{0.7, 0.2, 0.1}, {0.3, 0.4, 0.3}},
+			Horizon:      300,
+			Warmup:       15,
+			Seed:         99,
+			Replications: 8,
+		},
+		"hyper-exponential arrivals": {
+			Mu:           []float64{3, 3},
+			InterArrival: h2,
+			Routing:      [][]float64{{0.5, 0.5}},
+			Horizon:      300,
+			Warmup:       10,
+			Seed:         7,
+			Replications: 5,
+		},
+		"with breakdowns": {
+			Mu:           []float64{4, 4},
+			InterArrival: queueing.NewExponential(3),
+			Routing:      [][]float64{{0.5, 0.5}},
+			Horizon:      300,
+			Warmup:       10,
+			Seed:         21,
+			Replications: 7,
+			Breakdowns: []Breakdown{
+				{FailRate: 0.05, RepairRate: 1},
+				{FailRate: 0.02, RepairRate: 0.5},
+			},
+		},
+	}
+}
+
+// TestParallelRunBitIdentical is the determinism regression test: the
+// Result of des.Run must be byte-identical across worker counts.
+func TestParallelRunBitIdentical(t *testing.T) {
+	t.Parallel()
+	for name, cfg := range parallelScenarios(t) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg.Workers = 1
+			want, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			if want.Jobs == 0 {
+				t.Fatal("scenario produced no jobs; test is vacuous")
+			}
+			for _, workers := range []int{2, 4, 8} {
+				cfg.Workers = workers
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: result differs from sequential run\n got: %+v\nwant: %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDynamicBitIdentical checks the same contract for the
+// dynamic-mode simulator.
+func TestParallelDynamicBitIdentical(t *testing.T) {
+	t.Parallel()
+	cfg := DynamicConfig{
+		Mu:            []float64{4, 4, 2},
+		Lambda:        []float64{2.8, 2.8, 1.4},
+		TransferDelay: 0.01,
+		Horizon:       300,
+		Warmup:        15,
+		Seed:          5,
+		Replications:  6,
+		Workers:       1,
+	}
+	want, err := RunDynamic(cfg)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if want.Jobs == 0 {
+		t.Fatal("scenario produced no jobs; test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg.Workers = workers
+		got, err := RunDynamic(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: result differs from sequential run\n got: %+v\nwant: %+v", workers, got, want)
+		}
+	}
+}
+
+// TestParallelRunProperty drives the contract over randomized small
+// configs with quick.Check: any valid config must give identical results
+// at 1 and 3 workers. 3 exercises the uneven replication/worker split.
+func TestParallelRunProperty(t *testing.T) {
+	t.Parallel()
+	property := func(seed uint64, nRaw, repsRaw uint8, load float64) bool {
+		rng := queueing.NewRNG(seed)
+		n := 1 + int(nRaw%4)
+		reps := 1 + int(repsRaw%6)
+		mu := make([]float64, n)
+		routing := make([]float64, n)
+		var totalMu, totalW float64
+		for i := range mu {
+			mu[i] = 0.5 + 4*rng.Float64()
+			totalMu += mu[i]
+			routing[i] = 0.1 + rng.Float64()
+			totalW += routing[i]
+		}
+		for i := range routing {
+			routing[i] /= totalW
+		}
+		frac := math.Abs(load)
+		if !(frac < 1e12) { // also catches NaN/Inf from the generator
+			frac = 0.5
+		}
+		load = 0.1 + 0.8*(frac-math.Floor(frac)) // utilization in [0.1, 0.9)
+		cfg := Config{
+			Mu:           mu,
+			InterArrival: queueing.NewExponential(load * totalMu),
+			Routing:      [][]float64{routing},
+			Horizon:      120,
+			Warmup:       6,
+			Seed:         seed,
+			Replications: reps,
+			Workers:      1,
+		}
+		want, err := Run(cfg)
+		if err != nil {
+			t.Logf("unexpected config error: %v", err)
+			return false
+		}
+		cfg.Workers = 3
+		got, err := Run(cfg)
+		if err != nil {
+			t.Logf("parallel run error: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNegativeWorkersRejected: validation covers the new field.
+func TestNegativeWorkersRejected(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Mu:           []float64{2},
+		InterArrival: queueing.NewExponential(1),
+		Routing:      [][]float64{{1}},
+		Horizon:      10,
+		Workers:      -1,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative Workers accepted by Run")
+	}
+	dcfg := DynamicConfig{
+		Mu: []float64{2}, Lambda: []float64{1},
+		Horizon: 10, Workers: -2,
+	}
+	if _, err := RunDynamic(dcfg); err == nil {
+		t.Error("negative Workers accepted by RunDynamic")
+	}
+}

@@ -1,0 +1,95 @@
+package des
+
+import (
+	"runtime"
+	"sync"
+
+	"gtlb/internal/queueing"
+)
+
+// This file holds the replication worker pool shared by the static (Run)
+// and dynamic (RunDynamic) simulation modes. The determinism contract:
+// for a fixed Config, every worker count produces bit-identical results.
+// Two mechanisms make that true:
+//
+//  1. Random streams are pre-split from the root generator in replication
+//     order before any replication starts, so the stream handed to
+//     replication r never depends on goroutine scheduling.
+//  2. Per-replication results land in an index-addressed slice and are
+//     aggregated sequentially in replication order afterwards, so
+//     floating-point reduction order matches the sequential run exactly.
+
+// workerCount resolves the configured worker count: 0 means
+// runtime.GOMAXPROCS(0), and the pool never exceeds the replication
+// count.
+func workerCount(configured, reps int) int {
+	w := configured
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > reps {
+		w = reps
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// splitStreams derives one independent random stream per replication
+// from the root seed, in replication order (the paper's "different
+// random number streams", §3.4.1).
+func splitStreams(seed uint64, reps int) []*queueing.RNG {
+	root := queueing.NewRNG(seed)
+	streams := make([]*queueing.RNG, reps)
+	for r := range streams {
+		streams[r] = root.Split(uint64(r))
+	}
+	return streams
+}
+
+// forEachReplication runs fn(r) for every replication index on a bounded
+// pool of workers. workers == 1 runs inline on the caller's goroutine
+// (the exact sequential path); otherwise indices are handed out through
+// a channel so long replications don't stall the rest of the batch.
+func forEachReplication(reps, workers int, fn func(r int)) {
+	if workers <= 1 {
+		for r := 0; r < reps; r++ {
+			fn(r)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range idx {
+				fn(r)
+			}
+		}()
+	}
+	for r := 0; r < reps; r++ {
+		idx <- r
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// streamForker is implemented by stateful inter-arrival distributions
+// (e.g. workload.Replay, which carries a cursor) that must hand each
+// replication its own independent copy. Stateless value distributions
+// (Exponential, HyperExponential, Deterministic) are shared as-is.
+type streamForker interface {
+	Fork() queueing.Distribution
+}
+
+// forkDistribution returns an independent per-replication copy of d when
+// d carries mutable state, and d itself otherwise.
+func forkDistribution(d queueing.Distribution) queueing.Distribution {
+	if f, ok := d.(streamForker); ok {
+		return f.Fork()
+	}
+	return d
+}

@@ -10,6 +10,7 @@ import (
 )
 
 func TestMemNetworkBasic(t *testing.T) {
+	t.Parallel()
 	n := NewMemNetwork()
 	a, err := n.Join("a")
 	if err != nil {
@@ -40,6 +41,7 @@ func TestMemNetworkBasic(t *testing.T) {
 }
 
 func TestMemNetworkDuplicateJoin(t *testing.T) {
+	t.Parallel()
 	n := NewMemNetwork()
 	if _, err := n.Join("x"); err != nil {
 		t.Fatal(err)
@@ -50,6 +52,7 @@ func TestMemNetworkDuplicateJoin(t *testing.T) {
 }
 
 func TestMemNetworkUnknownRecipient(t *testing.T) {
+	t.Parallel()
 	n := NewMemNetwork()
 	a, _ := n.Join("a")
 	if err := a.Send(Message{To: "ghost", Kind: "x"}); err == nil {
@@ -58,6 +61,7 @@ func TestMemNetworkUnknownRecipient(t *testing.T) {
 }
 
 func TestMemNetworkClose(t *testing.T) {
+	t.Parallel()
 	n := NewMemNetwork()
 	a, _ := n.Join("a")
 	done := make(chan error, 1)
@@ -76,6 +80,7 @@ func TestMemNetworkClose(t *testing.T) {
 }
 
 func TestMessageDecodeError(t *testing.T) {
+	t.Parallel()
 	m := Message{Kind: "x", Data: []byte{0xff, 0x01}}
 	var s string
 	if err := m.Decode(&s); err == nil {
@@ -84,6 +89,7 @@ func TestMessageDecodeError(t *testing.T) {
 }
 
 func TestTCPNetworkRoundTrip(t *testing.T) {
+	t.Parallel()
 	netw, _, closeFn, err := NewTCPNetwork("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -140,6 +146,7 @@ func paperSystem(t *testing.T, rho float64) noncoop.System {
 // TestNashRingMatchesCentralized: the distributed protocol must reach the
 // same equilibrium as the centralized iteration of internal/noncoop.
 func TestNashRingMatchesCentralized(t *testing.T) {
+	t.Parallel()
 	sys := paperSystem(t, 0.6)
 	res, err := RunNashRing(NewMemNetwork(), sys, 1e-9, 0)
 	if err != nil {
@@ -169,6 +176,7 @@ func TestNashRingMatchesCentralized(t *testing.T) {
 }
 
 func TestNashRingOverTCP(t *testing.T) {
+	t.Parallel()
 	netw, _, closeFn, err := NewTCPNetwork("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +197,7 @@ func TestNashRingOverTCP(t *testing.T) {
 }
 
 func TestNashRingSingleUser(t *testing.T) {
+	t.Parallel()
 	sys, err := noncoop.NewSystem([]float64{10, 5}, []float64{6})
 	if err != nil {
 		t.Fatal(err)
@@ -203,6 +212,7 @@ func TestNashRingSingleUser(t *testing.T) {
 }
 
 func TestNashRingIterationBudget(t *testing.T) {
+	t.Parallel()
 	sys := paperSystem(t, 0.9)
 	if _, err := RunNashRing(NewMemNetwork(), sys, 1e-15, 2); err == nil {
 		t.Error("expected failure with a two-iteration budget")
@@ -210,6 +220,7 @@ func TestNashRingIterationBudget(t *testing.T) {
 }
 
 func TestNashRingInvalidSystem(t *testing.T) {
+	t.Parallel()
 	bad := noncoop.System{Mu: []float64{1}, Phi: []float64{2}}
 	if _, err := RunNashRing(NewMemNetwork(), bad, 0, 0); err == nil {
 		t.Error("invalid system accepted")
@@ -234,6 +245,7 @@ func table51Values() []float64 {
 // agents and checks that every computer's own report matches the
 // dispatcher's outcome and that nobody loses money.
 func TestLBMTruthfulRound(t *testing.T) {
+	t.Parallel()
 	trueVals := table51Values()
 	policies := make([]BidPolicy, len(trueVals))
 	res, err := RunLBM(NewMemNetwork(), trueVals, policies, 0.5*0.663)
@@ -260,6 +272,7 @@ func TestLBMTruthfulRound(t *testing.T) {
 // with a lower profit than in the truthful round (Theorem 5.2 through
 // the protocol).
 func TestLBMLyingAgentPenalized(t *testing.T) {
+	t.Parallel()
 	trueVals := table51Values()
 	phi := 0.5 * 0.663
 
@@ -283,6 +296,7 @@ func TestLBMLyingAgentPenalized(t *testing.T) {
 }
 
 func TestLBMOverTCP(t *testing.T) {
+	t.Parallel()
 	netw, _, closeFn, err := NewTCPNetwork("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -303,6 +317,7 @@ func TestLBMOverTCP(t *testing.T) {
 }
 
 func TestLBMValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := RunLBM(NewMemNetwork(), nil, nil, 1); err == nil {
 		t.Error("empty system accepted")
 	}
@@ -312,6 +327,7 @@ func TestLBMValidation(t *testing.T) {
 }
 
 func TestConcurrentSends(t *testing.T) {
+	t.Parallel()
 	// The in-memory transport must tolerate many concurrent senders.
 	n := NewMemNetwork()
 	sink, _ := n.Join("sink")
@@ -353,6 +369,7 @@ func TestConcurrentSends(t *testing.T) {
 }
 
 func TestLBMService(t *testing.T) {
+	t.Parallel()
 	trueVals := table51Values()
 	svc, err := NewLBMService(NewMemNetwork, trueVals, nil)
 	if err != nil {
@@ -406,6 +423,7 @@ func TestLBMService(t *testing.T) {
 }
 
 func TestLBMServiceValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewLBMService(nil, []float64{1}, nil); err == nil {
 		t.Error("nil factory accepted")
 	}

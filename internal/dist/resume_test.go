@@ -11,6 +11,7 @@ import (
 // checkpoint profile; restarting from it reaches the same equilibrium as
 // an uninterrupted run — the node-restart story promised in DESIGN.md.
 func TestNashRingResume(t *testing.T) {
+	t.Parallel()
 	sys := paperSystem(t, 0.7)
 
 	// Phase 1: crash after 3 rounds.
@@ -58,6 +59,7 @@ func TestNashRingResume(t *testing.T) {
 }
 
 func TestNashRingFromRejectsBadCheckpoint(t *testing.T) {
+	t.Parallel()
 	sys := paperSystem(t, 0.5)
 	bad := noncoop.NewProfile(sys.NumUsers(), sys.NumComputers()) // rows sum to 0
 	if _, err := RunNashRingFrom(NewMemNetwork(), sys, bad, 1e-9, 0); err == nil {

@@ -62,6 +62,16 @@ func (n *tcpNetwork) serve(c net.Conn) {
 	n.conn[name] = enc
 	n.encM[name] = mu
 	n.mu.Unlock()
+	// Ack the hello only after the node is registered: Join blocks on this
+	// ack, so once any node's Join returns, messages sent to it cannot be
+	// dropped as "recipient unknown" by a broker that has not caught up.
+	mu.Lock()
+	err := enc.Encode(Message{To: name, Kind: "hello.ok"})
+	mu.Unlock()
+	if err != nil {
+		c.Close()
+		return
+	}
 	defer func() {
 		n.mu.Lock()
 		delete(n.conn, name)
@@ -102,6 +112,14 @@ func (n *tcpNetwork) Join(name string) (Conn, error) {
 	if err := tc.enc.Encode(Message{From: name, Kind: "hello"}); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("dist: hello: %w", err)
+	}
+	// Wait for the broker's registration ack (see serve); without it a
+	// message addressed to this node could race ahead of its registration
+	// and be dropped.
+	var ack Message
+	if err := tc.dec.Decode(&ack); err != nil || ack.Kind != "hello.ok" {
+		c.Close()
+		return nil, fmt.Errorf("dist: no hello ack for %q (kind=%q, err=%v)", name, ack.Kind, err)
 	}
 	return tc, nil
 }

@@ -72,16 +72,25 @@ type Network interface {
 // ErrClosed is returned by Recv after Close.
 var ErrClosed = errors.New("dist: connection closed")
 
-// memNetwork is the in-memory transport: a mailbox channel per node.
+// memNetwork is the in-memory transport: a mailbox per node.
 type memNetwork struct {
 	mu    sync.Mutex
-	boxes map[string]chan Message
+	boxes map[string]*mailbox
+}
+
+// mailbox is one node's message queue. The message channel is never
+// closed — closure is signalled on done instead, so a Send racing with
+// the recipient's Close selects the done case rather than panicking on
+// a closed channel (a send/close race the race detector rightly flags).
+type mailbox struct {
+	ch   chan Message
+	done chan struct{}
 }
 
 // NewMemNetwork returns an in-memory Network. Mailboxes are buffered so
 // protocol fan-out (a dispatcher messaging n computers) cannot deadlock.
 func NewMemNetwork() Network {
-	return &memNetwork{boxes: make(map[string]chan Message)}
+	return &memNetwork{boxes: make(map[string]*mailbox)}
 }
 
 func (n *memNetwork) Join(name string) (Conn, error) {
@@ -90,12 +99,12 @@ func (n *memNetwork) Join(name string) (Conn, error) {
 	if _, dup := n.boxes[name]; dup {
 		return nil, fmt.Errorf("dist: node %q already joined", name)
 	}
-	box := make(chan Message, 1024)
+	box := &mailbox{ch: make(chan Message, 1024), done: make(chan struct{})}
 	n.boxes[name] = box
 	return &memConn{net: n, name: name, box: box}, nil
 }
 
-func (n *memNetwork) lookup(name string) (chan Message, bool) {
+func (n *memNetwork) lookup(name string) (*mailbox, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	box, ok := n.boxes[name]
@@ -106,7 +115,7 @@ func (n *memNetwork) leave(name string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if box, ok := n.boxes[name]; ok {
-		close(box)
+		close(box.done)
 		delete(n.boxes, name)
 	}
 }
@@ -114,36 +123,47 @@ func (n *memNetwork) leave(name string) {
 type memConn struct {
 	net  *memNetwork
 	name string
-	box  chan Message
+	box  *mailbox
 
 	closeOnce sync.Once
 }
 
 func (c *memConn) Name() string { return c.name }
 
-func (c *memConn) Send(m Message) (err error) {
+func (c *memConn) Send(m Message) error {
 	m.From = c.name
 	box, ok := c.net.lookup(m.To)
 	if !ok {
 		return fmt.Errorf("dist: unknown node %q", m.To)
 	}
-	// Racing with the recipient's Close can panic on the closed channel;
-	// surface that as an error instead.
-	defer func() {
-		if recover() != nil {
-			err = fmt.Errorf("dist: node %q closed", m.To)
-		}
-	}()
-	box <- m
-	return nil
+	select {
+	case box.ch <- m:
+		return nil
+	case <-box.done:
+		return fmt.Errorf("dist: node %q closed", m.To)
+	}
 }
 
 func (c *memConn) Recv() (Message, error) {
-	m, ok := <-c.box
-	if !ok {
-		return Message{}, ErrClosed
+	select {
+	case m := <-c.box.ch:
+		return m, nil
+	default:
 	}
-	return m, nil
+	select {
+	case m := <-c.box.ch:
+		return m, nil
+	case <-c.box.done:
+		// Closed — but drain messages that arrived before the close, in
+		// case the blocking select picked the done case over a ready
+		// message (select order is randomized).
+		select {
+		case m := <-c.box.ch:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
 }
 
 func (c *memConn) Close() error {

@@ -202,46 +202,65 @@ func fig36(opt fig36Opts) (Figure, error) {
 	}
 	respPanel := Panel{Title: "Expected response time (sec, x1000 scale)", XLabel: "utilization", YLabel: "E[T]"}
 	fairPanel := Panel{Title: "Fairness index I (per-computer)", XLabel: "utilization", YLabel: "I"}
-	for _, a := range schemes.All() {
+	allocs := schemes.All()
+	// One grid cell per (scheme, utilization) pair; every cell runs its
+	// own simulation with the same fixed seed the sequential sweep used,
+	// so the figure is identical at any worker count.
+	type cellRes struct {
+		mean, stderr, fair float64
+	}
+	cells, err := runGrid(cross(len(allocs), len(opt.rhos)), func(_ int, c crossIndex) (cellRes, error) {
+		rho := opt.rhos[c.col]
+		phi := rho * totalMu
+		lam, err := allocs[c.row].Allocate(mu, phi)
+		if err != nil {
+			return cellRes{}, err
+		}
+		routing := make([]float64, len(lam))
+		for i, l := range lam {
+			routing[i] = l / phi
+		}
+		arrivals, err := queueing.NewHyperExponential(1/phi, 1.6)
+		if err != nil {
+			return cellRes{}, err
+		}
+		res, err := des.Run(des.Config{
+			Mu:           mu,
+			InterArrival: arrivals,
+			Routing:      [][]float64{routing},
+			Horizon:      opt.horizon,
+			Warmup:       opt.warmup,
+			Seed:         42,
+			Replications: opt.replications,
+		})
+		if err != nil {
+			return cellRes{}, err
+		}
+		perComp := make([]float64, 0, len(mu))
+		for _, s := range res.PerComputer {
+			if s.N > 0 {
+				perComp = append(perComp, s.Mean)
+			}
+		}
+		return cellRes{
+			mean:   res.Overall.Mean,
+			stderr: res.Overall.StdErr,
+			fair:   metrics.FairnessIndex(perComp),
+		}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for si, a := range allocs {
 		rs := Series{Name: a.Name()}
 		fs := Series{Name: a.Name()}
-		for _, rho := range opt.rhos {
-			phi := rho * totalMu
-			lam, err := a.Allocate(mu, phi)
-			if err != nil {
-				return Figure{}, err
-			}
-			routing := make([]float64, len(lam))
-			for i, l := range lam {
-				routing[i] = l / phi
-			}
-			arrivals, err := queueing.NewHyperExponential(1/phi, 1.6)
-			if err != nil {
-				return Figure{}, err
-			}
-			res, err := des.Run(des.Config{
-				Mu:           mu,
-				InterArrival: arrivals,
-				Routing:      [][]float64{routing},
-				Horizon:      opt.horizon,
-				Warmup:       opt.warmup,
-				Seed:         42,
-				Replications: opt.replications,
-			})
-			if err != nil {
-				return Figure{}, err
-			}
+		for ri, rho := range opt.rhos {
+			cell := cells[si*len(opt.rhos)+ri]
 			rs.X = append(rs.X, rho)
-			rs.Y = append(rs.Y, res.Overall.Mean)
-			rs.Err = append(rs.Err, res.Overall.StdErr)
-			perComp := make([]float64, 0, len(mu))
-			for _, s := range res.PerComputer {
-				if s.N > 0 {
-					perComp = append(perComp, s.Mean)
-				}
-			}
+			rs.Y = append(rs.Y, cell.mean)
+			rs.Err = append(rs.Err, cell.stderr)
 			fs.X = append(fs.X, rho)
-			fs.Y = append(fs.Y, metrics.FairnessIndex(perComp))
+			fs.Y = append(fs.Y, cell.fair)
 		}
 		respPanel.Series = append(respPanel.Series, rs)
 		fairPanel.Series = append(fairPanel.Series, fs)

@@ -234,51 +234,67 @@ func Fig4_7() (Figure, error) {
 func fig48(opt fig36Opts) (Figure, error) {
 	respPanel := Panel{Title: "Expected response time (sec)", XLabel: "utilization", YLabel: "E[T]"}
 	fairPanel := Panel{Title: "Fairness index I (users)", XLabel: "utilization", YLabel: "I"}
-	for _, sch := range noncoop.AllSchemes() {
+	schs := noncoop.AllSchemes()
+	type cellRes struct {
+		mean, stderr, fair float64
+	}
+	cells, err := runGrid(cross(len(schs), len(opt.rhos)), func(_ int, c crossIndex) (cellRes, error) {
+		rho := opt.rhos[c.col]
+		sys, err := ch4System(rho)
+		if err != nil {
+			return cellRes{}, err
+		}
+		prof, err := schs[c.row].Profile(sys)
+		if err != nil {
+			return cellRes{}, err
+		}
+		total := sys.TotalPhi()
+		share := make([]float64, sys.NumUsers())
+		for j, f := range sys.Phi {
+			share[j] = f / total
+		}
+		arrivals, err := queueing.NewHyperExponential(1/total, 1.6)
+		if err != nil {
+			return cellRes{}, err
+		}
+		res, err := des.Run(des.Config{
+			Mu:           sys.Mu,
+			InterArrival: arrivals,
+			UserShare:    share,
+			Routing:      prof.S,
+			Horizon:      opt.horizon,
+			Warmup:       opt.warmup,
+			Seed:         7,
+			Replications: opt.replications,
+		})
+		if err != nil {
+			return cellRes{}, err
+		}
+		userTimes := make([]float64, 0, sys.NumUsers())
+		for _, s := range res.PerUser {
+			if s.N > 0 {
+				userTimes = append(userTimes, s.Mean)
+			}
+		}
+		return cellRes{
+			mean:   res.Overall.Mean,
+			stderr: res.Overall.StdErr,
+			fair:   metrics.FairnessIndex(userTimes),
+		}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for si, sch := range schs {
 		rs := Series{Name: sch.Name()}
 		fs := Series{Name: sch.Name()}
-		for _, rho := range opt.rhos {
-			sys, err := ch4System(rho)
-			if err != nil {
-				return Figure{}, err
-			}
-			prof, err := sch.Profile(sys)
-			if err != nil {
-				return Figure{}, err
-			}
-			total := sys.TotalPhi()
-			share := make([]float64, sys.NumUsers())
-			for j, f := range sys.Phi {
-				share[j] = f / total
-			}
-			arrivals, err := queueing.NewHyperExponential(1/total, 1.6)
-			if err != nil {
-				return Figure{}, err
-			}
-			res, err := des.Run(des.Config{
-				Mu:           sys.Mu,
-				InterArrival: arrivals,
-				UserShare:    share,
-				Routing:      prof.S,
-				Horizon:      opt.horizon,
-				Warmup:       opt.warmup,
-				Seed:         7,
-				Replications: opt.replications,
-			})
-			if err != nil {
-				return Figure{}, err
-			}
+		for ri, rho := range opt.rhos {
+			cell := cells[si*len(opt.rhos)+ri]
 			rs.X = append(rs.X, rho)
-			rs.Y = append(rs.Y, res.Overall.Mean)
-			rs.Err = append(rs.Err, res.Overall.StdErr)
-			userTimes := make([]float64, 0, sys.NumUsers())
-			for _, s := range res.PerUser {
-				if s.N > 0 {
-					userTimes = append(userTimes, s.Mean)
-				}
-			}
+			rs.Y = append(rs.Y, cell.mean)
+			rs.Err = append(rs.Err, cell.stderr)
 			fs.X = append(fs.X, rho)
-			fs.Y = append(fs.Y, metrics.FairnessIndex(userTimes))
+			fs.Y = append(fs.Y, cell.fair)
 		}
 		respPanel.Series = append(respPanel.Series, rs)
 		fairPanel.Series = append(fairPanel.Series, fs)

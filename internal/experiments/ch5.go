@@ -77,30 +77,44 @@ func Fig5_2() (Figure, error) {
 	trueVals := Ch5TrueValues()
 	p := Panel{Title: "Performance degradation (%)", XLabel: "utilization", YLabel: "PD (%)"}
 	notes := []string{"PD = (T_false - T_true)/T_true x 100, loads from false bids executed on true rates"}
+	scenarios := ch5Scenarios()[1:] // high and low only
+	rhos := utilizationSweep()
+	type cellRes struct {
+		pd        float64
+		simulated bool
+	}
+	cells, err := runGrid(cross(len(scenarios), len(rhos)), func(_ int, c crossIndex) (cellRes, error) {
+		rho := rhos[c.col]
+		m := mechanism.Mechanism{Phi: rho * Ch3TotalMu}
+		falseLoads, err := m.Allocate(ch5Bids(trueVals, scenarios[c.row].factor))
+		if err != nil {
+			return cellRes{}, err
+		}
+		trueLoads, err := m.Allocate(trueVals)
+		if err != nil {
+			return cellRes{}, err
+		}
+		tTrue := mechanism.TrueResponseTime(trueLoads, trueVals)
+		tFalse, simulated, err := ch5Response(trueVals, falseLoads, m.Phi)
+		if err != nil {
+			return cellRes{}, err
+		}
+		return cellRes{pd: (tFalse - tTrue) / tTrue * 100, simulated: simulated}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
 	simNoted := false
-	for _, sc := range ch5Scenarios()[1:] { // high and low only
+	for si, sc := range scenarios {
 		s := Series{Name: sc.name}
-		for _, rho := range utilizationSweep() {
-			m := mechanism.Mechanism{Phi: rho * Ch3TotalMu}
-			falseLoads, err := m.Allocate(ch5Bids(trueVals, sc.factor))
-			if err != nil {
-				return Figure{}, err
-			}
-			trueLoads, err := m.Allocate(trueVals)
-			if err != nil {
-				return Figure{}, err
-			}
-			tTrue := mechanism.TrueResponseTime(trueLoads, trueVals)
-			tFalse, simulated, err := ch5Response(trueVals, falseLoads, m.Phi)
-			if err != nil {
-				return Figure{}, err
-			}
-			if simulated && !simNoted {
+		for ri, rho := range rhos {
+			cell := cells[si*len(rhos)+ri]
+			if cell.simulated && !simNoted {
 				notes = append(notes, "points where underbidding overloads C1 are estimated by finite-horizon simulation (the analytic M/M/1 value is infinite)")
 				simNoted = true
 			}
 			s.X = append(s.X, rho)
-			s.Y = append(s.Y, (tFalse-tTrue)/tTrue*100)
+			s.Y = append(s.Y, cell.pd)
 		}
 		p.Series = append(p.Series, s)
 	}

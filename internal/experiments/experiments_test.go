@@ -32,6 +32,7 @@ func at(t *testing.T, s Series, x float64) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
 	// All 25 tables/figures of the four evaluation sections.
 	want := []string{
 		"T3.1", "F3.1", "F3.2", "F3.3", "F3.4", "F3.5", "F3.6",
@@ -56,12 +57,14 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestGenerateUnknown(t *testing.T) {
+	t.Parallel()
 	if _, err := Generate("F9.9"); err == nil {
 		t.Error("unknown id accepted")
 	}
 }
 
 func TestFig3_1PaperShape(t *testing.T) {
+	t.Parallel()
 	f, err := Fig3_1()
 	if err != nil {
 		t.Fatal(err)
@@ -100,6 +103,7 @@ func TestFig3_1PaperShape(t *testing.T) {
 }
 
 func TestFig3_2EqualTimes(t *testing.T) {
+	t.Parallel()
 	f, err := Fig3_2()
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +137,7 @@ func TestFig3_2EqualTimes(t *testing.T) {
 }
 
 func TestFig3_3AllUsed(t *testing.T) {
+	t.Parallel()
 	f, err := Fig3_3()
 	if err != nil {
 		t.Fatal(err)
@@ -146,6 +151,7 @@ func TestFig3_3AllUsed(t *testing.T) {
 }
 
 func TestFig3_4Shape(t *testing.T) {
+	t.Parallel()
 	f, err := Fig3_4()
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +173,7 @@ func TestFig3_4Shape(t *testing.T) {
 }
 
 func TestFig3_5Shape(t *testing.T) {
+	t.Parallel()
 	f, err := Fig3_5()
 	if err != nil {
 		t.Fatal(err)
@@ -188,6 +195,7 @@ func TestFig3_5Shape(t *testing.T) {
 }
 
 func TestFig3_6Simulated(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
@@ -212,6 +220,7 @@ func TestFig3_6Simulated(t *testing.T) {
 }
 
 func TestFig4_2NormsShrink(t *testing.T) {
+	t.Parallel()
 	f, err := Fig4_2()
 	if err != nil {
 		t.Fatal(err)
@@ -233,6 +242,7 @@ func TestFig4_2NormsShrink(t *testing.T) {
 }
 
 func TestFig4_3FewerIterationsForNashP(t *testing.T) {
+	t.Parallel()
 	f, err := Fig4_3()
 	if err != nil {
 		t.Fatal(err)
@@ -248,6 +258,7 @@ func TestFig4_3FewerIterationsForNashP(t *testing.T) {
 }
 
 func TestFig4_4PaperShape(t *testing.T) {
+	t.Parallel()
 	f, err := Fig4_4()
 	if err != nil {
 		t.Fatal(err)
@@ -274,6 +285,7 @@ func TestFig4_4PaperShape(t *testing.T) {
 }
 
 func TestFig4_5GOSUnequal(t *testing.T) {
+	t.Parallel()
 	f, err := Fig4_5()
 	if err != nil {
 		t.Fatal(err)
@@ -296,6 +308,7 @@ func TestFig4_5GOSUnequal(t *testing.T) {
 }
 
 func TestFig4_6And4_7Generate(t *testing.T) {
+	t.Parallel()
 	for _, gen := range []Generator{Fig4_6, Fig4_7} {
 		f, err := gen()
 		if err != nil {
@@ -313,6 +326,7 @@ func TestFig4_6And4_7Generate(t *testing.T) {
 }
 
 func TestFig4_8Simulated(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
@@ -329,6 +343,7 @@ func TestFig4_8Simulated(t *testing.T) {
 }
 
 func TestFig5_2PaperShape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("uses simulation fallback at high load")
 	}
@@ -356,6 +371,7 @@ func TestFig5_2PaperShape(t *testing.T) {
 }
 
 func TestFig5_3UnderbidUnfairAtHighLoad(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("uses simulation fallback at high load")
 	}
@@ -377,6 +393,7 @@ func TestFig5_3UnderbidUnfairAtHighLoad(t *testing.T) {
 }
 
 func TestFig5_4TruthMaximizesProfit(t *testing.T) {
+	t.Parallel()
 	f, err := Fig5_4()
 	if err != nil {
 		t.Fatal(err)
@@ -391,6 +408,7 @@ func TestFig5_4TruthMaximizesProfit(t *testing.T) {
 }
 
 func TestFig5_5And5_6Fractions(t *testing.T) {
+	t.Parallel()
 	for _, gen := range []Generator{Fig5_5, Fig5_6} {
 		f, err := gen()
 		if err != nil {
@@ -406,6 +424,7 @@ func TestFig5_5And5_6Fractions(t *testing.T) {
 }
 
 func TestFig5_7CostShareFalls(t *testing.T) {
+	t.Parallel()
 	f, err := Fig5_7()
 	if err != nil {
 		t.Fatal(err)
@@ -420,6 +439,7 @@ func TestFig5_7CostShareFalls(t *testing.T) {
 }
 
 func TestFig6_1Anchors(t *testing.T) {
+	t.Parallel()
 	f, err := Fig6_1()
 	if err != nil {
 		t.Fatal(err)
@@ -435,6 +455,7 @@ func TestFig6_1Anchors(t *testing.T) {
 }
 
 func TestFig6_2TruthBest(t *testing.T) {
+	t.Parallel()
 	f, err := Fig6_2()
 	if err != nil {
 		t.Fatal(err)
@@ -452,6 +473,7 @@ func TestFig6_2TruthBest(t *testing.T) {
 }
 
 func TestFig6_3to6_5Generate(t *testing.T) {
+	t.Parallel()
 	for _, gen := range []Generator{Fig6_3, Fig6_4, Fig6_5} {
 		f, err := gen()
 		if err != nil {
@@ -472,6 +494,7 @@ func TestFig6_3to6_5Generate(t *testing.T) {
 }
 
 func TestFig6_6Frugality(t *testing.T) {
+	t.Parallel()
 	f, err := Fig6_6()
 	if err != nil {
 		t.Fatal(err)
@@ -489,6 +512,7 @@ func TestFig6_6Frugality(t *testing.T) {
 }
 
 func TestTablesRender(t *testing.T) {
+	t.Parallel()
 	for _, id := range []string{"T3.1", "T4.1", "T5.1", "T6.1", "T6.2"} {
 		f, err := Generate(id)
 		if err != nil {
@@ -505,6 +529,7 @@ func TestTablesRender(t *testing.T) {
 }
 
 func TestRenderFigureWithErrors(t *testing.T) {
+	t.Parallel()
 	f := Figure{
 		ID:    "X",
 		Title: "test",
@@ -527,6 +552,7 @@ func TestRenderFigureWithErrors(t *testing.T) {
 }
 
 func TestFigX1Ablation(t *testing.T) {
+	t.Parallel()
 	f, err := FigX1()
 	if err != nil {
 		t.Fatal(err)
@@ -545,6 +571,7 @@ func TestFigX1Ablation(t *testing.T) {
 }
 
 func TestFigX2DynamicComparison(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
@@ -562,6 +589,7 @@ func TestFigX2DynamicComparison(t *testing.T) {
 }
 
 func TestFigX3Stackelberg(t *testing.T) {
+	t.Parallel()
 	f, err := FigX3()
 	if err != nil {
 		t.Fatal(err)
@@ -582,6 +610,7 @@ func TestFigX3Stackelberg(t *testing.T) {
 }
 
 func TestFigX4GIM1Validation(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
@@ -605,6 +634,7 @@ func TestFigX4GIM1Validation(t *testing.T) {
 }
 
 func TestFigX5BayesianHedging(t *testing.T) {
+	t.Parallel()
 	f, err := FigX5()
 	if err != nil {
 		t.Fatal(err)

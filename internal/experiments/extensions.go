@@ -78,12 +78,14 @@ func FigX2() (Figure, error) {
 	p := Panel{Title: "Mean response time: static NBS vs dynamic policies", XLabel: "utilization", YLabel: "E[T] (s)"}
 	rhos := []float64{0.5, 0.7, 0.9}
 
-	static := Series{Name: "COOP(static)"}
-	for _, rho := range rhos {
+	type pointRes struct {
+		mean, stderr float64
+	}
+	staticPts, err := runGrid(rhos, func(_ int, rho float64) (pointRes, error) {
 		phi := rho * totalMu
 		lam, err := (schemes.Coop{}).Allocate(mu, phi)
 		if err != nil {
-			return Figure{}, err
+			return pointRes{}, err
 		}
 		routingRow := make([]float64, len(lam))
 		for i, l := range lam {
@@ -99,37 +101,53 @@ func FigX2() (Figure, error) {
 			Replications: 3,
 		})
 		if err != nil {
-			return Figure{}, err
+			return pointRes{}, err
 		}
+		return pointRes{mean: res.Overall.Mean, stderr: res.Overall.StdErr}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	static := Series{Name: "COOP(static)"}
+	for ri, rho := range rhos {
 		static.X = append(static.X, rho)
-		static.Y = append(static.Y, res.Overall.Mean)
-		static.Err = append(static.Err, res.Overall.StdErr)
+		static.Y = append(static.Y, staticPts[ri].mean)
+		static.Err = append(static.Err, staticPts[ri].stderr)
 	}
 	p.Series = append(p.Series, static)
 
-	for _, pol := range []des.DynamicPolicy{
+	policies := []des.DynamicPolicy{
 		dynamic.Local{},
 		dynamic.Threshold{Threshold: 2, ProbeLimit: 3},
 		dynamic.JSQ{},
-	} {
+	}
+	dynPts, err := runGrid(cross(len(policies), len(rhos)), func(_ int, c crossIndex) (pointRes, error) {
+		rho := rhos[c.col]
+		lambda := make([]float64, len(mu))
+		for i, m := range mu {
+			lambda[i] = rho * m
+		}
+		res, err := des.RunDynamic(des.DynamicConfig{
+			Mu: mu, Lambda: lambda, Policy: policies[c.row],
+			TransferDelay: 0.005,
+			Horizon:       1_500, Warmup: 75,
+			Seed: 3, Replications: 3,
+		})
+		if err != nil {
+			return pointRes{}, err
+		}
+		return pointRes{mean: res.Overall.Mean, stderr: res.Overall.StdErr}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for pi, pol := range policies {
 		s := Series{Name: pol.Name()}
-		for _, rho := range rhos {
-			lambda := make([]float64, len(mu))
-			for i, m := range mu {
-				lambda[i] = rho * m
-			}
-			res, err := des.RunDynamic(des.DynamicConfig{
-				Mu: mu, Lambda: lambda, Policy: pol,
-				TransferDelay: 0.005,
-				Horizon:       1_500, Warmup: 75,
-				Seed: 3, Replications: 3,
-			})
-			if err != nil {
-				return Figure{}, err
-			}
+		for ri, rho := range rhos {
+			cell := dynPts[pi*len(rhos)+ri]
 			s.X = append(s.X, rho)
-			s.Y = append(s.Y, res.Overall.Mean)
-			s.Err = append(s.Err, res.Overall.StdErr)
+			s.Y = append(s.Y, cell.mean)
+			s.Err = append(s.Err, cell.stderr)
 		}
 		p.Series = append(p.Series, s)
 	}
@@ -197,15 +215,19 @@ func FigX4() (Figure, error) {
 	analytic := Series{Name: "GI/M/1 closed form"}
 	simulated := Series{Name: "simulated"}
 	mm1 := Series{Name: "M/M/1 (Poisson)"}
-	for _, rho := range []float64{0.3, 0.5, 0.7, 0.9} {
+	rhos := []float64{0.3, 0.5, 0.7, 0.9}
+	type pointRes struct {
+		want, mean, stderr float64
+	}
+	pts, err := runGrid(rhos, func(_ int, rho float64) (pointRes, error) {
 		lambda := rho * mu
 		h2, err := queueing.NewHyperExponential(1/lambda, 1.6)
 		if err != nil {
-			return Figure{}, err
+			return pointRes{}, err
 		}
 		want, err := queueing.GIM1ResponseTime(h2, mu)
 		if err != nil {
-			return Figure{}, err
+			return pointRes{}, err
 		}
 		res, err := des.Run(des.Config{
 			Mu:           []float64{mu},
@@ -217,13 +239,20 @@ func FigX4() (Figure, error) {
 			Replications: 3,
 		})
 		if err != nil {
-			return Figure{}, err
+			return pointRes{}, err
 		}
+		return pointRes{want: want, mean: res.Overall.Mean, stderr: res.Overall.StdErr}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for ri, rho := range rhos {
+		lambda := rho * mu
 		analytic.X = append(analytic.X, rho)
-		analytic.Y = append(analytic.Y, want)
+		analytic.Y = append(analytic.Y, pts[ri].want)
 		simulated.X = append(simulated.X, rho)
-		simulated.Y = append(simulated.Y, res.Overall.Mean)
-		simulated.Err = append(simulated.Err, res.Overall.StdErr)
+		simulated.Y = append(simulated.Y, pts[ri].mean)
+		simulated.Err = append(simulated.Err, pts[ri].stderr)
 		mm1.X = append(mm1.X, rho)
 		mm1.Y = append(mm1.Y, queueing.ResponseTime(mu, lambda))
 	}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gtlb/internal/queueing"
+	"gtlb/internal/schemes"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// goldenCh3 is the snapshotted Chapter 3 comparison table: the analytic
+// expected response time of every static scheme on the Table 3.1 system
+// across the utilization sweep.
+type goldenCh3 struct {
+	Rho []float64            `json:"rho"`
+	T   map[string][]float64 `json:"expected_response_time"`
+}
+
+// computeCh3Table evaluates each scheme analytically — no simulation, so
+// the numbers are exactly reproducible and any drift is a real behavior
+// change in an allocator.
+func computeCh3Table(t *testing.T) goldenCh3 {
+	t.Helper()
+	mu := Ch3Mu()
+	g := goldenCh3{Rho: utilizationSweep(), T: map[string][]float64{}}
+	for _, s := range schemes.All() {
+		ts := make([]float64, len(g.Rho))
+		for i, rho := range g.Rho {
+			lambda, err := s.Allocate(mu, rho*Ch3TotalMu)
+			if err != nil {
+				t.Fatalf("%s at rho=%g: %v", s.Name(), rho, err)
+			}
+			ts[i] = queueing.SystemResponseTime(mu, lambda)
+		}
+		g.T[s.Name()] = ts
+	}
+	return g
+}
+
+// TestGoldenCh3ResponseTimes pins the COOP/PROP/OPTIM/WARDROP
+// expected-response-time table of Figure 3.1 against a golden snapshot.
+// The schemes are pure numeric algorithms, so the tolerance is tight
+// (1e-9 relative): any larger deviation means an allocator's output
+// changed and EXPERIMENTS.md needs revalidating. Regenerate with
+//
+//	go test ./internal/experiments/ -run TestGoldenCh3 -update
+func TestGoldenCh3ResponseTimes(t *testing.T) {
+	t.Parallel()
+	got := computeCh3Table(t)
+	path := filepath.Join("testdata", "golden_ch3_response.json")
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to generate): %v", err)
+	}
+	var want goldenCh3
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+
+	if len(got.Rho) != len(want.Rho) {
+		t.Fatalf("utilization sweep changed: %v vs golden %v", got.Rho, want.Rho)
+	}
+	for i := range want.Rho {
+		if got.Rho[i] != want.Rho[i] {
+			t.Fatalf("utilization sweep changed at %d: %g vs golden %g", i, got.Rho[i], want.Rho[i])
+		}
+	}
+	if len(got.T) != len(want.T) {
+		t.Fatalf("scheme set changed: %d schemes vs golden %d", len(got.T), len(want.T))
+	}
+	for name, wantTs := range want.T {
+		gotTs, ok := got.T[name]
+		if !ok {
+			t.Errorf("scheme %s missing from current output", name)
+			continue
+		}
+		for i, w := range wantTs {
+			if rel := math.Abs(gotTs[i]-w) / w; rel > 1e-9 {
+				t.Errorf("%s at rho=%g: T = %.12g, golden %.12g (rel diff %.2g)",
+					name, want.Rho[i], gotTs[i], w, rel)
+			}
+		}
+	}
+}

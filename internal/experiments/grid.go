@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment harnesses sweep scenario grids — a load-factor axis, a
+// CV axis, a (scheme × utilization) cross product — whose points are
+// independent computations with fixed per-point seeds. runGrid fans the
+// points out over a bounded worker pool while keeping the output
+// deterministic: results land in an index-addressed slice, so series are
+// assembled in point order no matter how the scheduler interleaves the
+// work, and every simulation point carries its own seed into des.Run.
+
+// gridWorkers is the package-wide worker bound for scenario grids;
+// 0 means runtime.GOMAXPROCS(0).
+var gridWorkers atomic.Int64
+
+// SetWorkers bounds how many grid points the experiment harnesses
+// evaluate concurrently. n <= 0 restores the default,
+// runtime.GOMAXPROCS(0); n == 1 forces sequential sweeps.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	gridWorkers.Store(int64(n))
+}
+
+// Workers reports the resolved grid worker bound.
+func Workers() int {
+	if w := int(gridWorkers.Load()); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runGrid evaluates f over every point of a scenario grid on a bounded
+// worker pool and returns the results in point order. f receives the
+// point's index and value; the first error (by point index, so failures
+// are deterministic too) aborts the figure.
+func runGrid[P, R any](points []P, f func(k int, p P) (R, error)) ([]R, error) {
+	results := make([]R, len(points))
+	errs := make([]error, len(points))
+	workers := Workers()
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		for k, p := range points {
+			var err error
+			if results[k], err = f(k, p); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range idx {
+				results[k], errs[k] = f(k, points[k])
+			}
+		}()
+	}
+	for k := range points {
+		idx <- k
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// crossIndex enumerates the cells of a rows × cols cross product in
+// row-major order, the shape of the scheme × sweep grids.
+type crossIndex struct{ row, col int }
+
+func cross(rows, cols int) []crossIndex {
+	out := make([]crossIndex, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, crossIndex{row: r, col: c})
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeSamples turns fuzzer bytes into a float64 sample, 8 bytes per
+// observation. Non-finite values are kept — Summarize and Quantile must
+// at minimum not panic on them; the numeric invariants below are only
+// asserted when every observation is finite.
+func decodeSamples(data []byte) (xs []float64, finite bool) {
+	n := len(data) / 8
+	if n > 4096 {
+		n = 4096
+	}
+	xs = make([]float64, n)
+	finite = true
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.Abs(xs[i]) > 1e150 {
+			// |x| > 1e150 can overflow the variance update; treat as
+			// non-finite for invariant purposes.
+			finite = false
+		}
+	}
+	return xs, finite
+}
+
+// FuzzSummarize checks that the Welford summary never panics and, on
+// finite samples, satisfies Min ≤ Mean ≤ Max and Var ≥ 0, and that the
+// streaming Accumulator (including a split-and-Merge pass, the parallel
+// engine's reduction path) agrees with the batch computation.
+func FuzzSummarize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 240, 63, 0, 0, 0, 0, 0, 0, 0, 64}) // [1.0, 2.0]
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 239, 127})             // MaxFloat64
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 240, 255})                         // NaN
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, finite := decodeSamples(data)
+		s := Summarize(xs)
+		if s.N != len(xs) {
+			t.Fatalf("N = %d, want %d", s.N, len(xs))
+		}
+		if len(xs) == 0 {
+			if s != (Summary{}) {
+				t.Fatalf("empty sample gave non-zero summary %+v", s)
+			}
+			return
+		}
+		if !finite {
+			return
+		}
+		if !(s.Min <= s.Mean+1e-12*math.Max(1, math.Abs(s.Mean))) || !(s.Mean <= s.Max+1e-12*math.Max(1, math.Abs(s.Mean))) {
+			t.Errorf("ordering violated: min %g, mean %g, max %g", s.Min, s.Mean, s.Max)
+		}
+		if s.Var < 0 {
+			t.Errorf("variance %g < 0", s.Var)
+		}
+		if s.StdErr < 0 {
+			t.Errorf("stderr %g < 0", s.StdErr)
+		}
+
+		// Differential check: streaming accumulation must match the batch
+		// summary, with and without a mid-stream Merge.
+		var whole, left, right Accumulator
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:len(xs)/2] {
+			left.Add(x)
+		}
+		for _, x := range xs[len(xs)/2:] {
+			right.Add(x)
+		}
+		left.Merge(&right)
+		for _, acc := range []*Accumulator{&whole, &left} {
+			got := acc.Summary()
+			if got.N != s.N || got.Min != s.Min || got.Max != s.Max {
+				t.Fatalf("accumulator disagrees on N/Min/Max: %+v vs %+v", got, s)
+			}
+			scale := math.Max(1, math.Abs(s.Mean))
+			if math.Abs(got.Mean-s.Mean) > 1e-9*scale {
+				t.Errorf("accumulator mean %g, batch mean %g", got.Mean, s.Mean)
+			}
+			if vscale := math.Max(1, s.Var); math.Abs(got.Var-s.Var) > 1e-6*vscale {
+				t.Errorf("accumulator var %g, batch var %g", got.Var, s.Var)
+			}
+		}
+	})
+}
+
+// FuzzQuantile checks the P² estimator's structural invariants on
+// arbitrary streams: no panics, the marker heights stay sorted (the
+// algorithm's central invariant), and on finite samples the estimate
+// stays within the observed range.
+func FuzzQuantile(f *testing.F) {
+	f.Add([]byte{}, 0.95)
+	f.Add(make([]byte, 8*6), 0.5)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 240, 63, 0, 0, 0, 0, 0, 0, 0, 64, 0, 0, 0, 0, 0, 0, 8, 64, 0, 0, 0, 0, 0, 0, 16, 64, 0, 0, 0, 0, 0, 0, 20, 64, 0, 0, 0, 0, 0, 0, 24, 64}, 0.99)
+	f.Fuzz(func(t *testing.T, data []byte, p float64) {
+		if !(p > 0 && p < 1) {
+			p = 0.95
+		}
+		xs, finite := decodeSamples(data)
+		q := MustQuantile(p)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			q.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			if finite && q.n >= 5 {
+				for i := 0; i < 4; i++ {
+					if q.heights[i] > q.heights[i+1] {
+						t.Fatalf("marker heights out of order after %d adds: %v", q.n, q.heights)
+					}
+				}
+			}
+		}
+		if q.N() != len(xs) {
+			t.Fatalf("N = %d, want %d", q.N(), len(xs))
+		}
+		if len(xs) == 0 {
+			if q.Value() != 0 {
+				t.Fatalf("empty stream gave estimate %g", q.Value())
+			}
+			return
+		}
+		if finite {
+			if v := q.Value(); v < lo || v > hi {
+				t.Errorf("estimate %g outside observed range [%g, %g]", v, lo, hi)
+			}
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"gtlb/internal/core"
 	"gtlb/internal/numeric"
@@ -123,8 +124,10 @@ type Wardrop struct {
 	// Eps is the acceptable conservation tolerance; 0 means 1e-10.
 	Eps float64
 	// iterations records how many bisection steps the last Allocate
-	// used, exposed for the complexity comparison with COOP.
-	iterations int
+	// used, exposed for the complexity comparison with COOP. Stored
+	// atomically so concurrent Allocate calls on a shared Wardrop (the
+	// experiment grid fan-out) stay race-free.
+	iterations atomic.Int64
 }
 
 // Name returns "WARDROP".
@@ -133,7 +136,7 @@ func (*Wardrop) Name() string { return "WARDROP" }
 // Iterations reports the bisection steps consumed by the last Allocate
 // call; the paper contrasts WARDROP's O(n log n · log(1/ε)) iterative
 // cost with COOP's direct O(n log n).
-func (w *Wardrop) Iterations() int { return w.iterations }
+func (w *Wardrop) Iterations() int { return int(w.iterations.Load()) }
 
 // Allocate computes the Wardrop equilibrium loads.
 func (w *Wardrop) Allocate(mu []float64, phi float64) ([]float64, error) {
@@ -147,7 +150,7 @@ func (w *Wardrop) Allocate(mu []float64, phi float64) ([]float64, error) {
 	}
 	out := make([]float64, len(mu))
 	if phi == 0 {
-		w.iterations = 0
+		w.iterations.Store(0)
 		return out, nil
 	}
 
@@ -174,11 +177,12 @@ func (w *Wardrop) Allocate(mu []float64, phi float64) ([]float64, error) {
 	// hi bounds the equalized level from above: if all computers were
 	// used, T = n/(Σμ−Φ); dropping computers only lowers the required T,
 	// but grow hi defensively until it brackets.
-	w.iterations = 0
+	iters := 0
 	for flow(hi) < phi {
 		hi *= 2
-		w.iterations++
-		if w.iterations > 200 {
+		iters++
+		if iters > 200 {
+			w.iterations.Store(int64(iters))
 			return nil, fmt.Errorf("schemes: wardrop failed to bracket equilibrium (phi=%g)", phi)
 		}
 	}
@@ -189,11 +193,12 @@ func (w *Wardrop) Allocate(mu []float64, phi float64) ([]float64, error) {
 		} else {
 			hi = mid
 		}
-		w.iterations++
-		if w.iterations > 10_000 {
+		iters++
+		if iters > 10_000 {
 			break
 		}
 	}
+	w.iterations.Store(int64(iters))
 	t := lo + (hi-lo)/2
 	for i, m := range mu {
 		if l := m - 1/t; l > 0 {

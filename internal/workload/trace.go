@@ -170,3 +170,12 @@ func (r *Replay) Cycles() int { return r.cycles }
 
 // Reset rewinds the replay to the start of the trace.
 func (r *Replay) Reset() { r.next, r.cycles = 0, 0 }
+
+// Fork returns an independent replay starting at r's current position.
+// The simulator forks the inter-arrival distribution once per
+// replication so concurrent replications never share the cursor — which
+// both removes the data race and makes the result independent of the
+// worker count (every replication replays the same arrival sequence).
+func (r *Replay) Fork() queueing.Distribution {
+	return &Replay{trace: r.trace, next: r.next}
+}
