@@ -29,6 +29,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
 		os.Exit(1)
 	}
+	//lint:ignore errcheck broker teardown as the process exits
 	defer closeFn()
 	fmt.Printf("broker listening on %s\n\n", brokerAddr)
 
@@ -78,6 +79,7 @@ func runLBM(netw dist.Network, liar float64) {
 		trueVals[i] = 1 / m
 	}
 	policies := make([]dist.BidPolicy, len(trueVals))
+	//lint:ignore floatcmp the flag default 1.0 is exact; parsed values round-trip exactly
 	if liar != 1.0 {
 		policies[0] = dist.ScaledBid(liar)
 	}

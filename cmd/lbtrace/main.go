@@ -66,18 +66,23 @@ func runGen(rate, cv float64, jobs int, seed uint64, out string) {
 	}
 	tr.Description = fmt.Sprintf("rate=%g cv=%g jobs=%d seed=%d", rate, cv, jobs, seed)
 	w := os.Stdout
+	var f *os.File
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
+		var err error
+		if f, err = os.Create(out); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := tr.Save(w); err != nil {
 		fatal(err)
 	}
-	if out != "" {
+	if f != nil {
+		// The close error matters: a failed flush here means a
+		// truncated trace file behind a success message.
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("wrote %d jobs to %s (mean gap %.6g s, cv %.3f)\n", tr.Jobs(), out, tr.Mean(), tr.CV())
 	}
 }
@@ -87,6 +92,7 @@ func loadTrace(path string) workload.Trace {
 	if err != nil {
 		fatal(err)
 	}
+	//lint:ignore errcheck read-only file; a close error cannot lose data
 	defer f.Close()
 	tr, err := workload.Load(f)
 	if err != nil {

@@ -36,6 +36,7 @@ func main() {
 	var truthfulProfit float64
 	for _, round := range rounds {
 		policies := make([]dist.BidPolicy, len(trueVals))
+		//lint:ignore floatcmp table literals compare exactly against the honest factor 1.0
 		if round.factor != 1.0 {
 			policies[0] = dist.ScaledBid(round.factor)
 		}
@@ -47,6 +48,7 @@ func main() {
 		fmt.Printf("round: %s\n", round.name)
 		fmt.Printf("  C1 bid %.3f (true %.3f): load=%.4f jobs/s  payment=%.3f  cost=%.3f  profit=%.3f\n",
 			c1.Bid, trueVals[0], c1.Load, c1.Payment, c1.Cost, c1.Profit)
+		//lint:ignore floatcmp table literals compare exactly against the honest factor 1.0
 		if round.factor == 1.0 {
 			truthfulProfit = c1.Profit
 		} else {

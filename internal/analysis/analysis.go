@@ -1,0 +1,246 @@
+// Package analysis is the project's static-analyzer framework: a small,
+// standard-library-only multichecker (go/ast + go/parser + go/types, no
+// golang.org/x/tools dependency) that mechanically enforces the
+// invariants the reproduction relies on — deterministic simulation
+// paths, pre-split RNG streams, tolerance-based float comparison,
+// handled errors, and consistent parallel test suites.
+//
+// The analyzers run over typechecked package units produced by Loader
+// (see load.go) and report Diagnostics. Findings can be suppressed with
+// a directive on the offending line or the line directly above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without one (or naming an
+// unknown analyzer) is itself reported. cmd/lbvet drives the whole
+// suite over the repository and exits nonzero on any finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FileMode selects which files of a unit an analyzer sees.
+type FileMode int
+
+const (
+	// FilesNonTest restricts the analyzer to non-_test.go files.
+	FilesNonTest FileMode = iota
+	// FilesTest restricts the analyzer to _test.go files.
+	FilesTest
+	// FilesAll passes every file of the unit to the analyzer.
+	FilesAll
+)
+
+// Analyzer is one project-specific check.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description shown by `lbvet -list`.
+	Doc string
+	// Files selects which files of a unit the analyzer inspects.
+	Files FileMode
+	// Match reports whether the analyzer applies to a loaded unit.
+	// The fixture test harness bypasses Match and runs the analyzer
+	// unconditionally.
+	Match func(u *Unit) bool
+	// Run inspects the pass and reports findings via pass.Reportf.
+	Run func(p *Pass) error
+}
+
+// Pass is one analyzer applied to one package unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Unit is the package under analysis.
+	Unit *Unit
+	// Files holds the unit's files after FileMode filtering.
+	Files []*ast.File
+	// Pkg and Info come from typechecking the unit.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FileFor returns the pass file enclosing pos, or nil.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding, located by resolved position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line     int // line the directive suppresses (its own line and the next)
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts lint:ignore directives from a file. Malformed
+// directives (no reason, unknown analyzer) are reported as diagnostics
+// under the pseudo-analyzer name "lbvet" so they cannot silently rot.
+func parseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool, diags *[]Diagnostic) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			pos := fset.Position(c.Pos())
+			switch {
+			case name == "" || reason == "":
+				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "lbvet",
+					Message: "malformed directive: want //lint:ignore <analyzer> <reason>"})
+			case !known[name]:
+				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "lbvet",
+					Message: fmt.Sprintf("lint:ignore names unknown analyzer %q", name)})
+			default:
+				out = append(out, ignoreDirective{line: pos.Line, analyzer: name, reason: reason, pos: c.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores drops diagnostics suppressed by a directive on the same
+// line or the line directly above, and reports directives that suppress
+// nothing (so stale suppressions are cleaned up, not accumulated).
+func applyIgnores(diags []Diagnostic, ignores map[string][]ignoreDirective, fset *token.FileSet) []Diagnostic {
+	used := map[string]map[int]bool{} // filename -> directive line -> hit
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range ignores[d.Pos.Filename] {
+			if ig.analyzer == d.Analyzer && (ig.line == d.Pos.Line || ig.line == d.Pos.Line-1) {
+				suppressed = true
+				if used[d.Pos.Filename] == nil {
+					used[d.Pos.Filename] = map[int]bool{}
+				}
+				used[d.Pos.Filename][ig.line] = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for file, igs := range ignores {
+		for _, ig := range igs {
+			if !used[file][ig.line] {
+				kept = append(kept, Diagnostic{Pos: fset.Position(ig.pos), Analyzer: "lbvet",
+					Message: fmt.Sprintf("lint:ignore %s suppresses nothing on this or the next line", ig.analyzer)})
+			}
+		}
+	}
+	return kept
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer for
+// stable output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Analyzers returns the full lbvet suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoDeterminism, SharedRand, FloatCmp, ErrCheck, ParallelSub}
+}
+
+// runUnit applies every matching analyzer to one unit, returning raw
+// (unsuppressed) diagnostics.
+func runUnit(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(u) {
+			continue
+		}
+		if err := runAnalyzer(a, u, &diags); err != nil {
+			return nil, err
+		}
+	}
+	return diags, nil
+}
+
+// runAnalyzer applies one analyzer to one unit unconditionally.
+func runAnalyzer(a *Analyzer, u *Unit, diags *[]Diagnostic) error {
+	var files []*ast.File
+	for i, f := range u.Files {
+		switch a.Files {
+		case FilesNonTest:
+			if u.TestFile[i] {
+				continue
+			}
+		case FilesTest:
+			if !u.TestFile[i] {
+				continue
+			}
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     u.Fset,
+		Unit:     u,
+		Files:    files,
+		Pkg:      u.Pkg,
+		Info:     u.Info,
+		diags:    diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return fmt.Errorf("analysis: %s on %s: %w", a.Name, u.Path, err)
+	}
+	return nil
+}

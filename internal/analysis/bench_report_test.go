@@ -1,0 +1,40 @@
+package analysis
+
+// TestBenchLBVetReport measures a full lbvet run over the repository
+// and records it in BENCH_LBVET.json (via internal/benchio, like
+// BENCH_DES.json), so the analyzer's cost stays visible as the tree
+// grows: a parse-and-typecheck-from-source design is only acceptable
+// while it stays cheap relative to `go test`.
+
+import (
+	"testing"
+
+	"gtlb/internal/benchio"
+)
+
+func TestBenchLBVetReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark report skipped in -short mode")
+	}
+	var last VetResult
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := Vet("../..", []string{"./..."}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+	})
+	report := benchio.NewReport()
+	report.Add("lbvet/full-tree", float64(r.NsPerOp()), map[string]float64{
+		"packages":    float64(last.Packages),
+		"files":       float64(last.Files),
+		"diagnostics": float64(len(last.Diagnostics)),
+	})
+	if err := benchio.Write("../../BENCH_LBVET.json", report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("lbvet full tree: %.0f ms over %d packages / %d files",
+		float64(r.NsPerOp())/1e6, last.Packages, last.Files)
+}

@@ -1,0 +1,152 @@
+// Analyzer errcheck (lite): a dropped error in the solver or the CLI
+// tools silently turns a failed computation into a wrong table. Every
+// call whose results include an error must either use the error or
+// discard it explicitly — `_ = f()` with an adjacent comment saying
+// why. Writes to provably infallible sinks (strings.Builder,
+// bytes.Buffer, and best-effort terminal output on os.Stdout/Stderr)
+// are exempt so CLI printing stays idiomatic.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errCheckExemptCallees never have their error checked: terminal
+// printing (fmt.Print*) and writes into in-memory buffers, which are
+// documented to always return a nil error.
+var errCheckExemptCallees = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+
+	"(strings.Builder).Write":       true,
+	"(strings.Builder).WriteString": true,
+	"(strings.Builder).WriteByte":   true,
+	"(strings.Builder).WriteRune":   true,
+	"(bytes.Buffer).Write":          true,
+	"(bytes.Buffer).WriteString":    true,
+	"(bytes.Buffer).WriteByte":      true,
+	"(bytes.Buffer).WriteRune":      true,
+}
+
+// infallibleWriters are writer types fmt.Fprint* cannot fail on.
+var infallibleWriters = map[[2]string]bool{
+	{"strings", "Builder"}: true,
+	{"bytes", "Buffer"}:    true,
+}
+
+// ErrCheck flags discarded error returns in expression, defer and go
+// statements, and blank-identifier error assignments that carry no
+// justification comment.
+var ErrCheck = &Analyzer{
+	Name:  "errcheck",
+	Doc:   "flags discarded error returns (allow `_ = f()` with an adjacent justification comment)",
+	Files: FilesNonTest,
+	Match: func(u *Unit) bool { return inModulePackage(u, "internal", "cmd", "examples", ".") },
+	Run:   runErrCheck,
+}
+
+func runErrCheck(p *Pass) error {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && discardsError(p, call) {
+					p.Reportf(call.Pos(), "result error of %s is discarded; handle it or assign to _ with a justification comment", callName(p, call))
+				}
+			case *ast.DeferStmt:
+				if discardsError(p, n.Call) {
+					p.Reportf(n.Call.Pos(), "deferred %s discards its error; close explicitly on the success path or justify with a comment", callName(p, n.Call))
+				}
+			case *ast.GoStmt:
+				if discardsError(p, n.Call) {
+					p.Reportf(n.Call.Pos(), "goroutine %s discards its error; collect it through a channel or errgroup-style slice", callName(p, n.Call))
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(p, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// discardsError reports whether the bare call drops an error result.
+func discardsError(p *Pass, call *ast.CallExpr) bool {
+	if !returnsError(p.Info, call) {
+		return false
+	}
+	fn := calleeOf(p.Info, call)
+	if fn == nil {
+		return true
+	}
+	name := qualifiedName(fn)
+	if errCheckExemptCallees[name] {
+		return false
+	}
+	// fmt.Fprint* into an in-memory buffer or best-effort onto the
+	// process's own stdio streams.
+	if strings.HasPrefix(name, "fmt.Fprint") && len(call.Args) > 0 {
+		w := ast.Unparen(call.Args[0])
+		if tv, ok := p.Info.Types[w]; ok {
+			pkg, tname := namedType(tv.Type)
+			if infallibleWriters[[2]string{pkg, tname}] {
+				return false
+			}
+		}
+		if sel, ok := w.(*ast.SelectorExpr); ok {
+			if obj, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+				(obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkBlankErrAssign flags `_ = f()` (and `v, _ := f()` where the
+// blank slot is the error) without an adjacent justification comment.
+func checkBlankErrAssign(p *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !returnsError(p.Info, call) {
+		return
+	}
+	tv := p.Info.Types[call]
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var slot types.Type
+		if tuple, ok := tv.Type.(*types.Tuple); ok {
+			if i >= tuple.Len() {
+				continue
+			}
+			slot = tuple.At(i).Type()
+		} else {
+			slot = tv.Type
+		}
+		if !types.Identical(slot, errorType) {
+			continue
+		}
+		if hasAdjacentComment(p, as) {
+			continue
+		}
+		p.Reportf(id.Pos(), "error of %s discarded to _ without a justification comment on this or the previous line", callName(p, call))
+	}
+}
+
+// callName renders the callee for diagnostics, falling back to "call"
+// for function literals and values.
+func callName(p *Pass, call *ast.CallExpr) string {
+	if fn := calleeOf(p.Info, call); fn != nil {
+		return qualifiedName(fn)
+	}
+	return "call"
+}

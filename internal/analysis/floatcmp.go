@@ -1,0 +1,86 @@
+// Analyzer floatcmp: raw == / != on floating-point values is almost
+// always wrong in numerical code — two mathematically equal quantities
+// computed along different paths differ in the last ulps, which is how
+// a solver that verifies against the paper's closed forms starts
+// failing on a different machine. Comparisons must go through the
+// tolerance helper numeric.AlmostEqual; genuinely exact comparisons
+// (IEEE sentinels, sign-of-zero checks) carry a //lint:ignore floatcmp
+// justification.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// isZeroConst reports whether v is a real-valued constant exactly zero.
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}
+
+// floatCmpApproved are functions whose bodies may compare floats
+// exactly: the tolerance helpers themselves, which bottom out in a raw
+// comparison by construction.
+var floatCmpApproved = map[string]bool{
+	"gtlb/internal/numeric.AlmostEqual": true,
+}
+
+// FloatCmp flags == and != between floating-point operands outside the
+// approved tolerance helpers.
+var FloatCmp = &Analyzer{
+	Name:  "floatcmp",
+	Doc:   "flags ==/!= on floating-point operands outside numeric.AlmostEqual",
+	Files: FilesNonTest,
+	Match: func(u *Unit) bool { return inModulePackage(u, "internal", "cmd", "examples", ".") },
+	Run:   runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) error {
+	pkgPath := p.Pkg.Path()
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			// Comparing two compile-time constants is exact by
+			// definition, and comparing against constant zero is the
+			// is-it-exactly-unset/empty/degenerate sentinel idiom
+			// (zero is preserved exactly by assignment and never
+			// approximated). The bug class is equality between values
+			// that went through arithmetic.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			if isZeroConst(xt.Value) || isZeroConst(yt.Value) {
+				return true
+			}
+			// The x != x NaN probe is exact IEEE semantics, not a
+			// tolerance bug (though math.IsNaN says it better).
+			if xi, ok := ast.Unparen(be.X).(*ast.Ident); ok {
+				if yi, ok := ast.Unparen(be.Y).(*ast.Ident); ok && p.Info.Uses[xi] != nil && p.Info.Uses[xi] == p.Info.Uses[yi] {
+					return true
+				}
+			}
+			if floatCmpApproved[pkgPath+"."+enclosingFunc(file, be)] {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison; use numeric.AlmostEqual or justify exactness with //lint:ignore floatcmp", be.Op)
+			return true
+		})
+	}
+	return nil
+}

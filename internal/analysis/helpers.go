@@ -1,0 +1,160 @@
+// Shared AST/type helpers for the lbvet analyzers.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the call's result includes an error, by
+// result position. A nil type (typecheck gap) reports false.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(tv.Type, errorType)
+}
+
+// calleeOf resolves the function or method object a call invokes.
+// Conversions, builtins, and calls of function literals yield nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// qualifiedName renders a function object as "pkgpath.Name" for
+// package-level functions and "(pkgpath.Recv).Name" for methods.
+func qualifiedName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return "(" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + ")." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// namedType reports the declaring package path and type name of t,
+// unwrapping one level of pointer. Unnamed types report "", "".
+func namedType(t types.Type) (pkg, name string) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name()
+}
+
+// isFloat reports whether t's core type is a floating-point (or
+// complex) basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// enclosingFunc returns the name of the innermost function declaration
+// in file that encloses pos, or "" when pos sits outside any FuncDecl.
+func enclosingFunc(file *ast.File, pos ast.Node) string {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Body.Pos() <= pos.Pos() && pos.Pos() < fd.Body.End() {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// hasAdjacentComment reports whether a comment ends on the node's line
+// or on the line directly above it — the "justification comment" the
+// errcheck analyzer accepts for a blank-identifier error assignment.
+// Fixture expectation comments (`// want "..."`) never justify, so the
+// analyzer's own testdata can mark deliberate violations.
+func hasAdjacentComment(p *Pass, n ast.Node) bool {
+	file := p.FileFor(n.Pos())
+	if file == nil {
+		return false
+	}
+	line := p.Fset.Position(n.Pos()).Line
+	for _, cg := range file.Comments {
+		end := p.Fset.Position(cg.End()).Line
+		if end != line && end != line-1 {
+			continue
+		}
+		for _, c := range cg.List {
+			if !isWantComment(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isWantComment reports whether a comment is a fixture expectation of
+// the form `// want "..."` or `// want `...“.
+func isWantComment(text string) bool {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return false
+	}
+	rest = strings.TrimSpace(rest)
+	return strings.HasPrefix(rest, `"`) || strings.HasPrefix(rest, "`")
+}
+
+// inModulePackage reports whether the unit belongs to one of the given
+// module-relative package subtrees (e.g. "internal", "cmd"); "." names
+// the module root package itself.
+func inModulePackage(u *Unit, subtrees ...string) bool {
+	path := strings.TrimSuffix(u.Path, " [xtest]")
+	for _, s := range subtrees {
+		if s == "." {
+			if path == u.Module {
+				return true
+			}
+			continue
+		}
+		full := u.Module + "/" + s
+		if path == full || strings.HasPrefix(path, full+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+// Loader: parse and typecheck module packages from source with nothing
+// but the standard library. Project imports (gtlb/...) are resolved by
+// walking the module directory tree; standard-library imports are
+// typechecked from GOROOT source via go/importer's "source" compiler,
+// so no compiled export data, GOPATH layout, or go/packages machinery
+// is required.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one typechecked package variant: either a package together
+// with its in-package _test.go files, or the external (package foo_test)
+// test package of a directory.
+type Unit struct {
+	// Path is the unit's import path; external test units carry the
+	// " [xtest]" suffix used by diagnostics only.
+	Path string
+	// Module is the import path of the module the unit was loaded by.
+	Module string
+	// Dir is the absolute directory the unit was loaded from.
+	Dir string
+	// XTest marks the external test package variant.
+	XTest bool
+	Fset  *token.FileSet
+	// Files are the parsed files; TestFile[i] reports whether Files[i]
+	// is a _test.go file.
+	Files    []*ast.File
+	TestFile []bool
+	Pkg      *types.Package
+	Info     *types.Info
+}
+
+// Loader loads and typechecks packages of a single module.
+type Loader struct {
+	Fset   *token.FileSet
+	Module string
+	Root   string
+
+	src  types.ImporterFrom
+	pkgs map[string]*types.Package
+}
+
+// NewLoader returns a loader for the module rooted at root (the
+// directory containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	module, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer honours build.Default; with cgo enabled it
+	// would try to run the cgo tool on packages like net. The pure-Go
+	// variants typecheck identically for our purposes.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:   fset,
+		Module: module,
+		Root:   abs,
+		pkgs:   map[string]*types.Package{},
+	}
+	l.src = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Import resolves an import path: module-internal paths are typechecked
+// from source under Root (without test files, so import cycles through
+// tests cannot form); everything else is delegated to the GOROOT source
+// importer. Results are cached per loader.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		files, _, err := l.parseDir(filepath.Join(l.Root, rel), false)
+		if err != nil {
+			return nil, err
+		}
+		pkg, _, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	p, err := l.src.Import(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: import %q: %w", path, err)
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// ImportFrom implements types.ImporterFrom; the loader ignores
+// vendoring, so dir is irrelevant.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return l.Import(path)
+}
+
+// parseDir parses the .go files of dir in lexical order, optionally
+// including _test.go files. The second result marks test files.
+func (l *Loader) parseDir(dir string, tests bool) ([]*ast.File, []bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	var isTest []bool
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+		isTest = append(isTest, strings.HasSuffix(name, "_test.go"))
+	}
+	return files, isTest, nil
+}
+
+// check typechecks one set of files as package path.
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// LoadDir loads the package units of one directory: the primary package
+// merged with its in-package test files, plus (when present) the
+// external _test package. Directories with no .go files yield no units.
+func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	files, isTest, err := l.parseDir(abs, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	path := l.importPath(abs)
+
+	// Split the directory into the primary package (package files plus
+	// in-package tests) and the external test package, by package name.
+	base := ""
+	for i, f := range files {
+		if !isTest[i] {
+			base = f.Name.Name
+			break
+		}
+	}
+	var primary, external []*ast.File
+	var primaryTest []bool
+	for i, f := range files {
+		name := f.Name.Name
+		if isTest[i] && strings.HasSuffix(name, "_test") && (base == "" || name != base) {
+			external = append(external, f)
+			continue
+		}
+		primary = append(primary, f)
+		primaryTest = append(primaryTest, isTest[i])
+	}
+
+	var units []*Unit
+	if len(primary) > 0 {
+		pkg, info, err := l.check(path, primary)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{
+			Path: path, Module: l.Module, Dir: abs, Fset: l.Fset,
+			Files: primary, TestFile: primaryTest, Pkg: pkg, Info: info,
+		})
+	}
+	if len(external) > 0 {
+		pkg, info, err := l.check(path+"_test", external)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{
+			Path: path + " [xtest]", Module: l.Module, Dir: abs, XTest: true, Fset: l.Fset,
+			Files: external, TestFile: trueSlice(len(external)), Pkg: pkg, Info: info,
+		})
+	}
+	return units, nil
+}
+
+func trueSlice(n int) []bool {
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = true
+	}
+	return s
+}
+
+// importPath maps an absolute directory to its import path. Directories
+// outside the module (fixtures) get a synthetic "fixture/<base>" path.
+func (l *Loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") || strings.Contains(rel, "testdata") {
+		return "fixture/" + filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}

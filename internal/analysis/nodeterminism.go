@@ -1,0 +1,83 @@
+// Analyzer nodeterminism: the deterministic packages — the DES engine,
+// the solvers, the experiment grids, the queueing substrate and the
+// allocation schemes — must produce bit-identical output for a given
+// seed at any worker count (the PR-1 contract). That rules out three
+// whole classes of constructs, which this analyzer flags mechanically:
+// wall-clock reads, the process-global math/rand generator, and
+// iteration over Go maps (whose order is randomized per run).
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detPackages are the module-relative subtrees that must stay
+// deterministic.
+var detPackages = []string{
+	"internal/des",
+	"internal/core",
+	"internal/experiments",
+	"internal/queueing",
+	"internal/schemes",
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock or the monotonic clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors build explicitly seeded generators; only the
+// package-level drawing functions share hidden process-global state.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// NoDeterminism flags wall-clock calls, global math/rand use, and map
+// iteration inside the deterministic packages.
+var NoDeterminism = &Analyzer{
+	Name:  "nodeterminism",
+	Doc:   "flags time.Now, global math/rand, and map iteration in deterministic simulation packages",
+	Files: FilesNonTest,
+	Match: func(u *Unit) bool { return inModulePackage(u, detPackages...) },
+	Run:   runNoDeterminism,
+}
+
+func runNoDeterminism(p *Pass) error {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj, ok := p.Info.Uses[n.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				sig := obj.Type().(*types.Signature)
+				switch obj.Pkg().Path() {
+				case "time":
+					if wallClockFuncs[obj.Name()] {
+						p.Reportf(n.Pos(), "time.%s reads the wall clock in a deterministic package; thread simulated time instead", obj.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					// Methods on an explicit *rand.Rand and the seeded
+					// constructors are fine; only the package-level
+					// drawing functions share process-global state.
+					if sig.Recv() == nil && !randConstructors[obj.Name()] {
+						p.Reportf(n.Pos(), "global %s.%s uses process-wide random state; draw from a per-replication queueing.RNG stream", obj.Pkg().Name(), obj.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := p.Info.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					p.Reportf(n.X.Pos(), "map iteration order is nondeterministic; iterate a sorted key slice instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

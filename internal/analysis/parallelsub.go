@@ -1,0 +1,158 @@
+// Analyzer parallelsub: a t.Run subtest that forgets t.Parallel() in a
+// suite whose siblings are parallel doesn't just run slower — it runs
+// in a surprising order (serial subtests complete before any parallel
+// sibling starts), which is how a shared-fixture race hides from `go
+// test` and resurfaces under -race in CI. If one subtest of a suite is
+// parallel, all of them must be.
+
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ParallelSub flags t.Run subtests missing t.Parallel() inside suites
+// that already run subtests in parallel.
+var ParallelSub = &Analyzer{
+	Name:  "parallelsub",
+	Doc:   "flags t.Run subtests missing t.Parallel() in suites already marked parallel",
+	Files: FilesTest,
+	Match: func(u *Unit) bool { return true },
+	Run:   runParallelSub,
+}
+
+type subtest struct {
+	call     *ast.CallExpr
+	name     string
+	parallel bool
+}
+
+func runParallelSub(p *Pass) error {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Test") {
+				continue
+			}
+			tParam := testingParam(fd)
+			if tParam == "" {
+				continue
+			}
+			checkSuite(p, fd.Body, tParam)
+		}
+	}
+	return nil
+}
+
+// testingParam returns the name of the function's *testing.T parameter.
+func testingParam(fd *ast.FuncDecl) string {
+	if fd.Type.Params == nil || len(fd.Type.Params.List) != 1 || len(fd.Type.Params.List[0].Names) != 1 {
+		return ""
+	}
+	star, ok := fd.Type.Params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "T" {
+		return ""
+	}
+	return fd.Type.Params.List[0].Names[0].Name
+}
+
+// checkSuite inspects one function body for t.Run subtests, recursing
+// into subtest closures (which form suites of their own).
+func checkSuite(p *Pass, body *ast.BlockStmt, tName string) {
+	var subs []subtest
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Run" || len(call.Args) != 2 {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok || recv.Name != tName {
+			return true
+		}
+		lit, ok := call.Args[1].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		subName := "subtest"
+		if lt, ok := call.Args[0].(*ast.BasicLit); ok {
+			subName = lt.Value
+		}
+		subT := funcLitTestingParam(lit)
+		subs = append(subs, subtest{call: call, name: subName, parallel: callsParallel(lit.Body, subT)})
+		if subT != "" {
+			checkSuite(p, lit.Body, subT)
+		}
+		return false // subtest bodies handled by the recursion above
+	})
+	anyParallel := false
+	for _, s := range subs {
+		if s.parallel {
+			anyParallel = true
+		}
+	}
+	if !anyParallel {
+		return
+	}
+	for _, s := range subs {
+		if !s.parallel {
+			p.Reportf(s.call.Pos(), "subtest %s missing t.Parallel() in a suite whose other subtests are parallel", s.name)
+		}
+	}
+}
+
+// funcLitTestingParam returns the *testing.T parameter name of a
+// subtest closure.
+func funcLitTestingParam(lit *ast.FuncLit) string {
+	params := lit.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return ""
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "T" {
+		return ""
+	}
+	return params.List[0].Names[0].Name
+}
+
+// callsParallel reports whether body calls <t>.Parallel() outside any
+// nested function literal.
+func callsParallel(body *ast.BlockStmt, tName string) bool {
+	if tName == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Parallel" {
+			return true
+		}
+		if recv, ok := sel.X.(*ast.Ident); ok && recv.Name == tName {
+			found = true
+		}
+		return true
+	})
+	return found
+}

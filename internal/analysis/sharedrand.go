@@ -1,0 +1,106 @@
+// Analyzer sharedrand: queueing.RNG (and *math/rand.Rand) are not safe
+// for concurrent use, and — worse for this repository — sharing one
+// stream across goroutines destroys replay determinism even when the
+// race happens to be benign. The parallel engine's contract is that
+// every goroutine draws from its own pre-split stream (RNG.Split), so
+// an RNG value that crosses a `go` boundary without a fork is exactly
+// the bug class PR 1's worker pool was designed to prevent.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rngTypes are the (package path, type name) pairs treated as
+// single-stream generators.
+var rngTypes = map[[2]string]bool{
+	{"math/rand", "Rand"}:             true,
+	{"math/rand/v2", "Rand"}:          true,
+	{"gtlb/internal/queueing", "RNG"}: true,
+	{"fixture/sharedrand", "FakeRNG"}: true, // fixture-local stand-in
+}
+
+// forkMethods are the calls that derive an independent stream; their
+// results may cross a goroutine boundary freely.
+var forkMethods = map[string]bool{"Split": true, "Fork": true, "Clone": true, "New": true, "NewRNG": true}
+
+// SharedRand flags an RNG captured by a `go` closure or passed to a
+// goroutine without an intervening Split/fork call.
+var SharedRand = &Analyzer{
+	Name:  "sharedrand",
+	Doc:   "flags RNG streams shared with a goroutine without a Split/fork",
+	Files: FilesAll,
+	Match: func(u *Unit) bool { return inModulePackage(u, "internal", "cmd", "examples", ".") },
+	Run:   runSharedRand,
+}
+
+func isRNGType(t types.Type) bool {
+	pkg, name := namedType(t)
+	return rngTypes[[2]string{pkg, name}]
+}
+
+// isForkCall reports whether expr is a direct call of a stream-forking
+// method or constructor.
+func isForkCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return forkMethods[fun.Sel.Name]
+	case *ast.Ident:
+		return forkMethods[fun.Name]
+	}
+	return false
+}
+
+func runSharedRand(p *Pass) error {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoCall(p, g.Call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoCall(p *Pass, call *ast.CallExpr) {
+	// RNG passed as a goroutine argument.
+	for _, arg := range call.Args {
+		tv, ok := p.Info.Types[arg]
+		if !ok || !isRNGType(tv.Type) || isForkCall(arg) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "RNG stream passed to a goroutine without Split; fork an independent stream per goroutine")
+	}
+	// RNG captured as a free variable of a `go func(){...}` closure.
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || reported[obj] || !isRNGType(obj.Type()) {
+			return true
+		}
+		// Free variable: declared outside the literal.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		reported[obj] = true
+		p.Reportf(id.Pos(), "RNG stream %s captured by goroutine closure; pass a Split stream instead", id.Name)
+		return true
+	})
+}

@@ -1,0 +1,53 @@
+// Fixture for the errcheck analyzer: discarded error returns must be
+// flagged unless they go to _ with an adjacent justification comment or
+// hit a documented-infallible sink.
+package errcheck
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func fails() error        { return nil }
+func value() (int, error) { return 0, nil }
+func void()               {}
+
+func discards(w io.Writer) {
+	fails() // want "result error of fixture/errcheck.fails is discarded"
+	var c closer
+	defer c.Close()     // want `deferred \(fixture/errcheck.closer\).Close discards its error`
+	go fails()          // want "goroutine fixture/errcheck.fails discards its error"
+	void()              // no error to lose
+	fmt.Fprintf(w, "x") // want "result error of fmt.Fprintf is discarded"
+}
+
+func blanks() int {
+	_ = fails() // want "discarded to _ without a justification comment"
+
+	_ = fails() // the zero profile is a valid fallback here
+
+	v, _ := value() // want "discarded to _ without a justification comment"
+
+	// A miss just means the default stays in place.
+	w, _ := value()
+	return v + w
+}
+
+func infallibleSinks() {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")        // strings.Builder never fails
+	b.WriteString("y")          // documented to return nil
+	fmt.Println(b.String())     // terminal printing is best-effort
+	fmt.Fprintf(os.Stderr, "x") // best-effort onto the process's stderr
+}
+
+func suppressed() {
+	//lint:ignore errcheck the error is reported by the caller's retry loop
+	fails()
+}

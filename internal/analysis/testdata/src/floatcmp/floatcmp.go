@@ -1,0 +1,47 @@
+// Fixture for the floatcmp analyzer: equality between computed floats
+// must be flagged; exact-zero sentinels, constant folds, NaN probes,
+// integer comparisons, and suppressed sites must not.
+package floatcmp
+
+func computed(a, b float64) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	return a != b // want "floating-point != comparison"
+}
+
+func nonRepresentableConst(x float64) bool {
+	return x == 0.3 // want "floating-point == comparison"
+}
+
+func zeroSentinel(x float64) float64 {
+	if x == 0 { // exactly-unset sentinel: fine
+		return 1
+	}
+	if x != 0.0 { // zero literal spelled as a float: fine
+		return x
+	}
+	return 0
+}
+
+func constFold() bool {
+	const a, b = 1.5, 3.0
+	return a == b/2 // both sides constant: exact by definition
+}
+
+func nanProbe(x float64) bool {
+	return x != x // IEEE NaN probe: exact semantics intended
+}
+
+func ints(a, b int) bool {
+	return a == b // integers compare exactly
+}
+
+func float32s(a, b float32) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp b is copied from a, never recomputed
+	return a == b
+}

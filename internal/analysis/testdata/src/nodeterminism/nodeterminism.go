@@ -1,0 +1,43 @@
+// Fixture for the nodeterminism analyzer: wall-clock reads, global
+// math/rand, and map iteration must be flagged; seeded generators,
+// slice iteration, and suppressed sites must not.
+package nodeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() float64 {
+	start := time.Now()    // want "time.Now reads the wall clock"
+	d := time.Since(start) // want "time.Since reads the wall clock"
+	t := time.Until(start) // want "time.Until reads the wall clock"
+	_ = time.Unix(0, 0)    // construction from explicit values is deterministic
+	return d.Seconds() + t.Seconds()
+}
+
+func globalRand() float64 {
+	x := rand.Float64() // want "global rand.Float64 uses process-wide random state"
+	n := rand.Intn(10)  // want "global rand.Intn uses process-wide random state"
+	return x + float64(n)
+}
+
+func seededRand() float64 {
+	r := rand.New(rand.NewSource(1)) // explicit seeded stream: fine
+	return r.Float64()
+}
+
+func mapIteration(m map[string]float64, s []float64) float64 {
+	var total float64
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		total += v
+	}
+	for _, v := range s { // slices iterate in index order
+		total += v
+	}
+	//lint:ignore nodeterminism keys only counted, order cannot leak
+	for range m {
+		total++
+	}
+	return total
+}

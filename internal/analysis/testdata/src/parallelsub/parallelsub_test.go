@@ -1,0 +1,50 @@
+// Fixture for the parallelsub analyzer: once one subtest of a suite
+// calls t.Parallel(), every sibling must; all-serial and all-parallel
+// suites are consistent and fine.
+package parallelsub
+
+import "testing"
+
+func TestMixed(t *testing.T) {
+	t.Run("parallel", func(t *testing.T) {
+		t.Parallel()
+	})
+	t.Run("serial", func(t *testing.T) { // want `subtest "serial" missing t.Parallel`
+		_ = t.Name()
+	})
+}
+
+func TestAllSerial(t *testing.T) {
+	t.Run("a", func(t *testing.T) { _ = t.Name() })
+	t.Run("b", func(t *testing.T) { _ = t.Name() })
+}
+
+func TestAllParallel(t *testing.T) {
+	t.Run("a", func(t *testing.T) { t.Parallel() })
+	t.Run("b", func(t *testing.T) { t.Parallel() })
+}
+
+func TestNestedSuite(t *testing.T) {
+	t.Run("outer", func(t *testing.T) {
+		t.Run("inner-parallel", func(t *testing.T) {
+			t.Parallel()
+		})
+		t.Run("inner-serial", func(t *testing.T) { // want `subtest "inner-serial" missing t.Parallel`
+			_ = t.Name()
+		})
+	})
+}
+
+func TestParallelInNestedClosureDoesNotCount(t *testing.T) {
+	t.Run("a", func(t *testing.T) {
+		cleanup := func() { t.Parallel() } // never called; must not mark the subtest parallel
+		_ = cleanup
+	})
+	t.Run("b", func(t *testing.T) { _ = t.Name() })
+}
+
+func TestSuppressed(t *testing.T) {
+	t.Run("parallel", func(t *testing.T) { t.Parallel() })
+	//lint:ignore parallelsub mutates shared fixture state; must stay serial
+	t.Run("serial", func(t *testing.T) { _ = t.Name() })
+}

@@ -1,0 +1,71 @@
+// Fixture for the sharedrand analyzer: an RNG that crosses a `go`
+// boundary must come from a Split/fork call; anything else is the
+// shared-stream bug class.
+package sharedrand
+
+import (
+	"math/rand"
+
+	"gtlb/internal/queueing"
+)
+
+// FakeRNG is the fixture-local stand-in registered with the analyzer.
+type FakeRNG struct{}
+
+// Split derives an independent stream.
+func (f *FakeRNG) Split(stream uint64) *FakeRNG { return &FakeRNG{} }
+
+func use(r *rand.Rand)                                {}
+func useFake(f *FakeRNG)                              {}
+func useRNG(q *queueing.RNG)                          {}
+func results(rs []*queueing.RNG, i int) *queueing.RNG { return rs[i] }
+
+func sharedArg() {
+	r := rand.New(rand.NewSource(1))
+	go use(r) // want "RNG stream passed to a goroutine without Split"
+	use(r)    // same-goroutine use is fine
+}
+
+func forkedArg() {
+	f := &FakeRNG{}
+	go useFake(f.Split(1))              // forked at the boundary: fine
+	go use(rand.New(rand.NewSource(2))) // fresh generator per goroutine: fine
+}
+
+func capturedClosure() {
+	q := queueing.NewRNG(7)
+	go func() {
+		_ = q.Float64() // want "RNG stream q captured by goroutine closure"
+	}()
+}
+
+func splitPerGoroutine() {
+	base := queueing.NewRNG(7)
+	streams := make([]*queueing.RNG, 4)
+	for i := range streams {
+		streams[i] = base.Split(uint64(i))
+	}
+	for i := range streams {
+		i := i
+		go func() {
+			// The closure captures the pre-split slice, not a stream:
+			// each goroutine indexes its own element (the pool pattern).
+			_ = streams[i].Float64()
+		}()
+	}
+}
+
+func localInsideClosure() {
+	go func() {
+		r := queueing.NewRNG(3) // stream born inside the goroutine: fine
+		_ = r.Float64()
+	}()
+}
+
+func suppressed() {
+	q := queueing.NewRNG(9)
+	go func() {
+		//lint:ignore sharedrand single goroutine owns the stream after this point
+		_ = q.Float64()
+	}()
+}

@@ -1,0 +1,144 @@
+// Vet: the driver that cmd/lbvet and the benchmark harness share. It
+// resolves `./...`-style patterns against the module tree, loads and
+// typechecks every matched package (tests included), runs the analyzer
+// suite, and applies //lint:ignore suppressions.
+
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// VetResult summarizes one Vet run.
+type VetResult struct {
+	// Diagnostics are the surviving findings in stable order.
+	Diagnostics []Diagnostic
+	// Packages and Files count what was analyzed.
+	Packages int
+	Files    int
+}
+
+// Vet runs the given analyzers (nil means the full suite) over the
+// packages matched by patterns, relative to the module root.
+func Vet(root string, patterns []string, analyzers []*Analyzer) (VetResult, error) {
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return VetResult{}, err
+	}
+	dirs, err := resolvePatterns(loader.Root, patterns)
+	if err != nil {
+		return VetResult{}, err
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var res VetResult
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		units, err := loader.LoadDir(dir)
+		if err != nil {
+			return VetResult{}, err
+		}
+		for _, u := range units {
+			res.Packages++
+			res.Files += len(u.Files)
+			unitDiags, err := runUnit(u, analyzers)
+			if err != nil {
+				return VetResult{}, err
+			}
+			ignores := map[string][]ignoreDirective{}
+			for _, f := range u.Files {
+				name := u.Fset.Position(f.Pos()).Filename
+				ignores[name] = append(ignores[name], parseIgnores(u.Fset, f, known, &unitDiags)...)
+			}
+			diags = append(diags, applyIgnores(unitDiags, ignores, u.Fset)...)
+		}
+	}
+	sortDiagnostics(diags)
+	res.Diagnostics = diags
+	return res, nil
+}
+
+// resolvePatterns expands package patterns ("./...", "./internal/...",
+// "./cmd/lbsim") into the sorted set of package directories under root.
+func resolvePatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		if pat == "." || pat == "" {
+			pat = root
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(root, pat)
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("analysis: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err = filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			// testdata holds analyzer fixtures with deliberate
+			// violations; hidden and underscore directories follow the
+			// go tool's matching rules.
+			if path != pat && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -76,16 +76,16 @@ func Write(path string, r Report) error {
 		return fmt.Errorf("benchio: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()           // best-effort cleanup; the write error wins
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error wins
 		return fmt.Errorf("benchio: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the close error wins
 		return fmt.Errorf("benchio: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the rename error wins
 		return fmt.Errorf("benchio: %w", err)
 	}
 	return nil

@@ -44,6 +44,7 @@ type eventQueue []*event
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
+	//lint:ignore floatcmp exact tie-break: equal times must fall through to seq for determinism
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}

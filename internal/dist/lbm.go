@@ -126,6 +126,7 @@ func RunLBM(netw Network, trueValues []float64, policies []BidPolicy, phi float6
 	if err != nil {
 		return LBMResult{}, err
 	}
+	//lint:ignore errcheck dispatcher teardown at return; the result is already decided
 	defer disp.Close()
 
 	reports := make([]ComputerReport, n)
@@ -147,7 +148,7 @@ func RunLBM(netw Network, trueValues []float64, policies []BidPolicy, phi float6
 	}
 	defer func() {
 		for _, c := range conns {
-			c.Close()
+			_ = c.Close() // teardown after the agents exited
 		}
 	}()
 

@@ -69,7 +69,7 @@ func (st *stateNode) run(users int) {
 			if reply.Encode(ratesPayload{Avail: st.sys.Available(st.prof, q.User)}) != nil {
 				continue
 			}
-			_ = st.conn.Send(reply)
+			_ = st.conn.Send(reply) // a lost reply fails the querying user, aborting the run
 		case kindStrategy:
 			var s strategyPayload
 			if m.Decode(&s) != nil {
@@ -113,7 +113,7 @@ func (u *userNode) run() {
 			// Propagate once around the ring and quit.
 			if u.id != u.m-1 {
 				stop := Message{To: u.next(), Kind: kindStop}
-				_ = u.conn.Send(stop)
+				_ = u.conn.Send(stop) // best-effort shutdown signal; the run is already ending
 			}
 			return
 		case kindToken:
@@ -198,10 +198,10 @@ func (u *userNode) finish(iter int) {
 	u.result.Iterations = iter
 	u.resMu.Unlock()
 	stop := Message{To: "state", Kind: kindStop}
-	_ = u.conn.Send(stop)
+	_ = u.conn.Send(stop) // best-effort shutdown signal; the run is already ending
 	if u.m > 1 {
 		ring := Message{To: u.next(), Kind: kindStop}
-		_ = u.conn.Send(ring)
+		_ = u.conn.Send(ring) // best-effort shutdown signal; the run is already ending
 	}
 	u.errCh <- nil
 }
@@ -298,12 +298,13 @@ func RunNashRingFrom(netw Network, sys noncoop.System, initial noncoop.Profile, 
 	// Wait for user 0 to finish (or any user to fail). The extra STOP
 	// makes the state node exit even when a user failed mid-round.
 	runErr := <-errCh
+	// The send is best-effort: the state node may already have stopped.
 	_ = conns[0].Send(Message{To: "state", Kind: kindStop})
 	wg.Wait()
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close() // teardown; the protocol is done
 	}
-	stConn.Close()
+	_ = stConn.Close() // teardown; the protocol is done
 	resMu.Lock()
 	defer resMu.Unlock()
 	// Hand back the latest profile even on failure: it is the

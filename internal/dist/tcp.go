@@ -53,7 +53,7 @@ func (n *tcpNetwork) serve(c net.Conn) {
 	enc := gob.NewEncoder(c)
 	var hello Message
 	if err := dec.Decode(&hello); err != nil || hello.Kind != "hello" {
-		c.Close()
+		_ = c.Close() // bad handshake; drop the connection
 		return
 	}
 	name := hello.From
@@ -69,7 +69,7 @@ func (n *tcpNetwork) serve(c net.Conn) {
 	err := enc.Encode(Message{To: name, Kind: "hello.ok"})
 	mu.Unlock()
 	if err != nil {
-		c.Close()
+		_ = c.Close() // ack failed; the peer sees a decode error
 		return
 	}
 	defer func() {
@@ -77,7 +77,7 @@ func (n *tcpNetwork) serve(c net.Conn) {
 		delete(n.conn, name)
 		delete(n.encM, name)
 		n.mu.Unlock()
-		c.Close()
+		_ = c.Close() // broker teardown; the peer sees EOF either way
 	}()
 	for {
 		var m Message
@@ -99,7 +99,7 @@ func (n *tcpNetwork) relay(m Message) {
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	_ = enc.Encode(m)
+	_ = enc.Encode(m) // best-effort relay; loss surfaces as a receiver timeout
 }
 
 // Join dials the broker and announces the node name.
@@ -110,7 +110,7 @@ func (n *tcpNetwork) Join(name string) (Conn, error) {
 	}
 	tc := &tcpConn{name: name, c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 	if err := tc.enc.Encode(Message{From: name, Kind: "hello"}); err != nil {
-		c.Close()
+		_ = c.Close() // already failing; the handshake error wins
 		return nil, fmt.Errorf("dist: hello: %w", err)
 	}
 	// Wait for the broker's registration ack (see serve); without it a
@@ -118,7 +118,7 @@ func (n *tcpNetwork) Join(name string) (Conn, error) {
 	// and be dropped.
 	var ack Message
 	if err := tc.dec.Decode(&ack); err != nil || ack.Kind != "hello.ok" {
-		c.Close()
+		_ = c.Close() // already failing; the handshake error wins
 		return nil, fmt.Errorf("dist: no hello ack for %q (kind=%q, err=%v)", name, ack.Kind, err)
 	}
 	return tc, nil

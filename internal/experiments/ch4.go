@@ -62,7 +62,8 @@ func Fig4_3() (Figure, error) {
 		if err != nil {
 			return Figure{}, err
 		}
-		for init, s := range series {
+		for _, init := range []noncoop.Init{noncoop.InitZero, noncoop.InitProportional} {
+			s := series[init]
 			res, err := noncoop.Nash(sys, noncoop.NashOptions{Init: init, Eps: 1e-4})
 			if err != nil {
 				return Figure{}, err

@@ -50,6 +50,7 @@ var registry = map[string]Generator{
 // IDs returns the registered experiment ids in a stable order.
 func IDs() []string {
 	out := make([]string, 0, len(registry))
+	//lint:ignore nodeterminism ids are sorted before return
 	for id := range registry {
 		out = append(out, id)
 	}

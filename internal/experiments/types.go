@@ -68,6 +68,7 @@ func renderPanel(p Panel) string {
 		}
 	}
 	xs := make([]float64, 0, len(xsSet))
+	//lint:ignore nodeterminism xs are sorted before use
 	for x := range xsSet {
 		xs = append(xs, x)
 	}
@@ -91,6 +92,7 @@ func renderPanel(p Panel) string {
 
 func lookup(s Series, x float64) string {
 	for i, sx := range s.X {
+		//lint:ignore floatcmp x is copied verbatim from the series X values; exact match intended
 		if sx == x {
 			if len(s.Err) == len(s.Y) && s.Err[i] != 0 {
 				return fmt.Sprintf("%.4g±%.2g", s.Y[i], s.Err[i])

@@ -93,6 +93,7 @@ func GoldenMin(f func(float64) float64, a, b, tol float64) float64 {
 // absolute tolerance tol. It is exact for cubics and converges quickly for
 // the piecewise-smooth decreasing load curves used by the payment schemes.
 func Simpson(f func(float64) float64, a, b, tol float64) float64 {
+	//lint:ignore floatcmp a == b is the exact empty-interval guard
 	if a == b {
 		return 0
 	}

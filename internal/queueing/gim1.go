@@ -114,6 +114,7 @@ func GIM1SystemResponseTime(mu, lambda []float64, cv float64) (float64, error) {
 		}
 		var t float64
 		var err error
+		//lint:ignore floatcmp cv is configured, not computed; exactly 1 selects the M/M/1 closed form
 		if cv == 1 {
 			t = ResponseTime(mu[i], lambda[i])
 		} else {

@@ -123,6 +123,7 @@ func waterfill(coef, cnst []float64, rate float64) []float64 {
 			minC := cnst[order[0]]
 			var cheapest []int
 			for _, i := range order {
+				//lint:ignore floatcmp argmin membership over copied values is exact
 				if cnst[i] == minC {
 					cheapest = append(cheapest, i)
 				}
