@@ -6,14 +6,25 @@
 //
 //	lbnode -proto nash -rho 0.6          # §4.3 NASH ring, 10 users
 //	lbnode -proto lbm -liar 1.33         # §5.4 LBM bidding, C1 lies
+//
+// Fault injection (the deterministic chaos transport) is enabled by the
+// chaos flags; the run then reports its fault/retry counters:
+//
+//	lbnode -proto nash -chaos-seed 7 -drop 0.05   # lossy links
+//	lbnode -proto nash -crash user-2:4            # user 2 dies mid-run
+//	lbnode -proto lbm -crash computer-5:0         # C6 never bids
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"gtlb/internal/dist"
+	"gtlb/internal/metrics"
 	"gtlb/internal/noncoop"
 )
 
@@ -22,6 +33,10 @@ func main() {
 	rho := flag.Float64("rho", 0.6, "system utilization for the NASH ring")
 	liar := flag.Float64("liar", 1.0, "bid factor applied by computer C1 in the LBM protocol")
 	addr := flag.String("addr", "127.0.0.1:0", "broker listen address")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "seed of the deterministic fault schedule")
+	drop := flag.Float64("drop", 0, "chaos: per-message drop probability in [0,1]")
+	delay := flag.Float64("delay", 0, "chaos: per-message delay probability in [0,1] (delays up to 5ms)")
+	crash := flag.String("crash", "", "chaos: crash fault as node:step (e.g. user-2:4, computer-5:0)")
 	flag.Parse()
 
 	netw, brokerAddr, closeFn, err := dist.NewTCPNetwork(*addr)
@@ -33,18 +48,61 @@ func main() {
 	defer closeFn()
 	fmt.Printf("broker listening on %s\n\n", brokerAddr)
 
+	var ctr *metrics.Counters
+	chaosOn := *drop > 0 || *delay > 0 || *crash != "" || *chaosSeed != 0
+	if chaosOn {
+		plan := dist.FaultPlan{
+			Seed:     *chaosSeed,
+			Drop:     *drop,
+			Delay:    *delay,
+			MaxDelay: 5 * time.Millisecond,
+		}
+		if *crash != "" {
+			node, step, err := parseCrash(*crash)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
+				os.Exit(2)
+			}
+			plan.Crash = map[string]int{node: step}
+		}
+		ctr = metrics.NewCounters()
+		netw = dist.NewChaosNetwork(netw, plan, ctr)
+		fmt.Printf("chaos transport enabled (seed %d, drop %.3g, delay %.3g, crash %q)\n\n",
+			*chaosSeed, *drop, *delay, *crash)
+	}
+
 	switch *proto {
 	case "nash":
-		runNash(netw, *rho)
+		runNash(netw, *rho, *chaosSeed, ctr)
 	case "lbm":
-		runLBM(netw, *liar)
+		runLBM(netw, *liar, *chaosSeed, ctr)
 	default:
 		fmt.Fprintf(os.Stderr, "lbnode: unknown protocol %q\n", *proto)
 		os.Exit(2)
 	}
 }
 
-func runNash(netw dist.Network, rho float64) {
+// parseCrash splits a node:step crash spec.
+func parseCrash(spec string) (string, int, error) {
+	node, stepStr, ok := strings.Cut(spec, ":")
+	if !ok || node == "" {
+		return "", 0, fmt.Errorf("bad -crash %q: want node:step", spec)
+	}
+	step, err := strconv.Atoi(stepStr)
+	if err != nil || step < 0 {
+		return "", 0, fmt.Errorf("bad -crash step in %q: want a non-negative integer", spec)
+	}
+	return node, step, nil
+}
+
+// printCounters reports the fault/retry counters of a chaos-enabled run.
+func printCounters(ctr *metrics.Counters) {
+	if ctr != nil {
+		fmt.Printf("\nfault/retry counters: %s\n", ctr)
+	}
+}
+
+func runNash(netw dist.Network, rho float64, seed uint64, ctr *metrics.Counters) {
 	mu := []float64{10, 10, 10, 10, 10, 10, 20, 20, 20, 20, 20, 50, 50, 50, 100, 100}
 	fractions := []float64{0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.06, 0.04, 0.04}
 	total := rho * 510
@@ -57,20 +115,32 @@ func runNash(netw dist.Network, rho float64) {
 		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
 		os.Exit(1)
 	}
-	res, err := dist.RunNashRing(netw, sys, 1e-8, 0)
+	opts := dist.NashOptions{Seed: seed, Counters: ctr}
+	if ctr != nil {
+		// Chaos run: repair token losses quickly so the demo converges
+		// under sustained loss instead of idling on the 2s default.
+		opts.Watchdog = 300 * time.Millisecond
+		opts.ProbeTimeout = 50 * time.Millisecond
+	}
+	res, err := dist.RunNashRingWith(netw, sys, 1e-8, 0, opts)
 	if err != nil {
+		printCounters(ctr)
 		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("NASH ring converged in %d iterations\n\n", res.Iterations)
+	if len(res.Ejected) > 0 {
+		fmt.Printf("ejected users (crashed mid-run): %v\n\n", res.Ejected)
+	}
 	fmt.Printf("%-8s %-12s %-16s\n", "user", "phi (jobs/s)", "expected T (s)")
 	for j, t := range sys.UserTimes(res.Profile) {
 		fmt.Printf("%-8d %-12.4g %-16.6g\n", j+1, sys.Phi[j], t)
 	}
 	fmt.Printf("\noverall expected response time: %.6g s\n", sys.OverallTime(res.Profile))
+	printCounters(ctr)
 }
 
-func runLBM(netw dist.Network, liar float64) {
+func runLBM(netw dist.Network, liar float64, seed uint64, ctr *metrics.Counters) {
 	mus := []float64{0.13, 0.13, 0.065, 0.065, 0.065,
 		0.026, 0.026, 0.026, 0.026, 0.026,
 		0.013, 0.013, 0.013, 0.013, 0.013, 0.013}
@@ -83,15 +153,21 @@ func runLBM(netw dist.Network, liar float64) {
 	if liar != 1.0 {
 		policies[0] = dist.ScaledBid(liar)
 	}
-	res, err := dist.RunLBM(netw, trueVals, policies, 0.5*0.663)
+	opts := dist.LBMOptions{Seed: seed, Counters: ctr}
+	res, err := dist.RunLBMWith(netw, trueVals, policies, 0.5*0.663, opts)
 	if err != nil {
+		printCounters(ctr)
 		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("LBM protocol complete (C1 bid factor %.2f)\n\n", liar)
+	if len(res.Excluded) > 0 {
+		fmt.Printf("excluded computers (silent past the retry budget): %v\n\n", res.Excluded)
+	}
 	fmt.Printf("%-10s %-12s %-12s %-12s %-12s\n", "computer", "bid", "load", "payment", "profit")
 	for i, rep := range res.Computers {
 		fmt.Printf("%-10d %-12.5g %-12.5g %-12.5g %-12.5g\n",
 			i+1, rep.Bid, rep.Load, rep.Payment, rep.Profit)
 	}
+	printCounters(ctr)
 }

@@ -8,6 +8,7 @@ package gtlb_test
 import (
 	"math"
 	"testing"
+	"time"
 
 	"gtlb"
 )
@@ -168,5 +169,29 @@ func TestFacadeVerifiedExperiments(t *testing.T) {
 func TestFacadeUserSchemes(t *testing.T) {
 	if got := len(gtlb.UserSchemes()); got != 4 {
 		t.Errorf("user schemes = %d, want 4", got)
+	}
+}
+
+func TestFacadeChaosNetwork(t *testing.T) {
+	ctr := gtlb.NewFaultCounters()
+	plan := gtlb.FaultPlan{Crash: map[string]int{"computer-0": 0}}
+	netw := gtlb.NewChaosNetwork(gtlb.NewMemNetwork(), plan, ctr)
+	trueVals := table51TrueValues()
+	opts := gtlb.LBMOptions{
+		BidDeadline: 40 * time.Millisecond,
+		MaxAttempts: 2,
+		Backoff:     5 * time.Millisecond,
+		AgentBudget: time.Second,
+		Counters:    ctr,
+	}
+	res, err := gtlb.RunLBMWith(netw, trueVals, make([]gtlb.BidPolicy, len(trueVals)), 0.5*0.663, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Excluded) != 1 || res.Excluded[0] != 0 {
+		t.Fatalf("Excluded = %v, want [0]", res.Excluded)
+	}
+	if ctr.Get("chaos.crash") != 1 || ctr.Get("lbm.excluded") != 1 {
+		t.Errorf("counters = %s, want one crash and one exclusion", ctr)
 	}
 }

@@ -165,6 +165,45 @@ func RunLBM(n Network, trueValues []float64, policies []BidPolicy, phi float64) 
 	return dist.RunLBM(n, trueValues, policies, phi)
 }
 
+// FaultPlan is a seeded chaos schedule for fault-injection testing; the
+// zero value injects nothing.
+type FaultPlan = dist.FaultPlan
+
+// PartitionPlan cuts a FaultPlan's network in two for a traffic window.
+type PartitionPlan = dist.PartitionPlan
+
+// FaultCounters collects named fault/retry event counts (chaos.*,
+// nash.*, lbm.*) from a chaos run; safe for concurrent use.
+type FaultCounters = metrics.Counters
+
+// NewFaultCounters returns an empty fault-event counter set.
+func NewFaultCounters() *FaultCounters { return metrics.NewCounters() }
+
+// NewChaosNetwork wraps a transport with deterministic, seeded fault
+// injection (drop, delay, duplicate, reorder, crash, partition). The
+// same plan replayed over the same traffic produces the same schedule.
+func NewChaosNetwork(inner Network, plan FaultPlan, ctr *FaultCounters) Network {
+	return dist.NewChaosNetwork(inner, plan, ctr)
+}
+
+// NashRingOptions tunes the fault-tolerant NASH ring runtime (watchdog,
+// retries, deadline); the zero value uses safe defaults.
+type NashRingOptions = dist.NashOptions
+
+// LBMOptions tunes the hardened LBM dispatcher (bid deadline, retries,
+// backoff); the zero value uses safe defaults.
+type LBMOptions = dist.LBMOptions
+
+// RunNashRingWith is RunNashRing with explicit fault-tolerance options.
+func RunNashRingWith(n Network, sys MultiSystem, eps float64, maxIter int, opts NashRingOptions) (dist.NashRingResult, error) {
+	return dist.RunNashRingWith(n, sys, eps, maxIter, opts)
+}
+
+// RunLBMWith is RunLBM with explicit fault-tolerance options.
+func RunLBMWith(n Network, trueValues []float64, policies []BidPolicy, phi float64, opts LBMOptions) (dist.LBMResult, error) {
+	return dist.RunLBMWith(n, trueValues, policies, phi, opts)
+}
+
 // SimConfig configures the discrete-event simulator. Replications run
 // concurrently on a bounded worker pool (SimConfig.Workers; 0 means
 // runtime.GOMAXPROCS(0), 1 forces the sequential path). Results are

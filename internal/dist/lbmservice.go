@@ -16,6 +16,7 @@ type LBMService struct {
 	newNet     func() Network
 	trueValues []float64
 	policies   []BidPolicy
+	opts       LBMOptions
 
 	mu      sync.Mutex
 	current LBMResult
@@ -44,6 +45,15 @@ func NewLBMService(newNet func() Network, trueValues []float64, policies []BidPo
 	return &LBMService{newNet: newNet, trueValues: trueValues, policies: policies}, nil
 }
 
+// SetOptions installs the fault-tolerance options used by subsequent
+// rounds (deadlines, retry budget, chaos counters). The zero value
+// restores the defaults.
+func (s *LBMService) SetOptions(opts LBMOptions) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts = opts
+}
+
 // Start runs the first round at the given total arrival rate.
 func (s *LBMService) Start(phi float64) (LBMResult, error) {
 	return s.UpdateRate(phi)
@@ -58,7 +68,7 @@ func (s *LBMService) UpdateRate(phi float64) (LBMResult, error) {
 	if s.stopped {
 		return LBMResult{}, errors.New("dist: LBM service stopped")
 	}
-	res, err := RunLBM(s.newNet(), s.trueValues, s.policies, phi)
+	res, err := RunLBMWith(s.newNet(), s.trueValues, s.policies, phi, s.opts)
 	if err != nil {
 		return LBMResult{}, fmt.Errorf("dist: LBM round at phi=%g: %w", phi, err)
 	}

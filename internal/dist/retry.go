@@ -1,0 +1,31 @@
+package dist
+
+import (
+	"time"
+
+	"gtlb/internal/queueing"
+)
+
+// backoffDelay returns the wait before retry number attempt (0-based):
+// bounded exponential backoff min(limit, base·2^attempt) plus uniform
+// jitter of up to half the base, drawn from the caller's seeded stream
+// so a replayed run backs off identically.
+func backoffDelay(base, limit time.Duration, attempt int, rng *queueing.RNG) time.Duration {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if limit < base {
+		limit = base
+	}
+	d := base
+	for i := 0; i < attempt && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	if rng != nil {
+		d += time.Duration(rng.Float64() * float64(base) / 2)
+	}
+	return d
+}

@@ -2,9 +2,11 @@ package dist
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // tcpNetwork is a hub-and-spoke TCP transport: a broker listens on a
@@ -108,7 +110,15 @@ func (n *tcpNetwork) Join(name string) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: dial broker: %w", err)
 	}
-	tc := &tcpConn{name: name, c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	tc := &tcpConn{
+		name: name,
+		c:    c,
+		enc:  gob.NewEncoder(c),
+		dec:  gob.NewDecoder(c),
+		in:   make(chan Message, 1024),
+		dead: make(chan struct{}),
+		stop: make(chan struct{}),
+	}
 	if err := tc.enc.Encode(Message{From: name, Kind: "hello"}); err != nil {
 		_ = c.Close() // already failing; the handshake error wins
 		return nil, fmt.Errorf("dist: hello: %w", err)
@@ -121,18 +131,49 @@ func (n *tcpNetwork) Join(name string) (Conn, error) {
 		_ = c.Close() // already failing; the handshake error wins
 		return nil, fmt.Errorf("dist: no hello ack for %q (kind=%q, err=%v)", name, ack.Kind, err)
 	}
+	go tc.readLoop()
 	return tc, nil
 }
 
+// tcpConn pumps inbound messages through a dedicated reader goroutine
+// into a channel. Recv/RecvTimeout select on that channel, so a receive
+// deadline can expire without tearing a half-decoded gob message out of
+// the stream (a raw SetReadDeadline mid-Decode would poison the decoder
+// for every later message).
 type tcpConn struct {
 	name   string
 	c      net.Conn
 	enc    *gob.Encoder
 	dec    *gob.Decoder
 	sendMu sync.Mutex
+
+	in      chan Message
+	dead    chan struct{} // closed by readLoop after readErr is set
+	readErr error         // terminal decode error; written before dead closes
+	stop    chan struct{} // closed by Close
+	stopOne sync.Once
 }
 
 func (t *tcpConn) Name() string { return t.name }
+
+// readLoop decodes messages until the stream dies, then records the
+// terminal error and signals dead. The happens-before edge of close(dead)
+// makes readErr safe to read after <-t.dead.
+func (t *tcpConn) readLoop() {
+	for {
+		var m Message
+		if err := t.dec.Decode(&m); err != nil {
+			t.readErr = err
+			close(t.dead)
+			return
+		}
+		select {
+		case t.in <- m:
+		case <-t.stop:
+			return
+		}
+	}
+}
 
 func (t *tcpConn) Send(m Message) error {
 	m.From = t.name
@@ -144,12 +185,67 @@ func (t *tcpConn) Send(m Message) error {
 	return nil
 }
 
-func (t *tcpConn) Recv() (Message, error) {
-	var m Message
-	if err := t.dec.Decode(&m); err != nil {
-		return Message{}, ErrClosed
+// closedErr reports why the stream ended: ErrClosed joined with the
+// underlying decode error, so callers can tell a clean shutdown (EOF)
+// from a corrupt stream or a reset without losing errors.Is(ErrClosed).
+func (t *tcpConn) closedErr() error {
+	if t.readErr != nil {
+		return errors.Join(ErrClosed, t.readErr)
 	}
-	return m, nil
+	return ErrClosed
 }
 
-func (t *tcpConn) Close() error { return t.c.Close() }
+func (t *tcpConn) Recv() (Message, error) {
+	select {
+	case m := <-t.in:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-t.in:
+		return m, nil
+	case <-t.dead:
+		// Drain messages decoded before the stream died.
+		select {
+		case m := <-t.in:
+			return m, nil
+		default:
+			return Message{}, t.closedErr()
+		}
+	case <-t.stop:
+		return Message{}, ErrClosed
+	}
+}
+
+func (t *tcpConn) RecvTimeout(d time.Duration) (Message, error) {
+	if d <= 0 {
+		return t.Recv()
+	}
+	select {
+	case m := <-t.in:
+		return m, nil
+	default:
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-t.in:
+		return m, nil
+	case <-t.dead:
+		select {
+		case m := <-t.in:
+			return m, nil
+		default:
+			return Message{}, t.closedErr()
+		}
+	case <-t.stop:
+		return Message{}, ErrClosed
+	case <-timer.C:
+		return Message{}, fmt.Errorf("dist: recv on %q after %v: %w", t.name, d, ErrTimeout)
+	}
+}
+
+func (t *tcpConn) Close() error {
+	t.stopOne.Do(func() { close(t.stop) })
+	return t.c.Close()
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Message is one unit of communication between nodes.
@@ -58,6 +59,11 @@ type Conn interface {
 	// Recv blocks until a message addressed to this node arrives. It
 	// returns an error once the connection is closed and drained.
 	Recv() (Message, error)
+	// RecvTimeout behaves like Recv but gives up after d, returning an
+	// error wrapping ErrTimeout. A non-positive d means block forever.
+	// Deadline-aware receives are what let the hardened protocols retry
+	// or degrade instead of deadlocking on a lost message.
+	RecvTimeout(d time.Duration) (Message, error)
 	// Close releases the endpoint; pending Recv calls return an error.
 	Close() error
 }
@@ -69,8 +75,15 @@ type Network interface {
 	Join(name string) (Conn, error)
 }
 
-// ErrClosed is returned by Recv after Close.
+// ErrClosed is returned by Recv after Close. Transport-level failures
+// (broker EOF, corrupt stream) wrap both ErrClosed and the underlying
+// error, so errors.Is(err, ErrClosed) still matches while the root cause
+// stays diagnosable.
 var ErrClosed = errors.New("dist: connection closed")
+
+// ErrTimeout is returned (wrapped) by RecvTimeout when no message
+// arrives within the deadline.
+var ErrTimeout = errors.New("dist: receive timeout")
 
 // memNetwork is the in-memory transport: a mailbox per node.
 type memNetwork struct {
@@ -163,6 +176,33 @@ func (c *memConn) Recv() (Message, error) {
 		default:
 			return Message{}, ErrClosed
 		}
+	}
+}
+
+func (c *memConn) RecvTimeout(d time.Duration) (Message, error) {
+	if d <= 0 {
+		return c.Recv()
+	}
+	select {
+	case m := <-c.box.ch:
+		return m, nil
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-c.box.ch:
+		return m, nil
+	case <-c.box.done:
+		// Same pre-close drain as Recv.
+		select {
+		case m := <-c.box.ch:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	case <-t.C:
+		return Message{}, fmt.Errorf("dist: recv on %q after %v: %w", c.name, d, ErrTimeout)
 	}
 }
 

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a concurrency-safe set of named monotonic event counters.
+// The fault-injection layer and the hardened protocol runtimes record
+// what happened to a run through one of these — messages dropped,
+// receive timeouts, bid re-requests, regenerated ring tokens, excluded
+// agents — so a chaos experiment's observable behaviour is a first-class
+// result, comparable across replays of the same fault schedule.
+//
+// A nil *Counters is valid and records nothing, so instrumented code can
+// call it unconditionally.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// Counter is one named counter value in a Snapshot.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]uint64)}
+}
+
+// Add increments the named counter by delta. No-op on a nil receiver.
+func (c *Counters) Add(name string, delta uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the named counter by one. No-op on a nil receiver.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the named counter's value (0 if never incremented or on a
+// nil receiver).
+func (c *Counters) Get(name string) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns all counters sorted by name. Nil receivers and empty
+// sets return a nil slice.
+func (c *Counters) Snapshot() []Counter {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	names := make([]string, 0, len(c.m))
+	for name := range c.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Counter, 0, len(names))
+	for _, name := range names {
+		out = append(out, Counter{Name: name, Value: c.m[name]})
+	}
+	c.mu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// String renders the counters as "name=value" pairs sorted by name, for
+// logs and CLI summaries.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	if len(snap) == 0 {
+		return "(no events)"
+	}
+	var b strings.Builder
+	for i, kv := range snap {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", kv.Name, kv.Value)
+	}
+	return b.String()
+}
+
+// Equal reports whether two counter sets hold exactly the same named
+// values — the replay-determinism check for a chaos schedule. Nil and
+// empty sets are equal.
+func (c *Counters) Equal(o *Counters) bool {
+	a, b := c.Snapshot(), o.Snapshot()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

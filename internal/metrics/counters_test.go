@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersBasic(t *testing.T) {
+	t.Parallel()
+	c := NewCounters()
+	c.Inc("drop")
+	c.Add("drop", 2)
+	c.Add("retry", 5)
+	if got := c.Get("drop"); got != 3 {
+		t.Errorf("drop = %d, want 3", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	snap := c.Snapshot()
+	want := []Counter{{"drop", 3}, {"retry", 5}}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot %v, want %v", snap, want)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("snapshot[%d] = %v, want %v", i, snap[i], want[i])
+		}
+	}
+	if s := c.String(); s != "drop=3 retry=5" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	t.Parallel()
+	var c *Counters
+	c.Inc("x") // must not panic
+	c.Add("x", 7)
+	if c.Get("x") != 0 {
+		t.Error("nil counters returned a value")
+	}
+	if c.Snapshot() != nil {
+		t.Error("nil counters returned a snapshot")
+	}
+	if s := c.String(); s != "(no events)" {
+		t.Errorf("String() = %q", s)
+	}
+	if !c.Equal(nil) || !c.Equal(NewCounters()) {
+		t.Error("nil and empty counter sets must compare equal")
+	}
+}
+
+func TestCountersEqual(t *testing.T) {
+	t.Parallel()
+	a, b := NewCounters(), NewCounters()
+	a.Add("drop", 2)
+	b.Add("drop", 2)
+	if !a.Equal(b) {
+		t.Error("identical sets unequal")
+	}
+	b.Inc("retry")
+	if a.Equal(b) {
+		t.Error("different sets equal")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	t.Parallel()
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Errorf("n = %d, want 8000", got)
+	}
+}
