@@ -301,15 +301,17 @@ func TestBenchDESReport(t *testing.T) {
 		t.Skip("benchmark report skipped in -short mode")
 	}
 	report := benchio.NewReport()
-	nsPerOp := map[int]float64{}
+	results := map[int]testing.BenchmarkResult{}
 	for _, workers := range []int{1, 4} {
 		workers := workers
-		r := testing.Benchmark(func(b *testing.B) { benchmarkSimulatorWorkers(b, workers) })
-		nsPerOp[workers] = float64(r.NsPerOp())
+		results[workers] = testing.Benchmark(func(b *testing.B) { benchmarkSimulatorWorkers(b, workers) })
 	}
-	speedup := nsPerOp[1] / nsPerOp[4]
-	report.Add("des.Run/workers=1", nsPerOp[1], nil)
-	report.Add("des.Run/workers=4", nsPerOp[4], map[string]float64{"speedup_vs_sequential": speedup})
+	speedup := float64(results[1].NsPerOp()) / float64(results[4].NsPerOp())
+	report.AddWithAllocs("des.Run/workers=1",
+		float64(results[1].NsPerOp()), float64(results[1].AllocsPerOp()), float64(results[1].AllocedBytesPerOp()), nil)
+	report.AddWithAllocs("des.Run/workers=4",
+		float64(results[4].NsPerOp()), float64(results[4].AllocsPerOp()), float64(results[4].AllocedBytesPerOp()),
+		map[string]float64{"speedup_vs_sequential": speedup})
 	if err := benchio.Write("BENCH_DES.json", report); err != nil {
 		t.Fatal(err)
 	}
@@ -317,6 +319,43 @@ func TestBenchDESReport(t *testing.T) {
 		speedup, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	if runtime.NumCPU() >= 4 && speedup < 2 {
 		t.Errorf("expected >= 2x speedup at 4 workers on a %d-CPU machine, got %.2fx", runtime.NumCPU(), speedup)
+	}
+}
+
+// TestDESAllocBaseline is the CI allocation gate: it re-measures the
+// sequential des.Run benchmark and fails if allocs/op regressed past the
+// committed BENCH_DES.json baseline. Allocation counts — unlike ns/op —
+// are essentially machine-independent, so the committed number is
+// comparable across runners. The slack absorbs slice-growth jitter from
+// GC timing; a per-job allocation reintroduced into the hot loop costs
+// ~220k allocs/op here and overshoots any slack by orders of magnitude.
+//
+// CI runs exactly this test (-run TestDESAllocBaseline), which leaves
+// the committed baseline untouched; a full local `go test` regenerates
+// BENCH_DES.json via TestBenchDESReport instead.
+func TestDESAllocBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate skipped in -short mode")
+	}
+	baseline, err := benchio.Read("BENCH_DES.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := baseline.Lookup("des.Run/workers=1")
+	if !ok {
+		t.Fatal("BENCH_DES.json has no des.Run/workers=1 entry")
+	}
+	if entry.AllocsPerOp == 0 {
+		t.Skip("committed baseline predates alloc tracking; regenerate with go test -run TestBenchDESReport")
+	}
+	r := testing.Benchmark(func(b *testing.B) { benchmarkSimulatorWorkers(b, 1) })
+	got := float64(r.AllocsPerOp())
+	limit := 1.25*entry.AllocsPerOp + 64
+	t.Logf("des.Run/workers=1: %.0f allocs/op, %d B/op (baseline %.0f allocs/op, limit %.0f)",
+		got, r.AllocedBytesPerOp(), entry.AllocsPerOp, limit)
+	if got > limit {
+		t.Errorf("des.Run allocations regressed: %.0f allocs/op exceeds committed baseline %.0f (+25%%+64 slack = %.0f)",
+			got, entry.AllocsPerOp, limit)
 	}
 }
 

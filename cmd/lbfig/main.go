@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"gtlb/internal/cliutil"
 	"gtlb/internal/experiments"
 )
 
@@ -24,8 +25,16 @@ func main() {
 	full := flag.Bool("full", false, "use the full simulation methodology for F3.6/F4.8 (slower)")
 	list := flag.Bool("list", false, "list the available experiment ids")
 	workers := flag.Int("workers", 0, "concurrent sweep points per figure (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbfig: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -29,7 +29,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root random seed")
 	cv := flag.Float64("cv", 1, "inter-arrival coefficient of variation (1 = Poisson, >1 = hyper-exponential)")
 	workers := flag.Int("workers", 0, "concurrent replications (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
+	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	mu, err := cliutil.ParseRates(*muFlag)
 	if err != nil {

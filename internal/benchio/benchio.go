@@ -19,6 +19,12 @@ type Entry struct {
 	Name string `json:"name"`
 	// NsPerOp is the measured wall-clock nanoseconds per operation.
 	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp record the heap cost per operation.
+	// Unlike ns/op they are nearly machine-independent, which makes
+	// them the CI-gateable part of the report: an allocation slipped
+	// back into the simulator's hot loop shows up here on any runner.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	// Extra holds benchmark-specific metrics (e.g. "speedup",
 	// "jobs_per_op"), keyed by metric name.
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -47,6 +53,18 @@ func NewReport() Report {
 // Add appends one entry to the report.
 func (r *Report) Add(name string, nsPerOp float64, extra map[string]float64) {
 	r.Entries = append(r.Entries, Entry{Name: name, NsPerOp: nsPerOp, Extra: extra})
+}
+
+// AddWithAllocs appends one entry carrying heap-cost metrics alongside
+// the timing.
+func (r *Report) AddWithAllocs(name string, nsPerOp, allocsPerOp, bytesPerOp float64, extra map[string]float64) {
+	r.Entries = append(r.Entries, Entry{
+		Name:        name,
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: allocsPerOp,
+		BytesPerOp:  bytesPerOp,
+		Extra:       extra,
+	})
 }
 
 // Lookup returns the entry with the given name.

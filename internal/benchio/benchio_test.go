@@ -11,7 +11,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	r := NewReport()
 	r.Add("des.Run/workers=4", 1.5e6, map[string]float64{"speedup": 3.2})
-	r.Add("des.Run/workers=1", 4.8e6, nil)
+	r.AddWithAllocs("des.Run/workers=1", 4.8e6, 592, 91801, nil)
 	if err := Write(path, r); err != nil {
 		t.Fatal(err)
 	}
@@ -32,6 +32,9 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	e, ok := got.Lookup("des.Run/workers=4")
 	if !ok || e.Extra["speedup"] != 3.2 {
 		t.Errorf("Lookup lost extras: %+v ok=%v", e, ok)
+	}
+	if e, _ := got.Lookup("des.Run/workers=1"); e.AllocsPerOp != 592 || e.BytesPerOp != 91801 {
+		t.Errorf("alloc metrics lost: %+v", e)
 	}
 }
 

@@ -1,0 +1,79 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler wires the conventional -cpuprofile/-memprofile flags into a
+// command. Register before flag.Parse, then:
+//
+//	stop, err := prof.Start()
+//	if err != nil { ... }
+//	defer stop()
+//
+// Start begins CPU profiling if requested; the returned stop function
+// flushes the CPU profile and writes the heap profile. Both profiles are
+// pprof files readable with `go tool pprof`.
+type Profiler struct {
+	cpu *string
+	mem *string
+
+	cpuFile *os.File
+}
+
+// RegisterProfileFlags declares -cpuprofile and -memprofile on fs.
+func RegisterProfileFlags(fs *flag.FlagSet) *Profiler {
+	p := &Profiler{}
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The returned
+// function stops profiling and writes any requested heap profile; it
+// reports (to stderr) but does not fail on heap-profile write errors,
+// since by then the command's real work has already succeeded.
+func (p *Profiler) Start() (stop func(), err error) {
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				err = fmt.Errorf("%w (and closing: %v)", err, cerr)
+			}
+			return nil, fmt.Errorf("cliutil: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p.stop, nil
+}
+
+func (p *Profiler) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cliutil: closing cpu profile: %v\n", err)
+		}
+		p.cpuFile = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cliutil: heap profile: %v\n", err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cliutil: heap profile: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cliutil: closing heap profile: %v\n", err)
+		}
+	}
+}

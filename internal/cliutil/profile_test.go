@@ -1,0 +1,73 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestProfilerWritesProfiles runs the full flag → Start → stop cycle and
+// checks both pprof files appear and are non-empty (the pprof format is
+// gzip-framed protobuf; content validation belongs to go tool pprof).
+func TestProfilerWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := RegisterProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	stop()
+
+	for _, f := range []string{cpu, mem} {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", f, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+}
+
+// TestProfilerOff: with neither flag set, Start is a no-op and stop is
+// safe to call.
+func TestProfilerOff(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := RegisterProfileFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent
+}
+
+// TestProfilerBadPath: an uncreatable CPU-profile path must surface as
+// an error from Start, not a silent missing profile.
+func TestProfilerBadPath(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := RegisterProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err == nil {
+		t.Fatal("Start succeeded with an uncreatable cpuprofile path")
+	}
+}

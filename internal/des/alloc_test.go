@@ -1,0 +1,156 @@
+package des
+
+import (
+	"testing"
+
+	"gtlb/internal/queueing"
+)
+
+// steadyCfg is a 16-computer scenario sized so one Run simulates tens of
+// thousands of jobs: large enough that any per-job allocation left in
+// the hot loop dominates the fixed per-replication setup cost and fails
+// the budget below.
+func steadyCfg(withBreakdowns bool) Config {
+	mu := []float64{13, 13, 13, 13, 13, 13, 26, 26, 26, 26, 26, 65, 65, 65, 130, 130}
+	var total float64
+	for _, m := range mu {
+		total += m
+	}
+	routing := make([]float64, len(mu))
+	for i, m := range mu {
+		routing[i] = m / total
+	}
+	cfg := Config{
+		Mu:           mu,
+		InterArrival: queueing.NewExponential(0.7 * total),
+		Routing:      [][]float64{routing},
+		Horizon:      60,
+		Warmup:       3,
+		Seed:         42,
+		Replications: 1,
+		Workers:      1,
+	}
+	if withBreakdowns {
+		cfg.Breakdowns = make([]Breakdown, len(mu))
+		for i := range cfg.Breakdowns {
+			cfg.Breakdowns[i] = Breakdown{FailRate: 0.5, RepairRate: 5}
+		}
+	}
+	return cfg
+}
+
+// TestSteadyStateAllocs is the zero-allocation regression gate of the
+// DES core: a replication simulating ~28k jobs must stay within a fixed
+// allocation budget that only covers per-replication setup (metric
+// accumulators, RNG streams, arena/heap/ring high-water growth). Any
+// per-job allocation reintroduced into the event loop multiplies by the
+// job count and blows the budget immediately — at one alloc per job this
+// fails by two orders of magnitude.
+func TestSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		breakdowns bool
+	}{
+		{"static routing", false},
+		{"with failure rerouting", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := steadyCfg(tc.breakdowns)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Jobs < 20_000 {
+				t.Fatalf("only %d jobs simulated; the budget below assumes ≥20k", res.Jobs)
+			}
+			allocs := testing.AllocsPerRun(3, func() {
+				if _, err := Run(cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+			const budget = 500 // fixed setup cost; ≈0.02 allocs per simulated job
+			if allocs > budget {
+				t.Errorf("Run allocated %.0f times for %d jobs (budget %d): the hot loop is allocating per job",
+					allocs, res.Jobs, budget)
+			}
+		})
+	}
+}
+
+// TestDynamicSteadyStateAllocs applies the same gate to the dynamic-mode
+// engine (whose old implementation allocated a queue-length snapshot per
+// arrival on top of the per-job allocations).
+func TestDynamicSteadyStateAllocs(t *testing.T) {
+	cfg := DynamicConfig{
+		Mu:            []float64{20, 20, 20, 20},
+		Lambda:        []float64{14, 14, 14, 14},
+		TransferDelay: 0.005,
+		Horizon:       400,
+		Warmup:        20,
+		Seed:          7,
+		Replications:  1,
+		Workers:       1,
+	}
+	res, err := RunDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs < 15_000 {
+		t.Fatalf("only %d jobs simulated; the budget below assumes ≥15k", res.Jobs)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := RunDynamic(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 300
+	if allocs > budget {
+		t.Errorf("RunDynamic allocated %.0f times for %d jobs (budget %d)", allocs, res.Jobs, budget)
+	}
+}
+
+// BenchmarkRunOnce measures one sequential replication of the steady
+// scenario — the number BENCH_DES.json tracks per PR, with allocs/op
+// making any hot-loop allocation regression visible in the report.
+func BenchmarkRunOnce(b *testing.B) {
+	cfg := steadyCfg(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Jobs), "jobs/op")
+	}
+}
+
+// BenchmarkRunOnceBreakdowns exercises the failure/reroute path.
+func BenchmarkRunOnceBreakdowns(b *testing.B) {
+	cfg := steadyCfg(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunDynamicOnce is the dynamic-mode counterpart.
+func BenchmarkRunDynamicOnce(b *testing.B) {
+	cfg := DynamicConfig{
+		Mu:            []float64{20, 20, 20, 20},
+		Lambda:        []float64{14, 14, 14, 14},
+		TransferDelay: 0.005,
+		Horizon:       400,
+		Warmup:        20,
+		Seed:          7,
+		Replications:  1,
+		Workers:       1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunDynamic(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

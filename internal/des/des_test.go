@@ -249,10 +249,10 @@ func TestUnusedComputerIdle(t *testing.T) {
 func TestEventQueueOrdering(t *testing.T) {
 	t.Parallel()
 	s := &scheduler{}
-	s.schedule(3, evArrival, -1, nil)
-	s.schedule(1, evDeparture, 0, &job{})
-	s.schedule(2, evArrival, -1, nil)
-	s.schedule(1, evArrival, -1, nil) // same time as the departure, later seq
+	s.schedule(3, evArrival, -1, noJob)
+	s.schedule(1, evDeparture, 0, 0)
+	s.schedule(2, evArrival, -1, noJob)
+	s.schedule(1, evArrival, -1, noJob) // same time as the departure, later seq
 	var times []float64
 	var kinds []eventKind
 	for !s.empty() {

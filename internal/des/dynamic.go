@@ -22,6 +22,9 @@ import (
 // DynamicPolicy is a dynamic load-balancing policy. Implementations
 // observe queue lengths only (jobs waiting plus in service), the
 // information real distributed policies estimate by probing.
+//
+// The q slice handed to both hooks is a buffer the engine reuses across
+// calls; implementations must not retain it past the call.
 type DynamicPolicy interface {
 	// Name identifies the policy in reports.
 	Name() string
@@ -153,38 +156,44 @@ const (
 	evDynComplete eventKind = 12 // service completion
 )
 
+// runDynamicOnce executes one dynamic-mode replication on the same
+// zero-steady-state-allocation substrate as runOnce: jobs in an arena,
+// per-computer waiting queues as ring deques, events as values in the
+// 4-ary heap, and one reused queue-length buffer for the policy hooks
+// (the old engine allocated a fresh []int per arrival and per idle
+// probe).
 func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, int) {
 	n := len(cfg.Mu)
 	var acc metrics.Accumulator
 	moved := 0
 
-	queues := make([][]*job, n) // waiting jobs (excluding in service)
+	queues := make([]jobRing, n) // waiting jobs (excluding in service)
 	busy := make([]bool, n)
 	sched := &scheduler{}
+	arena := &jobArena{}
+	qbuf := make([]int, n) // reused queue-length snapshot for the policy
 
 	qlen := func() []int {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = len(queues[i])
+		for i := range qbuf {
+			qbuf[i] = queues[i].len()
 			if busy[i] {
-				out[i]++
+				qbuf[i]++
 			}
 		}
-		return out
+		return qbuf
 	}
 
 	start := func(i int, now float64) {
-		if busy[i] || len(queues[i]) == 0 {
+		if busy[i] || queues[i].len() == 0 {
 			return
 		}
 		busy[i] = true
-		j := queues[i][0]
-		queues[i] = queues[i][1:]
+		j := queues[i].popFront()
 		sched.schedule(now+rng.Exp(cfg.Mu[i]), evDynComplete, i, j)
 	}
 
-	enqueue := func(i int, j *job, now float64) {
-		queues[i] = append(queues[i], j)
+	enqueue := func(i int, j jobID, now float64) {
+		queues[i].pushBack(j)
 		start(i, now)
 	}
 
@@ -192,7 +201,7 @@ func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, 
 	// carries the home computer.
 	for i := 0; i < n; i++ {
 		if cfg.Lambda[i] > 0 {
-			sched.schedule(rng.Exp(cfg.Lambda[i]), evDynArrival, i, nil)
+			sched.schedule(rng.Exp(cfg.Lambda[i]), evDynArrival, i, noJob)
 		}
 	}
 
@@ -200,12 +209,12 @@ func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, 
 		ev := sched.next()
 		switch ev.kind {
 		case evDynArrival:
-			home := ev.server
+			home := int(ev.server)
 			now := ev.time
 			if now <= cfg.Horizon {
-				sched.schedule(now+rng.Exp(cfg.Lambda[home]), evDynArrival, home, nil)
+				sched.schedule(now+rng.Exp(cfg.Lambda[home]), evDynArrival, home, noJob)
 			}
-			j := &job{arrival: now}
+			j := arena.alloc(0, now)
 			dest := cfg.Policy.OnArrival(home, qlen(), rng)
 			if dest < 0 || dest >= n {
 				dest = home
@@ -221,12 +230,13 @@ func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, 
 			}
 
 		case evDynHandoff:
-			enqueue(ev.server, ev.job, ev.time)
+			enqueue(int(ev.server), ev.job, ev.time)
 
 		case evDynComplete:
-			i := ev.server
+			i := int(ev.server)
 			busy[i] = false
-			j := ev.job
+			j := arena.jobs[ev.job]
+			arena.release(ev.job)
 			if j.arrival >= cfg.Warmup && j.arrival <= cfg.Horizon {
 				acc.Add(ev.time - j.arrival)
 			}
@@ -235,9 +245,8 @@ func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, 
 				// The computer idles: give the policy a chance to pull
 				// a waiting job from a peer.
 				from := cfg.Policy.OnIdle(i, qlen(), rng)
-				if from >= 0 && from < n && from != i && len(queues[from]) > 0 {
-					pulled := queues[from][len(queues[from])-1]
-					queues[from] = queues[from][:len(queues[from])-1]
+				if from >= 0 && from < n && from != i && queues[from].len() > 0 {
+					pulled := queues[from].popBack()
 					moved++
 					if cfg.TransferDelay > 0 {
 						sched.schedule(ev.time+cfg.TransferDelay, evDynHandoff, i, pulled)

@@ -152,11 +152,43 @@ type Result struct {
 
 // server is one computer's FCFS queue state.
 type server struct {
-	queue        []*job
+	queue        jobRing
 	busy         bool
-	inService    *job    // the job being served while busy
+	inService    jobID   // the job being served while busy (noJob otherwise)
 	serviceStart float64 // when the current service began
 	busyTime     float64 // accumulated service time inside the horizon
+}
+
+// samplers are the precomputed routing tables shared by every
+// replication of a Run: Walker alias tables for the user-share draw and
+// each user's routing row. Construction is deterministic and consumes no
+// randomness, and the tables are immutable afterwards, so sharing them
+// across the worker pool preserves the bit-identical-at-any-worker-count
+// contract. Every routed job consumes exactly one Float64 per table
+// consulted (see the RNG-draw discipline note on runOnce).
+type samplers struct {
+	user  *queueing.AliasSampler   // nil for single-class systems
+	route []*queueing.AliasSampler // one table per user row
+}
+
+func buildSamplers(cfg Config) (samplers, error) {
+	var sp samplers
+	if cfg.UserShare != nil {
+		u, err := queueing.NewAliasSampler(cfg.UserShare)
+		if err != nil {
+			return samplers{}, fmt.Errorf("des: user shares: %w", err)
+		}
+		sp.user = u
+	}
+	sp.route = make([]*queueing.AliasSampler, len(cfg.Routing))
+	for j, row := range cfg.Routing {
+		t, err := queueing.NewAliasSampler(row)
+		if err != nil {
+			return samplers{}, fmt.Errorf("des: routing row %d: %w", j, err)
+		}
+		sp.route[j] = t
+	}
+	return sp, nil
 }
 
 // Run executes the scenario and returns averaged measurements. Each
@@ -177,6 +209,10 @@ func Run(cfg Config) (Result, error) {
 	}
 	users := len(cfg.Routing)
 
+	sp, err := buildSamplers(cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	streams := splitStreams(cfg.Seed, reps)
 	arrivals := make([]queueing.Distribution, reps)
 	for r := range arrivals {
@@ -184,7 +220,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	results := make([]replication, reps)
 	forEachReplication(reps, workerCount(cfg.Workers, reps), func(r int) {
-		results[r] = runOnce(cfg, arrivals[r], streams[r], users)
+		results[r] = runOnce(cfg, arrivals[r], streams[r], users, sp)
 	})
 
 	overall := make([]float64, 0, reps)
@@ -239,7 +275,21 @@ type replication struct {
 	busyTime []float64
 }
 
-func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, users int) replication {
+// runOnce executes one replication. The steady-state loop performs no
+// heap allocations: events are values in a flat 4-ary heap, jobs live in
+// an index-addressed arena, FCFS queues are ring-buffer deques, and the
+// failure-reroute renormalization reuses a scratch buffer.
+//
+// RNG-draw discipline (the bit-identical-across-worker-counts contract):
+// every replication draws only from its own pre-split stream, and the
+// draw sequence is fixed by event order — per arrival, one inter-arrival
+// sample, one user-share alias draw (multi-user systems only), one
+// routing alias draw, plus one renormalization draw only when the routed
+// computer is down; one service-time draw per service start; one draw
+// per failure/repair scheduling. The alias tables are built before the
+// worker pool starts and consume no randomness, so worker scheduling can
+// never perturb any stream.
+func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, users int, sp samplers) replication {
 	rep := replication{
 		p95:      metrics.MustQuantile(0.95),
 		comp:     make([]metrics.Accumulator, len(cfg.Mu)),
@@ -248,26 +298,35 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 	}
 	n := len(cfg.Mu)
 	servers := make([]server, n)
+	for i := range servers {
+		servers[i].inService = noJob
+	}
 	down := make([]bool, n)
-	epoch := make([]uint64, n)
+	epoch := make([]uint32, n)
 	sched := &scheduler{}
+	arena := &jobArena{}
+	scratch := make([]float64, n) // failure-reroute renormalization buffer
 
-	// Prime the arrival stream and the failure processes.
-	sched.schedule(interArrival.Sample(rng), evArrival, -1, nil)
+	// Prime the arrival stream and the failure processes. There is only
+	// ever one pending arrival, so it lives in a scalar merged against
+	// the heap top by the same (time, seq) order instead of paying heap
+	// traffic — arrivals are half of all events, so this halves the
+	// push/pop volume of the inner loop.
+	nextArrival := event{time: interArrival.Sample(rng), seq: sched.nextSeq(), kind: evArrival}
+	arrivalsOpen := true
 	for i := range cfg.Breakdowns {
 		if cfg.Breakdowns[i].FailRate > 0 {
-			sched.schedule(rng.Exp(cfg.Breakdowns[i].FailRate), evFail, i, nil)
+			sched.schedule(rng.Exp(cfg.Breakdowns[i].FailRate), evFail, i, noJob)
 		}
 	}
 
 	startService := func(i int, now float64) {
 		s := &servers[i]
-		if s.busy || down[i] || len(s.queue) == 0 {
+		if s.busy || down[i] || s.queue.len() == 0 {
 			return
 		}
 		s.busy = true
-		j := s.queue[0]
-		s.queue = s.queue[1:]
+		j := s.queue.popFront()
 		s.inService = j
 		s.serviceStart = now
 		sched.scheduleEpoch(now+rng.Exp(cfg.Mu[i]), evDeparture, i, j, epoch[i])
@@ -292,26 +351,48 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 	// up set; if everything it would use is down, the original pick is
 	// kept and the job waits out the repair.
 	route := func(u int) int {
-		i := rng.Pick(cfg.Routing[u])
+		i := sp.route[u].Sample(rng)
 		if !down[i] {
 			return i
 		}
-		weights := make([]float64, n)
 		var total float64
 		for k, w := range cfg.Routing[u] {
-			if !down[k] {
-				weights[k] = w
+			if down[k] {
+				scratch[k] = 0
+			} else {
+				scratch[k] = w
 				total += w
 			}
 		}
 		if total <= 0 {
 			return i
 		}
-		return rng.Pick(weights)
+		// One extra Float64 draw; a cumulative scan over the scratch
+		// buffer, because the up-set changes with every failure/repair
+		// and rebuilding an alias table here would allocate.
+		x := rng.Float64() * total
+		for k, w := range scratch {
+			x -= w
+			if x < 0 {
+				return k
+			}
+		}
+		for k := n - 1; k >= 0; k-- { // rounding guard at the boundary
+			if scratch[k] > 0 {
+				return k
+			}
+		}
+		return i
 	}
 
-	for !sched.empty() {
-		ev := sched.next()
+	for arrivalsOpen || !sched.empty() {
+		var ev event
+		if arrivalsOpen && (sched.empty() || nextArrival.before(sched.peek())) {
+			ev = nextArrival
+			arrivalsOpen = false
+		} else {
+			ev = sched.next()
+		}
 		if ev.time > cfg.Horizon && ev.kind == evArrival {
 			// Stop admitting new jobs; drain the remaining events so
 			// in-flight jobs complete (run-to-completion). Failures stop
@@ -323,15 +404,16 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 		case evArrival:
 			now := ev.time
 			// Next arrival.
-			sched.schedule(now+interArrival.Sample(rng), evArrival, -1, nil)
+			nextArrival = event{time: now + interArrival.Sample(rng), seq: sched.nextSeq(), kind: evArrival}
+			arrivalsOpen = true
 			// Classify and route the job.
 			u := 0
-			if cfg.UserShare != nil {
-				u = rng.Pick(cfg.UserShare)
+			if sp.user != nil {
+				u = sp.user.Sample(rng)
 			}
 			i := route(u)
-			j := &job{user: u, arrival: now}
-			servers[i].queue = append(servers[i].queue, j)
+			id := arena.alloc(int32(u), now)
+			servers[i].queue.pushBack(id)
 			startService(i, now)
 
 		case evDeparture:
@@ -340,9 +422,10 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 				continue // cancelled by a failure while in service
 			}
 			servers[i].busy = false
-			servers[i].inService = nil
-			clampBusy(i, servers[i].serviceStart, ev.time)
-			j := ev.job
+			servers[i].inService = noJob
+			clampBusy(int(i), servers[i].serviceStart, ev.time)
+			j := arena.jobs[ev.job]
+			arena.release(ev.job)
 			if j.arrival >= cfg.Warmup {
 				rt := ev.time - j.arrival
 				rep.total.Add(rt)
@@ -350,7 +433,7 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 				rep.user[j.user].Add(rt)
 				rep.p95.Add(rt)
 			}
-			startService(i, ev.time)
+			startService(int(i), ev.time)
 
 		case evFail:
 			i := ev.server
@@ -365,18 +448,18 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 				// distributionally identical by memorylessness.
 				interrupted := servers[i].inService
 				servers[i].busy = false
-				servers[i].inService = nil
-				clampBusy(i, servers[i].serviceStart, ev.time)
-				servers[i].queue = append([]*job{interrupted}, servers[i].queue...)
+				servers[i].inService = noJob
+				clampBusy(int(i), servers[i].serviceStart, ev.time)
+				servers[i].queue.pushFront(interrupted)
 			}
-			sched.schedule(ev.time+rng.Exp(cfg.Breakdowns[i].RepairRate), evRepair, i, nil)
+			sched.schedule(ev.time+rng.Exp(cfg.Breakdowns[i].RepairRate), evRepair, int(i), noJob)
 
 		case evRepair:
-			i := ev.server
+			i := int(ev.server)
 			down[i] = false
 			startService(i, ev.time)
 			// Schedule the next failure.
-			sched.schedule(ev.time+rng.Exp(cfg.Breakdowns[i].FailRate), evFail, i, nil)
+			sched.schedule(ev.time+rng.Exp(cfg.Breakdowns[i].FailRate), evFail, i, noJob)
 		}
 	}
 	return rep

@@ -7,8 +7,6 @@
 // Sim++ C++ package the paper used (see DESIGN.md, Substitutions).
 package des
 
-import "container/heap"
-
 // eventKind discriminates the simulator's event types.
 type eventKind uint8
 
@@ -19,73 +17,124 @@ const (
 	evRepair                     // a broken computer comes back up
 )
 
+// noJob marks events that carry no job (arrivals, failures, repairs).
+const noJob jobID = -1
+
 // event is a scheduled occurrence in virtual time. seq breaks ties so
 // simultaneous events fire in schedule order, keeping runs deterministic.
 // epoch implements lazy cancellation: a departure scheduled before its
 // computer failed carries a stale epoch and is ignored when popped.
+//
+// The struct is a 32-byte value — jobs are arena indices, not pointers —
+// so the pending-event set lives in one flat slice with no per-event
+// heap allocation and no interface boxing (the cost the old
+// container/heap implementation paid on every Push and Pop).
 type event struct {
 	time   float64
 	seq    uint64
+	job    jobID // arena index of the job concerned, or noJob
+	server int32 // evDeparture/evFail/evRepair: which computer
+	epoch  uint32
 	kind   eventKind
-	server int  // evDeparture/evFail/evRepair: which computer
-	job    *job // the job concerned
-	epoch  uint64
 }
 
-// job carries a unit of work through the system.
-type job struct {
-	user    int     // originating user (0 for single-class systems)
-	arrival float64 // time it entered the system
-}
-
-// eventQueue is a binary min-heap of events ordered by (time, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+// before is the simulator's total event order: primarily virtual time,
+// with the monotone sequence number breaking exact-time ties in schedule
+// order.
+func (e event) before(f event) bool {
 	//lint:ignore floatcmp exact tie-break: equal times must fall through to seq for determinism
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+	if e.time != f.time {
+		return e.time < f.time
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < f.seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// eventHeap is a hand-inlined 4-ary min-heap of event values ordered by
+// (time, seq). A 4-ary layout halves the tree depth of the classic
+// binary heap, trading a slightly wider sift-down for far fewer
+// cache-missing levels — the standard d-ary pending-event-set design of
+// DES engines (Sim++ lineage). Only the backing slice ever allocates,
+// and only while growing to the replication's high-water mark.
+type eventHeap struct {
+	ev []event
+}
 
-// Push appends an event (heap.Interface).
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+func (h *eventHeap) len() int { return len(h.ev) }
 
-// Pop removes the last event (heap.Interface).
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	// Sift up.
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !h.ev[i].before(h.ev[parent]) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	root := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	// Sift down.
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if h.ev[c].before(h.ev[min]) {
+				min = c
+			}
+		}
+		if !h.ev[min].before(h.ev[i]) {
+			break
+		}
+		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		i = min
+	}
+	return root
 }
 
 // scheduler wraps the heap with a monotone sequence counter.
 type scheduler struct {
-	q   eventQueue
+	q   eventHeap
 	seq uint64
 }
 
-func (s *scheduler) schedule(t float64, kind eventKind, server int, j *job) {
+func (s *scheduler) schedule(t float64, kind eventKind, server int, j jobID) {
 	s.scheduleEpoch(t, kind, server, j, 0)
 }
 
-func (s *scheduler) scheduleEpoch(t float64, kind eventKind, server int, j *job, epoch uint64) {
+func (s *scheduler) scheduleEpoch(t float64, kind eventKind, server int, j jobID, epoch uint32) {
 	s.seq++
-	heap.Push(&s.q, &event{time: t, seq: s.seq, kind: kind, server: server, job: j, epoch: epoch})
+	s.q.push(event{time: t, seq: s.seq, kind: kind, server: int32(server), job: j, epoch: epoch})
 }
 
-func (s *scheduler) next() *event {
-	if len(s.q) == 0 {
-		return nil
-	}
-	return heap.Pop(&s.q).(*event)
+func (s *scheduler) next() event {
+	return s.q.pop()
 }
 
-func (s *scheduler) empty() bool { return len(s.q) == 0 }
+// peek returns the minimum pending event without removing it. Only valid
+// when the heap is non-empty.
+func (s *scheduler) peek() event { return s.q.ev[0] }
+
+// nextSeq claims the next sequence number for an event tracked outside
+// the heap (the engine keeps the single pending arrival in a scalar and
+// merges it against the heap top by the same (time, seq) order).
+func (s *scheduler) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+func (s *scheduler) empty() bool { return s.q.len() == 0 }

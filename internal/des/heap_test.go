@@ -1,0 +1,135 @@
+package des
+
+import (
+	"container/heap"
+	"reflect"
+	"testing"
+
+	"gtlb/internal/queueing"
+)
+
+// refEventQueue is the old container/heap implementation the value-typed
+// 4-ary heap replaced, kept here as the property-test oracle: both heaps
+// must pop the exact same (time, seq) total order for any schedule.
+type refEventQueue []*event
+
+func (q refEventQueue) Len() int { return len(q) }
+
+func (q refEventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q refEventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refEventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *refEventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// TestHeapMatchesReferenceOrder drives randomized interleaved
+// push/pop schedules — with times drawn from a small discrete set so
+// equal-time ties are frequent — through the 4-ary value heap and the
+// container/heap oracle, and requires identical pop sequences.
+func TestHeapMatchesReferenceOrder(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := queueing.NewRNG(seed)
+		h := &eventHeap{}
+		ref := &refEventQueue{}
+		var seq uint64
+		var got, want []event
+
+		ops := 200 + rng.Intn(400)
+		for op := 0; op < ops; op++ {
+			if h.len() == 0 || rng.Intn(3) > 0 {
+				// Push: coarse times force seq tie-breaks; spread kinds
+				// and servers to catch any payload shuffling.
+				seq++
+				e := event{
+					time:   float64(rng.Intn(16)),
+					seq:    seq,
+					kind:   eventKind(rng.Intn(4)),
+					server: int32(rng.Intn(8)),
+					job:    jobID(rng.Intn(64)),
+					epoch:  uint32(rng.Intn(3)),
+				}
+				h.push(e)
+				ec := e
+				heap.Push(ref, &ec)
+			} else {
+				got = append(got, h.pop())
+				want = append(want, *heap.Pop(ref).(*event))
+			}
+		}
+		for h.len() > 0 {
+			got = append(got, h.pop())
+			want = append(want, *heap.Pop(ref).(*event))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: popped %d events, oracle %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("seed %d: pop %d = %+v, oracle %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHeapEqualTimeFIFO pins the tie-break directly: events pushed at
+// the same virtual time must pop in schedule (seq) order.
+func TestHeapEqualTimeFIFO(t *testing.T) {
+	t.Parallel()
+	h := &eventHeap{}
+	const n = 100
+	for i := 0; i < n; i++ {
+		h.push(event{time: 1, seq: uint64(i + 1), job: jobID(i)})
+	}
+	for i := 0; i < n; i++ {
+		e := h.pop()
+		if e.seq != uint64(i+1) {
+			t.Fatalf("pop %d: seq %d, want %d", i, e.seq, i+1)
+		}
+	}
+}
+
+// TestJobRingOrder checks the deque against a plain-slice model across
+// randomized front/back operations.
+func TestJobRingOrder(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := queueing.NewRNG(1000 + seed)
+		var ring jobRing
+		var model []jobID
+		for op := 0; op < 500; op++ {
+			switch v := rng.Intn(5); {
+			case v == 0 && len(model) > 0:
+				if got, want := ring.popFront(), model[0]; got != want {
+					t.Fatalf("seed %d: popFront %d, want %d", seed, got, want)
+				}
+				model = model[1:]
+			case v == 1 && len(model) > 0:
+				if got, want := ring.popBack(), model[len(model)-1]; got != want {
+					t.Fatalf("seed %d: popBack %d, want %d", seed, got, want)
+				}
+				model = model[:len(model)-1]
+			case v == 2:
+				ring.pushFront(jobID(op))
+				model = append([]jobID{jobID(op)}, model...)
+			default:
+				ring.pushBack(jobID(op))
+				model = append(model, jobID(op))
+			}
+			if ring.len() != len(model) {
+				t.Fatalf("seed %d: len %d, want %d", seed, ring.len(), len(model))
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"gtlb/internal/queueing"
+)
+
+// The statistical acceptance gate for the rewritten hot core: simulated
+// mean response times must fall within two standard errors (across
+// replications) of the exact closed forms in internal/queueing. The
+// runs are fully deterministic, so these are pinned regressions, not
+// flaky hypothesis tests — but the tolerance is the honest sampling
+// band, not a hand-tuned epsilon, so any distributional bug introduced
+// into the ziggurat, alias tables, or event ordering has to reproduce
+// the closed forms to survive.
+
+// within2SE fails the test if |got-want| > 2*se (with a tiny relative
+// floor guarding the degenerate se≈0 case).
+func within2SE(t *testing.T, name string, got, want, se float64) {
+	t.Helper()
+	tol := 2 * se
+	if floor := 1e-3 * want; tol < floor {
+		tol = floor
+	}
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: simulated %.6f, analytic %.6f, |diff| %.6f > 2·SE = %.6f",
+			name, got, want, math.Abs(got-want), tol)
+	} else {
+		t.Logf("%s: simulated %.6f vs analytic %.6f (2·SE band %.6f)", name, got, want, tol)
+	}
+}
+
+// TestValidationMM1 checks the single-station Poisson case against the
+// textbook M/M/1 sojourn time 1/(μ−λ) at three loads.
+func TestValidationMM1(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		name       string
+		mu, lambda float64
+	}{
+		{"light load", 2, 0.8},
+		{"moderate load", 2, 1.4},
+		{"heavy load", 2, 1.8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{
+				Mu:           []float64{tc.mu},
+				InterArrival: queueing.NewExponential(tc.lambda),
+				Routing:      [][]float64{{1}},
+				Horizon:      40_000,
+				Warmup:       2_000,
+				Seed:         90 + uint64(len(tc.name)),
+				Replications: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := queueing.ResponseTime(tc.mu, tc.lambda)
+			within2SE(t, "M/M/1 mean response", res.Overall.Mean, want, res.Overall.StdErr)
+		})
+	}
+}
+
+// TestValidationMM1Split checks probabilistic routing: Bernoulli
+// splitting of a Poisson stream over two unequal computers yields
+// independent M/M/1 stations, so each per-computer mean and the
+// traffic-weighted overall mean have exact closed forms.
+func TestValidationMM1Split(t *testing.T) {
+	t.Parallel()
+	mu := []float64{3, 1.5}
+	p := []float64{0.6, 0.4}
+	const lambda = 2.0
+	res, err := Run(Config{
+		Mu:           mu,
+		InterArrival: queueing.NewExponential(lambda),
+		Routing:      [][]float64{p},
+		Horizon:      40_000,
+		Warmup:       2_000,
+		Seed:         19,
+		Replications: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overall float64
+	for i := range mu {
+		want := queueing.ResponseTime(mu[i], lambda*p[i])
+		overall += p[i] * want
+		within2SE(t, "per-computer mean", res.PerComputer[i].Mean, want, res.PerComputer[i].StdErr)
+	}
+	within2SE(t, "overall mean", res.Overall.Mean, overall, res.Overall.StdErr)
+}
+
+// TestValidationGIM1 feeds the simulator a hyper-exponential (H2)
+// arrival stream and checks the mean against the GI/M/1 fixed point
+// 1/(μ(1−σ)), σ = A*(μ(1−σ)) — exercising the non-Poisson arrival path
+// of the rewritten engine (the ziggurat only serves services here; the
+// arrival draws go through the H2 Sampler).
+func TestValidationGIM1(t *testing.T) {
+	t.Parallel()
+	for _, cv := range []float64{1.6, 2.5} {
+		const mu, lambda = 2.0, 1.4
+		h2 := queueing.MustHyperExponential(1/lambda, cv)
+		res, err := Run(Config{
+			Mu:           []float64{mu},
+			InterArrival: h2,
+			Routing:      [][]float64{{1}},
+			Horizon:      40_000,
+			Warmup:       2_000,
+			Seed:         24,
+			Replications: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := queueing.GIM1ResponseTime(h2, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within2SE(t, "GI/M/1 mean response", res.Overall.Mean, want, res.Overall.StdErr)
+	}
+}

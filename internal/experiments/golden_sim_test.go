@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gtlb/internal/des"
+	"gtlb/internal/queueing"
+	"gtlb/internal/schemes"
+)
+
+// goldenCh3Sim snapshots one fully deterministic simulation run: the
+// ×1000-scaled Table 3.1 system under the COOP allocation at ρ = 0.7.
+// Unlike the analytic golden next door, these numbers depend on the
+// engine's exact event ordering and RNG-draw discipline, so the
+// snapshot pins the whole hot path: heap order, arena recycling, alias
+// sampling and the ziggurat. It was regenerated for the zero-allocation
+// core rewrite (the alias/ziggurat samplers consume the random stream
+// differently, so trajectories legitimately changed); the old-vs-new
+// deltas are recorded in DESIGN.md under "Performance".
+type goldenCh3Sim struct {
+	MeanResponse float64   `json:"mean_response"`
+	P95Response  float64   `json:"p95_response"`
+	Jobs         int       `json:"jobs"`
+	Utilization  []float64 `json:"utilization"`
+}
+
+func computeCh3Sim(t *testing.T) goldenCh3Sim {
+	t.Helper()
+	mu := make([]float64, 16)
+	var total float64
+	for i, m := range Ch3Mu() {
+		mu[i] = m * 1000
+		total += mu[i]
+	}
+	phi := 0.7 * total
+	coop := schemes.Coop{}
+	lambda, err := coop.Allocate(mu, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routing := make([]float64, len(lambda))
+	for i, l := range lambda {
+		routing[i] = l / phi
+	}
+	res, err := des.Run(des.Config{
+		Mu:           mu,
+		InterArrival: queueing.NewExponential(phi),
+		Routing:      [][]float64{routing},
+		Horizon:      200,
+		Warmup:       10,
+		Seed:         1,
+		Replications: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenCh3Sim{
+		MeanResponse: res.Overall.Mean,
+		P95Response:  res.P95.Mean,
+		Jobs:         res.Jobs,
+		Utilization:  res.Utilization,
+	}
+}
+
+// TestGoldenCh3Simulation pins the simulated Chapter 3 scenario against
+// a golden snapshot at 1e-9 relative tolerance. The engine is
+// deterministic for a fixed seed at any worker count, so any drift here
+// is a real change to event ordering or random-stream consumption — an
+// intentional one requires regenerating with
+//
+//	go test ./internal/experiments/ -run TestGoldenCh3Simulation -update
+//
+// and recording the delta in DESIGN.md.
+func TestGoldenCh3Simulation(t *testing.T) {
+	t.Parallel()
+	got := computeCh3Sim(t)
+	path := filepath.Join("testdata", "golden_ch3_sim.json")
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to generate): %v", err)
+	}
+	var want goldenCh3Sim
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+
+	if got.Jobs != want.Jobs {
+		t.Errorf("job count changed: %d vs golden %d", got.Jobs, want.Jobs)
+	}
+	relCheck := func(name string, g, w float64) {
+		t.Helper()
+		if rel := math.Abs(g-w) / math.Abs(w); rel > 1e-9 {
+			t.Errorf("%s = %.12g, golden %.12g (rel diff %.2g)", name, g, w, rel)
+		}
+	}
+	relCheck("mean response", got.MeanResponse, want.MeanResponse)
+	relCheck("p95 response", got.P95Response, want.P95Response)
+	if len(got.Utilization) != len(want.Utilization) {
+		t.Fatalf("utilization vector length %d vs golden %d", len(got.Utilization), len(want.Utilization))
+	}
+	for i, w := range want.Utilization {
+		relCheck("utilization", got.Utilization[i], w)
+	}
+}

@@ -8,7 +8,10 @@
 // streams" methodology of §3.4.1.
 package queueing
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic 64-bit pseudo random number generator
 // (xoshiro256** seeded through SplitMix64). It is not safe for concurrent
@@ -61,21 +64,50 @@ func (r *RNG) Float64() float64 {
 }
 
 // Exp returns an exponentially distributed value with the given rate
-// (mean 1/rate) using inversion. rate must be positive.
+// (mean 1/rate) using the ziggurat method (see ziggurat.go). rate must
+// be positive.
 func (r *RNG) Exp(rate float64) float64 {
 	if rate <= 0 {
 		panic("queueing: Exp requires positive rate")
+	}
+	return r.expUnit() / rate
+}
+
+// ExpInv returns an exponentially distributed value by inversion,
+// -ln(1-U)/rate. It consumes exactly one Float64 and exists as the
+// slower reference implementation the ziggurat sampler is validated
+// against; the simulator draws through Exp.
+func (r *RNG) ExpInv(rate float64) float64 {
+	if rate <= 0 {
+		panic("queueing: ExpInv requires positive rate")
 	}
 	// 1-Float64() is in (0,1], so the log is finite.
 	return -math.Log(1-r.Float64()) / rate
 }
 
 // Intn returns a uniform integer in [0,n). n must be positive.
+//
+// The implementation is Lemire's multiply-shift bounded generator with
+// rejection: the naive Uint64()%n maps 2^64 states onto n buckets, so
+// when n does not divide 2^64 the low buckets receive one extra state
+// each (for n near 2^63 that is a visible skew, not a rounding error).
+// Multiplying instead and rejecting the short leading interval makes
+// every bucket's preimage exactly ⌊2^64/n⌋ states. The rejection loop
+// consumes a variable number of Uint64 draws, which is fine for
+// determinism: consumption is a pure function of the stream itself.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("queueing: Intn requires positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	bound := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), bound)
+	if lo < bound {
+		threshold := -bound % bound // (2^64 - bound) mod bound
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), bound)
+		}
+	}
+	return int(hi)
 }
 
 // Pick returns an index i with probability weights[i]/Σweights. Weights

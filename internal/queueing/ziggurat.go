@@ -1,0 +1,74 @@
+package queueing
+
+import "math"
+
+// Ziggurat sampler for the unit exponential (Marsaglia & Tsang, "The
+// Ziggurat Method for Generating Random Variables", JSS 2000), the
+// classic replacement for inversion sampling in discrete-event
+// simulators: the common case costs one integer draw, one compare and
+// one multiply instead of a math.Log call. The DES engine draws two
+// exponentials per simulated job (inter-arrival and service), which made
+// the logarithm one of the largest single entries in the engine's CPU
+// profile.
+//
+// The 256 layer tables are rebuilt at init from the published ziggurat
+// parameters, entirely in pure math — no randomness, identical on every
+// run, so the tables cannot perturb the simulator's determinism
+// contract. Draw-count discipline: a draw consumes one Uint64 in the
+// common case (~98.9%) and more under rejection or in the tail; the
+// count is a pure function of the stream, which is all the
+// worker-invariance contract needs.
+
+// zigExpR is the rightmost layer edge r of the 256-layer exponential
+// ziggurat; zigExpV is the common layer area v (both from the paper).
+const (
+	zigExpR = 7.697117470131487
+	zigExpV = 3.949659822581572e-3
+)
+
+var (
+	zigExpK [256]uint64  // acceptance thresholds for the 32-bit draw
+	zigExpW [256]float64 // layer width scale: x = j * w[i]
+	zigExpF [256]float64 // f(x_i) = exp(-x_i) at the layer edges
+)
+
+func init() {
+	const m = 4294967296.0 // 2^32: the draw j is the top 32 bits of a Uint64
+	de := zigExpR
+	te := de
+	q := zigExpV / math.Exp(-de)
+	zigExpK[0] = uint64(de / q * m)
+	zigExpK[1] = 0
+	zigExpW[0] = q / m
+	zigExpW[255] = de / m
+	zigExpF[0] = 1
+	zigExpF[255] = math.Exp(-de)
+	for i := 254; i >= 1; i-- {
+		de = -math.Log(zigExpV/de + math.Exp(-de))
+		zigExpK[i+1] = uint64(de / te * m)
+		te = de
+		zigExpF[i] = math.Exp(-de)
+		zigExpW[i] = de / m
+	}
+}
+
+// expUnit returns a unit-rate exponential sample via the ziggurat.
+func (r *RNG) expUnit() float64 {
+	for {
+		j := uint64(uint32(r.Uint64() >> 32))
+		i := j & 255
+		x := float64(j) * zigExpW[i]
+		if j < zigExpK[i] {
+			return x // inside the layer rectangle: accept immediately
+		}
+		if i == 0 {
+			// Tail beyond r: exponential tail is itself exponential.
+			return zigExpR - math.Log(1-r.Float64())
+		}
+		// Wedge: accept x with probability proportional to how far
+		// f(x) sits above the layer's lower edge.
+		if zigExpF[i]+r.Float64()*(zigExpF[i-1]-zigExpF[i]) < math.Exp(-x) {
+			return x
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package queueing
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestZigguratMatchesExponentialCDF is a Kolmogorov–Smirnov check of the
+// ziggurat sampler against the exponential distribution function: with
+// n = 200k samples the KS statistic of a correct sampler stays below
+// ~1.95/sqrt(n) (the 0.1% critical value), while table or threshold
+// mistakes in the ziggurat push it orders of magnitude higher.
+func TestZigguratMatchesExponentialCDF(t *testing.T) {
+	t.Parallel()
+	const n = 200_000
+	r := NewRNG(101)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Exp(1)
+		if xs[i] < 0 {
+			t.Fatalf("negative exponential sample %v", xs[i])
+		}
+	}
+	sort.Float64s(xs)
+	var ks float64
+	for i, x := range xs {
+		cdf := 1 - math.Exp(-x)
+		lo := cdf - float64(i)/n
+		hi := float64(i+1)/n - cdf
+		if lo > ks {
+			ks = lo
+		}
+		if hi > ks {
+			ks = hi
+		}
+	}
+	if limit := 1.95 / math.Sqrt(n); ks > limit {
+		t.Errorf("KS statistic %.5f exceeds %.5f: ziggurat output is not Exp(1)", ks, limit)
+	}
+}
+
+// TestZigguratTail exercises the rare beyond-r tail branch: P(X > r) =
+// e^-r ≈ 4.5e-4, so 2M draws hit it ~900 times; the conditional
+// distribution beyond r must again be exponential with mean r+1.
+func TestZigguratTail(t *testing.T) {
+	t.Parallel()
+	r := NewRNG(55)
+	const n = 2_000_000
+	var tail []float64
+	for i := 0; i < n; i++ {
+		if x := r.Exp(1); x > zigExpR {
+			tail = append(tail, x)
+		}
+	}
+	want := float64(n) * math.Exp(-zigExpR)
+	if float64(len(tail)) < 0.7*want || float64(len(tail)) > 1.4*want {
+		t.Fatalf("%d tail samples, want ~%.0f", len(tail), want)
+	}
+	var sum float64
+	for _, x := range tail {
+		sum += x
+	}
+	mean := sum / float64(len(tail))
+	// Memorylessness: E[X | X > r] = r + 1. SE ≈ 1/sqrt(~900) ≈ 0.033.
+	if math.Abs(mean-(zigExpR+1)) > 0.15 {
+		t.Errorf("tail mean %.3f, want %.3f", mean, zigExpR+1)
+	}
+}
+
+// TestExpInvReference: the inversion sampler used to validate the
+// ziggurat keeps its exact one-Float64-draw contract and its moments.
+func TestExpInvReference(t *testing.T) {
+	t.Parallel()
+	r1, r2 := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		want := -math.Log(1-r2.Float64()) / 2.5
+		if got := r1.ExpInv(2.5); got != want {
+			t.Fatalf("draw %d: ExpInv = %v, want %v", i, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpInv(0) did not panic")
+		}
+	}()
+	NewRNG(1).ExpInv(0)
+}

@@ -100,9 +100,15 @@ func GenerateMultiUser(dist queueing.Distribution, shares []float64, n int, rng 
 	if len(shares) == 0 {
 		return Trace{}, errors.New("workload: need at least one user share")
 	}
+	// Validate the shares once and reuse the cumulative table for every
+	// job instead of paying Pick's per-call O(n) validation.
+	picker, err := queueing.NewPicker(shares)
+	if err != nil {
+		return Trace{}, fmt.Errorf("workload: user shares: %w", err)
+	}
 	t.Users = make([]int, n)
 	for i := range t.Users {
-		t.Users[i] = rng.Pick(shares)
+		t.Users[i] = picker.Pick(rng)
 	}
 	return t, nil
 }
