@@ -7,6 +7,7 @@ package gtlb_test
 // GOS/IOS-style iterative solvers.
 
 import (
+	"io"
 	"runtime"
 	"testing"
 
@@ -359,6 +360,86 @@ func TestDESAllocBaseline(t *testing.T) {
 	}
 }
 
+// nopObserver is the cheapest observer; the facade's hard constraint is
+// that threading it through a run must not move the allocation needle.
+type nopObserver struct{}
+
+func (nopObserver) Observe(gtlb.Event) {}
+
+func benchmarkSimulatorObserved(b *testing.B, opts ...gtlb.Option) {
+	cfg := desSpeedupConfig(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.Simulate(cfg, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDESAllocBaselineObserver re-runs the Table 3.1 allocation gate
+// with a no-op observer attached through the options API: the observed
+// run must stay within the same committed BENCH_DES.json envelope as
+// the bare run, proving the hooks are branch-cheap.
+func TestDESAllocBaselineObserver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate skipped in -short mode")
+	}
+	baseline, err := benchio.Read("BENCH_DES.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := baseline.Lookup("des.Run/workers=1")
+	if !ok {
+		t.Fatal("BENCH_DES.json has no des.Run/workers=1 entry")
+	}
+	if entry.AllocsPerOp == 0 {
+		t.Skip("committed baseline predates alloc tracking; regenerate with go test -run TestBenchDESReport")
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		benchmarkSimulatorObserved(b, gtlb.WithObserver(nopObserver{}))
+	})
+	got := float64(r.AllocsPerOp())
+	limit := 1.25*entry.AllocsPerOp + 64
+	t.Logf("des.Run/workers=1 + no-op observer: %.0f allocs/op, %d B/op (bare baseline %.0f allocs/op, limit %.0f)",
+		got, r.AllocedBytesPerOp(), entry.AllocsPerOp, limit)
+	if got > limit {
+		t.Errorf("observed des.Run allocations regressed: %.0f allocs/op exceeds the bare baseline %.0f (+25%%+64 slack = %.0f); the observer hooks are allocating",
+			got, entry.AllocsPerOp, limit)
+	}
+}
+
+// TestBenchObsReport measures the observability overhead — no observer,
+// a no-op observer, and a full tracer draining to io.Discard — and
+// writes the machine-readable BENCH_OBS.json report.
+func TestBenchObsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark report skipped in -short mode")
+	}
+	bare := testing.Benchmark(func(b *testing.B) { benchmarkSimulatorObserved(b) })
+	noop := testing.Benchmark(func(b *testing.B) {
+		benchmarkSimulatorObserved(b, gtlb.WithObserver(nopObserver{}))
+	})
+	traced := testing.Benchmark(func(b *testing.B) {
+		benchmarkSimulatorObserved(b, gtlb.WithTrace(io.Discard))
+	})
+	report := benchio.NewReport()
+	report.AddWithAllocs("des.Run/observer=none",
+		float64(bare.NsPerOp()), float64(bare.AllocsPerOp()), float64(bare.AllocedBytesPerOp()), nil)
+	report.AddWithAllocs("des.Run/observer=noop",
+		float64(noop.NsPerOp()), float64(noop.AllocsPerOp()), float64(noop.AllocedBytesPerOp()),
+		map[string]float64{"slowdown_vs_none": float64(noop.NsPerOp()) / float64(bare.NsPerOp())})
+	report.AddWithAllocs("des.Run/observer=tracer",
+		float64(traced.NsPerOp()), float64(traced.AllocsPerOp()), float64(traced.AllocedBytesPerOp()),
+		map[string]float64{"slowdown_vs_none": float64(traced.NsPerOp()) / float64(bare.NsPerOp())})
+	if err := benchio.Write("BENCH_OBS.json", report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("observer overhead: noop %.2fx, tracer %.2fx vs bare",
+		float64(noop.NsPerOp())/float64(bare.NsPerOp()),
+		float64(traced.NsPerOp())/float64(bare.NsPerOp()))
+}
+
 // BenchmarkNashRingProtocol times the distributed ring protocol end to
 // end over the in-memory transport.
 func BenchmarkNashRingProtocol(b *testing.B) {
@@ -368,7 +449,7 @@ func BenchmarkNashRingProtocol(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys, 1e-4, 0); err != nil {
+		if _, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys, gtlb.WithEpsilon(1e-4)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,7 @@
 //	lbdyn -mu 20,20,4,4,4,4 -rho 0.7 -policy JSQ
 //	lbdyn -mu 4,4,4,4 -rho 0.9 -policy RECEIVER -delay 0.01
 //	lbdyn -mu 4,4,4,4 -rho 0.7 -policy all
+//	lbdyn -mu 4,4,4,4 -rho 0.7 -policy JSQ -metrics -trace run.jsonl
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	reps := flag.Int("reps", 5, "independent replications")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 0, "concurrent replications (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
+	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	mu, err := cliutil.ParseRates(*muFlag)
@@ -52,6 +54,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	opts, err := obsFlags.Options()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbdyn: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("%d computers, rho=%.0f%%, transfer delay %gs\n\n", len(mu), *rho*100, *delay)
 	fmt.Printf("%-12s %-18s %-12s %-10s\n", "policy", "E[T] (s)", "transfers", "jobs")
 	for _, p := range policies {
@@ -65,7 +72,7 @@ func main() {
 			Seed:          *seed,
 			Replications:  *reps,
 			Workers:       *workers,
-		})
+		}, opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbdyn: %v\n", err)
 			os.Exit(1)
@@ -73,4 +80,9 @@ func main() {
 		fmt.Printf("%-12s %-9.5f±%-7.4f %-12.0f %-10d\n",
 			p.Name(), res.Overall.Mean, res.Overall.StdErr, res.Transfers, res.Jobs)
 	}
+	if err := obsFlags.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "lbdyn: %v\n", err)
+		os.Exit(1)
+	}
+	obsFlags.Report()
 }

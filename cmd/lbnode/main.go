@@ -13,6 +13,11 @@
 //	lbnode -proto nash -chaos-seed 7 -drop 0.05   # lossy links
 //	lbnode -proto nash -crash user-2:4            # user 2 dies mid-run
 //	lbnode -proto lbm -crash computer-5:0         # C6 never bids
+//
+// Observability:
+//
+//	lbnode -proto nash -metrics            # print the metrics registry
+//	lbnode -proto lbm -trace out.jsonl     # record the event trace
 package main
 
 import (
@@ -23,9 +28,7 @@ import (
 	"strings"
 	"time"
 
-	"gtlb/internal/dist"
-	"gtlb/internal/metrics"
-	"gtlb/internal/noncoop"
+	"gtlb"
 )
 
 func main() {
@@ -37,9 +40,11 @@ func main() {
 	drop := flag.Float64("drop", 0, "chaos: per-message drop probability in [0,1]")
 	delay := flag.Float64("delay", 0, "chaos: per-message delay probability in [0,1] (delays up to 5ms)")
 	crash := flag.String("crash", "", "chaos: crash fault as node:step (e.g. user-2:4, computer-5:0)")
+	showMetrics := flag.Bool("metrics", false, "print the metrics registry after the run")
+	tracePath := flag.String("trace", "", "write the protocol's event trace to this JSONL file")
 	flag.Parse()
 
-	netw, brokerAddr, closeFn, err := dist.NewTCPNetwork(*addr)
+	netw, brokerAddr, closeFn, err := gtlb.NewTCPNetwork(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
 		os.Exit(1)
@@ -48,10 +53,11 @@ func main() {
 	defer closeFn()
 	fmt.Printf("broker listening on %s\n\n", brokerAddr)
 
-	var ctr *metrics.Counters
 	chaosOn := *drop > 0 || *delay > 0 || *crash != "" || *chaosSeed != 0
+	reg := gtlb.NewRegistry()
+	opts := []gtlb.Option{gtlb.WithObserver(reg)}
 	if chaosOn {
-		plan := dist.FaultPlan{
+		plan := gtlb.FaultPlan{
 			Seed:     *chaosSeed,
 			Drop:     *drop,
 			Delay:    *delay,
@@ -65,17 +71,34 @@ func main() {
 			}
 			plan.Crash = map[string]int{node: step}
 		}
-		ctr = metrics.NewCounters()
-		netw = dist.NewChaosNetwork(netw, plan, ctr)
+		opts = append(opts, gtlb.WithFaultPlan(plan))
 		fmt.Printf("chaos transport enabled (seed %d, drop %.3g, delay %.3g, crash %q)\n\n",
 			*chaosSeed, *drop, *delay, *crash)
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "lbnode: closing trace: %v\n", err)
+			}
+		}()
+		opts = append(opts, gtlb.WithTrace(f))
+	}
 
+	report := func() {
+		if chaosOn || *showMetrics {
+			fmt.Printf("\nrun metrics:\n%s\n", reg)
+		}
+	}
 	switch *proto {
 	case "nash":
-		runNash(netw, *rho, *chaosSeed, ctr)
+		runNash(netw, *rho, *chaosSeed, chaosOn, report, opts)
 	case "lbm":
-		runLBM(netw, *liar, *chaosSeed, ctr)
+		runLBM(netw, *liar, *chaosSeed, report, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "lbnode: unknown protocol %q\n", *proto)
 		os.Exit(2)
@@ -95,14 +118,7 @@ func parseCrash(spec string) (string, int, error) {
 	return node, step, nil
 }
 
-// printCounters reports the fault/retry counters of a chaos-enabled run.
-func printCounters(ctr *metrics.Counters) {
-	if ctr != nil {
-		fmt.Printf("\nfault/retry counters: %s\n", ctr)
-	}
-}
-
-func runNash(netw dist.Network, rho float64, seed uint64, ctr *metrics.Counters) {
+func runNash(netw gtlb.Network, rho float64, seed uint64, chaosOn bool, report func(), opts []gtlb.Option) {
 	mu := []float64{10, 10, 10, 10, 10, 10, 20, 20, 20, 20, 20, 50, 50, 50, 100, 100}
 	fractions := []float64{0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.06, 0.04, 0.04}
 	total := rho * 510
@@ -110,21 +126,22 @@ func runNash(netw dist.Network, rho float64, seed uint64, ctr *metrics.Counters)
 	for j, f := range fractions {
 		phi[j] = f * total
 	}
-	sys, err := noncoop.NewSystem(mu, phi)
+	sys, err := gtlb.NewMultiSystem(mu, phi)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
 		os.Exit(1)
 	}
-	opts := dist.NashOptions{Seed: seed, Counters: ctr}
-	if ctr != nil {
+	ring := gtlb.NashRingOptions{Seed: seed}
+	if chaosOn {
 		// Chaos run: repair token losses quickly so the demo converges
 		// under sustained loss instead of idling on the 2s default.
-		opts.Watchdog = 300 * time.Millisecond
-		opts.ProbeTimeout = 50 * time.Millisecond
+		ring.Watchdog = 300 * time.Millisecond
+		ring.ProbeTimeout = 50 * time.Millisecond
 	}
-	res, err := dist.RunNashRingWith(netw, sys, 1e-8, 0, opts)
+	opts = append(opts, gtlb.WithEpsilon(1e-8), gtlb.WithRingOptions(ring))
+	res, err := gtlb.RunNashRing(netw, sys, opts...)
 	if err != nil {
-		printCounters(ctr)
+		report()
 		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
 		os.Exit(1)
 	}
@@ -137,10 +154,10 @@ func runNash(netw dist.Network, rho float64, seed uint64, ctr *metrics.Counters)
 		fmt.Printf("%-8d %-12.4g %-16.6g\n", j+1, sys.Phi[j], t)
 	}
 	fmt.Printf("\noverall expected response time: %.6g s\n", sys.OverallTime(res.Profile))
-	printCounters(ctr)
+	report()
 }
 
-func runLBM(netw dist.Network, liar float64, seed uint64, ctr *metrics.Counters) {
+func runLBM(netw gtlb.Network, liar float64, seed uint64, report func(), opts []gtlb.Option) {
 	mus := []float64{0.13, 0.13, 0.065, 0.065, 0.065,
 		0.026, 0.026, 0.026, 0.026, 0.026,
 		0.013, 0.013, 0.013, 0.013, 0.013, 0.013}
@@ -148,15 +165,15 @@ func runLBM(netw dist.Network, liar float64, seed uint64, ctr *metrics.Counters)
 	for i, m := range mus {
 		trueVals[i] = 1 / m
 	}
-	policies := make([]dist.BidPolicy, len(trueVals))
+	policies := make([]gtlb.BidPolicy, len(trueVals))
 	//lint:ignore floatcmp the flag default 1.0 is exact; parsed values round-trip exactly
 	if liar != 1.0 {
-		policies[0] = dist.ScaledBid(liar)
+		policies[0] = gtlb.ScaledBid(liar)
 	}
-	opts := dist.LBMOptions{Seed: seed, Counters: ctr}
-	res, err := dist.RunLBMWith(netw, trueVals, policies, 0.5*0.663, opts)
+	opts = append(opts, gtlb.WithLBMOptions(gtlb.LBMOptions{Seed: seed}))
+	res, err := gtlb.RunLBM(netw, trueVals, policies, 0.5*0.663, opts...)
 	if err != nil {
-		printCounters(ctr)
+		report()
 		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
 		os.Exit(1)
 	}
@@ -169,5 +186,5 @@ func runLBM(netw dist.Network, liar float64, seed uint64, ctr *metrics.Counters)
 		fmt.Printf("%-10d %-12.5g %-12.5g %-12.5g %-12.5g\n",
 			i+1, rep.Bid, rep.Load, rep.Payment, rep.Profit)
 	}
-	printCounters(ctr)
+	report()
 }

@@ -7,6 +7,7 @@
 //
 //	lbsim -mu 13,26,65,130 -phi 100 -scheme COOP -horizon 5000 -reps 5
 //	lbsim -mu 13,26 -phi 20 -scheme PROP -cv 1.6
+//	lbsim -mu 13,26 -phi 20 -metrics -trace run.jsonl
 package main
 
 import (
@@ -14,8 +15,8 @@ import (
 	"fmt"
 	"os"
 
+	"gtlb"
 	"gtlb/internal/cliutil"
-	"gtlb/internal/des"
 	"gtlb/internal/queueing"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	cv := flag.Float64("cv", 1, "inter-arrival coefficient of variation (1 = Poisson, >1 = hyper-exponential)")
 	workers := flag.Int("workers", 0, "concurrent replications (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
+	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := prof.Start()
@@ -60,16 +62,21 @@ func main() {
 	}
 	var arrivals queueing.Distribution
 	if *cv > 1 {
-		arrivals, err = queueing.NewHyperExponential(1 / *phi, *cv)
+		arrivals, err = gtlb.HyperExponential(1 / *phi, *cv)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbsim: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
-		arrivals = queueing.NewExponential(*phi)
+		arrivals = gtlb.Exponential(*phi)
 	}
 
-	res, err := des.Run(des.Config{
+	opts, err := obsFlags.Options()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbsim: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := gtlb.Simulate(gtlb.SimConfig{
 		Mu:           mu,
 		InterArrival: arrivals,
 		Routing:      [][]float64{routing},
@@ -78,7 +85,10 @@ func main() {
 		Seed:         *seed,
 		Replications: *reps,
 		Workers:      *workers,
-	})
+	}, opts...)
+	if cerr := obsFlags.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbsim: %v\n", err)
 		os.Exit(1)
@@ -99,7 +109,8 @@ func main() {
 		fmt.Printf("%-10d %-12.6g %-14.6g %-16s\n", i+1, lam[i], analytic, sim)
 	}
 	fmt.Printf("\nsystem: analytic %.6g s, simulated %.6g±%.2g s (rel. err. %.2g%%)\n",
-		queueing.SystemResponseTime(mu, lam),
+		gtlb.SystemResponseTime(mu, lam),
 		res.Overall.Mean, res.Overall.StdErr, res.Overall.RelativeError()*100)
 	fmt.Printf("tail:   p95 response time %.6g s\n", res.P95.Mean)
+	obsFlags.Report()
 }

@@ -1,7 +1,8 @@
-// Command lbvet runs the project's static-analyzer suite: five checks
+// Command lbvet runs the project's static-analyzer suite: six checks
 // that mechanically enforce the invariants the reproduction depends on
 // (deterministic simulation paths, pre-split RNG streams, tolerance-
-// based float comparison, handled errors, consistent parallel suites).
+// based float comparison, handled errors, consistent parallel suites,
+// threaded observers).
 //
 // Usage:
 //

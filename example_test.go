@@ -119,7 +119,7 @@ func ExampleRunNashRing() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys, 1e-9, 0)
+	res, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys, gtlb.WithEpsilon(1e-9))
 	if err != nil {
 		panic(err)
 	}

@@ -3,14 +3,16 @@
 // processing rates to a dispatcher, which allocates a job stream
 // optimally and hands out Archer–Tardos truthful payments. The example
 // runs three rounds: everyone truthful, the fastest computer overbidding
-// by 33%, and underbidding by 7%, and shows that lying never pays.
+// by 33%, and underbidding by 7%, and shows that lying never pays. A
+// metrics registry observes every round, counting the protocol's bids
+// and awards.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"gtlb/internal/dist"
+	"gtlb"
 )
 
 func main() {
@@ -33,14 +35,16 @@ func main() {
 		{"C1 bids 7% lower", 0.93},
 	}
 
+	reg := gtlb.NewRegistry()
 	var truthfulProfit float64
 	for _, round := range rounds {
-		policies := make([]dist.BidPolicy, len(trueVals))
+		policies := make([]gtlb.BidPolicy, len(trueVals))
 		//lint:ignore floatcmp table literals compare exactly against the honest factor 1.0
 		if round.factor != 1.0 {
-			policies[0] = dist.ScaledBid(round.factor)
+			policies[0] = gtlb.ScaledBid(round.factor)
 		}
-		res, err := dist.RunLBM(dist.NewMemNetwork(), trueVals, policies, phi)
+		res, err := gtlb.RunLBM(gtlb.NewMemNetwork(), trueVals, policies, phi,
+			gtlb.WithObserver(reg))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,4 +66,6 @@ func main() {
 		fmt.Printf("  dispatcher paid %.2f for a total true cost of %.2f (frugality %.2fx)\n\n",
 			pay, cost, pay/cost)
 	}
+	fmt.Printf("protocol traffic across the three rounds: %d bids, %d awards\n",
+		reg.Get("lbm.bid"), reg.Get("lbm.award"))
 }

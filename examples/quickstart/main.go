@@ -8,10 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"gtlb/internal/core"
-	"gtlb/internal/metrics"
-	"gtlb/internal/queueing"
-	"gtlb/internal/schemes"
+	"gtlb"
 )
 
 func main() {
@@ -20,15 +17,18 @@ func main() {
 	mu := []float64{10.0, 5.0, 1.0}
 	const phi = 6.0
 
-	sys, err := core.NewSystem(mu, phi)
+	sys, err := gtlb.NewSystem(mu, phi)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The Nash Bargaining Solution: every computer that receives jobs
 	// keeps the same spare capacity, so every job sees the same
-	// expected response time regardless of where it lands.
-	nbs, err := core.COOP(sys)
+	// expected response time regardless of where it lands. The registry
+	// observes the solver, counting the computers it drops from the
+	// used set on the way to the solution.
+	reg := gtlb.NewRegistry()
+	nbs, err := gtlb.COOP(sys, gtlb.WithObserver(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,11 +36,12 @@ func main() {
 	for i, lam := range nbs.Lambda {
 		fmt.Printf("  computer %d: mu=%.1f  lambda=%.3f  used=%v\n", i+1, mu[i], lam, nbs.Used[i])
 	}
-	fmt.Printf("  common response time: %.4f s (fairness index is exactly 1)\n\n", nbs.ResponseTime())
+	fmt.Printf("  common response time: %.4f s (fairness index is exactly 1)\n", nbs.ResponseTime())
+	fmt.Printf("  solver dropped %d overloaded computer(s) from the used set\n\n", reg.Get("coop.drop"))
 
 	// Compare all four static schemes on response time and fairness.
 	fmt.Printf("%-10s %-18s %-10s\n", "scheme", "E[T] (s)", "fairness")
-	for _, a := range schemes.All() {
+	for _, a := range gtlb.Schemes() {
 		lam, err := a.Allocate(mu, phi)
 		if err != nil {
 			log.Fatal(err)
@@ -48,13 +49,13 @@ func main() {
 		times := make([]float64, 0, len(mu))
 		for i, l := range lam {
 			if l > 0 {
-				times = append(times, queueing.ResponseTime(mu[i], l))
+				times = append(times, 1/(mu[i]-l))
 			}
 		}
 		fmt.Printf("%-10s %-18.4f %-10.4f\n",
 			a.Name(),
-			queueing.SystemResponseTime(mu, lam),
-			metrics.FairnessIndex(times))
+			gtlb.SystemResponseTime(mu, lam),
+			gtlb.FairnessIndex(times))
 	}
 	fmt.Println("\nCOOP trades a little mean response time for perfect fairness;")
 	fmt.Println("OPTIM minimizes the mean but loads jobs on fast computers unevenly.")

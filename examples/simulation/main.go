@@ -2,15 +2,15 @@
 // schemes with the discrete-event simulator — the same methodology as
 // the paper's Sim++ study (central dispatcher, FCFS run-to-completion
 // M/M/1 computers, five replications with independent random streams).
+// Each run is observed by a metrics registry whose response-time
+// histogram supplies the tail percentile alongside the mean.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"gtlb/internal/des"
-	"gtlb/internal/queueing"
-	"gtlb/internal/schemes"
+	"gtlb"
 )
 
 func main() {
@@ -30,8 +30,8 @@ func main() {
 	phi := rho * totalMu
 
 	fmt.Printf("16 computers, rho=%.0f%%, Poisson arrivals at %.1f jobs/s\n\n", rho*100, phi)
-	fmt.Printf("%-10s %-16s %-18s %-10s\n", "scheme", "analytic E[T]", "simulated E[T]", "jobs")
-	for _, a := range schemes.All() {
+	fmt.Printf("%-10s %-16s %-18s %-12s %-10s\n", "scheme", "analytic E[T]", "simulated E[T]", "p95 (hist)", "jobs")
+	for _, a := range gtlb.Schemes() {
 		lam, err := a.Allocate(mu, phi)
 		if err != nil {
 			log.Fatal(err)
@@ -40,22 +40,28 @@ func main() {
 		for i, l := range lam {
 			routing[i] = l / phi
 		}
-		res, err := des.Run(des.Config{
+		reg := gtlb.NewRegistry()
+		res, err := gtlb.Simulate(gtlb.SimConfig{
 			Mu:           mu,
-			InterArrival: queueing.NewExponential(phi),
+			InterArrival: gtlb.Exponential(phi),
 			Routing:      [][]float64{routing},
 			Horizon:      2_000,
 			Warmup:       100,
 			Seed:         2026,
 			Replications: 5,
-		})
+		}, gtlb.WithObserver(reg))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-10s %-16.5f %-9.5f±%-7.4f %-10d\n",
+		p95 := 0.0
+		if h, ok := reg.Histogram("des.response_time"); ok {
+			p95 = h.Quantile(0.95)
+		}
+		fmt.Printf("%-10s %-16.5f %-9.5f±%-7.4f %-12.4f %-10d\n",
 			a.Name(),
-			queueing.SystemResponseTime(mu, lam),
+			gtlb.SystemResponseTime(mu, lam),
 			res.Overall.Mean, res.Overall.StdErr,
+			p95,
 			res.Jobs)
 	}
 	fmt.Println("\nThe simulated means match the analytic M/M/1 model within the")

@@ -6,7 +6,9 @@ package gtlb_test
 // the fault-tolerant mechanism.
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,7 +39,7 @@ func TestFacadeTCPNetwork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := gtlb.RunNashRing(netw, sys, 1e-8, 0)
+	res, err := gtlb.RunNashRing(netw, sys, gtlb.WithEpsilon(1e-8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,15 +130,26 @@ func TestFacadeNashRingResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	partial, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys, 1e-14, 2)
+	partial, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys,
+		gtlb.WithEpsilon(1e-14), gtlb.WithMaxIter(2))
 	if err == nil {
 		t.Skip("converged within the tiny budget; nothing to resume")
 	}
-	resumed, err := gtlb.RunNashRingFrom(gtlb.NewMemNetwork(), sys, partial.Profile, 1e-8, 0)
+	// Resume through the new checkpoint option and through the
+	// deprecated wrapper; both must reach a valid profile.
+	resumed, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys,
+		gtlb.WithCheckpoint(partial.Profile), gtlb.WithEpsilon(1e-8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.ValidateProfile(resumed.Profile); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := gtlb.RunNashRingFrom(gtlb.NewMemNetwork(), sys, partial.Profile, 1e-8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidateProfile(legacy.Profile); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -173,16 +186,19 @@ func TestFacadeUserSchemes(t *testing.T) {
 }
 
 func TestFacadeChaosNetwork(t *testing.T) {
+	// Deprecated surface: explicit chaos wrapping plus RunLBMWith, with
+	// the registry threaded through the (also deprecated) FaultCounters
+	// alias. Must keep working verbatim.
 	ctr := gtlb.NewFaultCounters()
 	plan := gtlb.FaultPlan{Crash: map[string]int{"computer-0": 0}}
-	netw := gtlb.NewChaosNetwork(gtlb.NewMemNetwork(), plan, ctr)
+	netw := gtlb.NewChaosNetwork(gtlb.NewMemNetwork(), plan, gtlb.WithObserver(ctr))
 	trueVals := table51TrueValues()
 	opts := gtlb.LBMOptions{
 		BidDeadline: 40 * time.Millisecond,
 		MaxAttempts: 2,
 		Backoff:     5 * time.Millisecond,
 		AgentBudget: time.Second,
-		Counters:    ctr,
+		Observer:    ctr,
 	}
 	res, err := gtlb.RunLBMWith(netw, trueVals, make([]gtlb.BidPolicy, len(trueVals)), 0.5*0.663, opts)
 	if err != nil {
@@ -193,5 +209,91 @@ func TestFacadeChaosNetwork(t *testing.T) {
 	}
 	if ctr.Get("chaos.crash") != 1 || ctr.Get("lbm.excluded") != 1 {
 		t.Errorf("counters = %s, want one crash and one exclusion", ctr)
+	}
+}
+
+func TestFacadeChaosOptions(t *testing.T) {
+	// New surface: the same chaos run driven entirely through options —
+	// WithFaultPlan wraps the transport, one registry observes both the
+	// chaos layer and the protocol.
+	reg := gtlb.NewRegistry()
+	plan := gtlb.FaultPlan{Crash: map[string]int{"computer-0": 0}}
+	trueVals := table51TrueValues()
+	res, err := gtlb.RunLBM(gtlb.NewMemNetwork(), trueVals,
+		make([]gtlb.BidPolicy, len(trueVals)), 0.5*0.663,
+		gtlb.WithFaultPlan(plan),
+		gtlb.WithObserver(reg),
+		gtlb.WithLBMOptions(gtlb.LBMOptions{
+			BidDeadline: 40 * time.Millisecond,
+			MaxAttempts: 2,
+			Backoff:     5 * time.Millisecond,
+			AgentBudget: time.Second,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Excluded) != 1 || res.Excluded[0] != 0 {
+		t.Fatalf("Excluded = %v, want [0]", res.Excluded)
+	}
+	if reg.Get("chaos.crash") != 1 || reg.Get("lbm.excluded") != 1 {
+		t.Errorf("registry = %s, want one crash and one exclusion", reg)
+	}
+}
+
+func TestFacadeTraceOption(t *testing.T) {
+	var buf strings.Builder
+	sys, err := gtlb.NewMultiSystem([]float64{10, 5}, []float64{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gtlb.RunNashRing(gtlb.NewMemNetwork(), sys,
+		gtlb.WithEpsilon(1e-8), gtlb.WithTrace(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if out == "" {
+		t.Fatal("WithTrace produced no output")
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %q is not JSON: %v", line, err)
+		}
+		if _, ok := rec["kind"]; !ok {
+			t.Fatalf("trace line %q lacks a kind", line)
+		}
+	}
+	if !strings.Contains(out, `"kind":"nash.round"`) {
+		t.Errorf("trace lacks nash.round events:\n%s", out)
+	}
+}
+
+func TestFacadeSimulateObserver(t *testing.T) {
+	reg := gtlb.NewRegistry()
+	res, err := gtlb.Simulate(gtlb.SimConfig{
+		Mu:           []float64{200},
+		InterArrival: gtlb.Exponential(100),
+		Routing:      [][]float64{{1}},
+		Horizon:      50,
+		Warmup:       5,
+		Seed:         1,
+		Replications: 2,
+	}, gtlb.WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs == 0 {
+		t.Fatal("no jobs simulated")
+	}
+	arrivals := reg.Get("des.arrival")
+	if arrivals == 0 {
+		t.Error("registry saw no arrivals")
+	}
+	h, ok := reg.Histogram("des.response_time")
+	if !ok || h.N == 0 {
+		t.Fatal("no response-time samples in the histogram")
+	}
+	if q := h.Quantile(0.95); q <= 0 {
+		t.Errorf("p95 response time = %v", q)
 	}
 }

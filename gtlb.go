@@ -36,6 +36,7 @@ import (
 	"gtlb/internal/metrics"
 	"gtlb/internal/multiclass"
 	"gtlb/internal/noncoop"
+	"gtlb/internal/obs"
 	"gtlb/internal/queueing"
 	"gtlb/internal/routing"
 	"gtlb/internal/schemes"
@@ -58,8 +59,12 @@ func NewSystem(mu []float64, phi float64) (System, error) {
 
 // COOP computes the Nash Bargaining Solution of the cooperative
 // load-balancing game with the paper's O(n log n) COOP algorithm.
-func COOP(sys System) (Allocation, error) {
-	return core.COOP(sys)
+// Observers attached via options receive one CoopDrop event per
+// computer removed from the used set and a final CoopSolve.
+func COOP(sys System, opts ...Option) (Allocation, error) {
+	ro := applyOptions(opts)
+	a, err := core.COOPObserved(sys, ro.observer())
+	return a, ro.finish(err)
 }
 
 // Allocator is a static single-class load-balancing scheme.
@@ -149,9 +154,30 @@ func NewTCPNetwork(addr string) (Network, string, func() error, error) {
 	return dist.NewTCPNetwork(addr)
 }
 
+// NashRingResult is the outcome of the distributed NASH ring protocol.
+type NashRingResult = dist.NashRingResult
+
+// LBMResult is the outcome of the distributed LBM bidding protocol.
+type LBMResult = dist.LBMResult
+
 // RunNashRing runs the §4.3 NASH protocol over a network of user nodes.
-func RunNashRing(n Network, sys MultiSystem, eps float64, maxIter int) (dist.NashRingResult, error) {
-	return dist.RunNashRing(n, sys, eps, maxIter)
+// Options tune convergence (WithEpsilon, WithMaxIter), resume from a
+// checkpoint (WithCheckpoint), harden the runtime (WithRingOptions),
+// inject faults (WithFaultPlan) and observe the run (WithObserver,
+// WithTrace); zero-value tolerances keep the protocol defaults.
+func RunNashRing(n Network, sys MultiSystem, opts ...Option) (NashRingResult, error) {
+	ro := applyOptions(opts)
+	ring := ro.ring
+	ring.Observer = obs.Multi(ring.Observer, ro.observer())
+	netw := ro.network(n)
+	var res NashRingResult
+	var err error
+	if ro.resume != nil {
+		res, err = dist.RunNashRingFromWith(netw, sys, *ro.resume, ro.eps, ro.maxIter, ring)
+	} else {
+		res, err = dist.RunNashRingWith(netw, sys, ro.eps, ro.maxIter, ring)
+	}
+	return res, ro.finish(err)
 }
 
 // BidPolicy decides what a computer agent bids given its true value.
@@ -160,9 +186,15 @@ type BidPolicy = dist.BidPolicy
 // ScaledBid returns a policy bidding factor × the true value.
 func ScaledBid(factor float64) BidPolicy { return dist.ScaledBid(factor) }
 
-// RunLBM runs the §5.4 bidding protocol over a network.
-func RunLBM(n Network, trueValues []float64, policies []BidPolicy, phi float64) (dist.LBMResult, error) {
-	return dist.RunLBM(n, trueValues, policies, phi)
+// RunLBM runs the §5.4 bidding protocol over a network. Options harden
+// the dispatcher (WithLBMOptions), inject faults (WithFaultPlan) and
+// observe the run (WithObserver, WithTrace).
+func RunLBM(n Network, trueValues []float64, policies []BidPolicy, phi float64, opts ...Option) (LBMResult, error) {
+	ro := applyOptions(opts)
+	lbm := ro.lbm
+	lbm.Observer = obs.Multi(lbm.Observer, ro.observer())
+	res, err := dist.RunLBMWith(ro.network(n), trueValues, policies, phi, lbm)
+	return res, ro.finish(err)
 }
 
 // FaultPlan is a seeded chaos schedule for fault-injection testing; the
@@ -174,16 +206,27 @@ type PartitionPlan = dist.PartitionPlan
 
 // FaultCounters collects named fault/retry event counts (chaos.*,
 // nash.*, lbm.*) from a chaos run; safe for concurrent use.
-type FaultCounters = metrics.Counters
+//
+// Deprecated: FaultCounters is now the general metrics Registry, which
+// keeps the historical counter names and adds gauges and latency
+// histograms. Use Registry (and WithObserver) directly.
+type FaultCounters = obs.Registry
 
 // NewFaultCounters returns an empty fault-event counter set.
-func NewFaultCounters() *FaultCounters { return metrics.NewCounters() }
+//
+// Deprecated: use NewRegistry.
+func NewFaultCounters() *FaultCounters { return obs.NewRegistry() }
 
 // NewChaosNetwork wraps a transport with deterministic, seeded fault
 // injection (drop, delay, duplicate, reorder, crash, partition). The
 // same plan replayed over the same traffic produces the same schedule.
-func NewChaosNetwork(inner Network, plan FaultPlan, ctr *FaultCounters) Network {
-	return dist.NewChaosNetwork(inner, plan, ctr)
+// Injected faults are reported to observers attached via WithObserver
+// (pass a *Registry to reproduce the historical chaos.* counters);
+// WithTrace is not supported here — the network has no run boundary to
+// flush at, so attach the tracer to the protocol entry point instead.
+func NewChaosNetwork(inner Network, plan FaultPlan, opts ...Option) Network {
+	ro := applyOptions(opts)
+	return dist.NewChaosNetwork(inner, plan, ro.observer())
 }
 
 // NashRingOptions tunes the fault-tolerant NASH ring runtime (watchdog,
@@ -195,13 +238,18 @@ type NashRingOptions = dist.NashOptions
 type LBMOptions = dist.LBMOptions
 
 // RunNashRingWith is RunNashRing with explicit fault-tolerance options.
-func RunNashRingWith(n Network, sys MultiSystem, eps float64, maxIter int, opts NashRingOptions) (dist.NashRingResult, error) {
-	return dist.RunNashRingWith(n, sys, eps, maxIter, opts)
+//
+// Deprecated: use RunNashRing with WithEpsilon, WithMaxIter and
+// WithRingOptions.
+func RunNashRingWith(n Network, sys MultiSystem, eps float64, maxIter int, opts NashRingOptions) (NashRingResult, error) {
+	return RunNashRing(n, sys, WithEpsilon(eps), WithMaxIter(maxIter), WithRingOptions(opts))
 }
 
 // RunLBMWith is RunLBM with explicit fault-tolerance options.
-func RunLBMWith(n Network, trueValues []float64, policies []BidPolicy, phi float64, opts LBMOptions) (dist.LBMResult, error) {
-	return dist.RunLBMWith(n, trueValues, policies, phi, opts)
+//
+// Deprecated: use RunLBM with WithLBMOptions.
+func RunLBMWith(n Network, trueValues []float64, policies []BidPolicy, phi float64, opts LBMOptions) (LBMResult, error) {
+	return RunLBM(n, trueValues, policies, phi, WithLBMOptions(opts))
 }
 
 // SimConfig configures the discrete-event simulator. Replications run
@@ -216,8 +264,15 @@ type SimConfig = des.Config
 type SimResult = des.Result
 
 // Simulate runs the discrete-event simulation of the central-dispatcher
-// system.
-func Simulate(cfg SimConfig) (SimResult, error) { return des.Run(cfg) }
+// system. Observers attached via options (WithObserver, WithTrace)
+// receive the per-event stream — arrivals, departures, requeues,
+// reroutes, failures and repairs — alongside any cfg.Observer.
+func Simulate(cfg SimConfig, opts ...Option) (SimResult, error) {
+	ro := applyOptions(opts)
+	cfg.Observer = obs.Multi(cfg.Observer, ro.observer())
+	res, err := des.Run(cfg)
+	return res, ro.finish(err)
+}
 
 // Exponential returns a Poisson-process inter-arrival distribution of
 // the given rate for use in SimConfig.
@@ -243,8 +298,13 @@ type DynamicResult = des.DynamicResult
 
 // SimulateDynamic runs the dynamic-mode simulation: per-computer arrival
 // streams and a policy that may transfer jobs based on queue lengths.
-func SimulateDynamic(cfg DynamicConfig) (DynamicResult, error) {
-	return des.RunDynamic(cfg)
+// Observers attached via options receive arrivals, departures and
+// inter-computer transfers.
+func SimulateDynamic(cfg DynamicConfig, opts ...Option) (DynamicResult, error) {
+	ro := applyOptions(opts)
+	cfg.Observer = obs.Multi(cfg.Observer, ro.observer())
+	res, err := des.RunDynamic(cfg)
+	return res, ro.finish(err)
 }
 
 // DynamicPolicies returns the surveyed dynamic policies (LOCAL, RANDOM,
@@ -292,8 +352,10 @@ func NewLBMService(newNet func() Network, trueValues []float64, policies []BidPo
 
 // RunNashRingFrom resumes the NASH ring protocol from a checkpointed
 // strategy profile (e.g. after a node crash).
-func RunNashRingFrom(n Network, sys MultiSystem, checkpoint Profile, eps float64, maxIter int) (dist.NashRingResult, error) {
-	return dist.RunNashRingFrom(n, sys, checkpoint, eps, maxIter)
+//
+// Deprecated: use RunNashRing with WithCheckpoint.
+func RunNashRingFrom(n Network, sys MultiSystem, checkpoint Profile, eps float64, maxIter int) (NashRingResult, error) {
+	return RunNashRing(n, sys, WithCheckpoint(checkpoint), WithEpsilon(eps), WithMaxIter(maxIter))
 }
 
 // Trace is a recorded arrival workload; see internal/workload.

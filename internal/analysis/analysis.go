@@ -193,7 +193,7 @@ func sortDiagnostics(diags []Diagnostic) {
 
 // Analyzers returns the full lbvet suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoDeterminism, SharedRand, FloatCmp, ErrCheck, ParallelSub}
+	return []*Analyzer{NoDeterminism, SharedRand, FloatCmp, ErrCheck, ParallelSub, ObsDefault}
 }
 
 // runUnit applies every matching analyzer to one unit, returning raw

@@ -111,6 +111,7 @@ func TestSharedRand(t *testing.T)    { runFixture(t, SharedRand, "testdata/src/s
 func TestFloatCmp(t *testing.T)      { runFixture(t, FloatCmp, "testdata/src/floatcmp") }
 func TestErrCheck(t *testing.T)      { runFixture(t, ErrCheck, "testdata/src/errcheck") }
 func TestParallelSub(t *testing.T)   { runFixture(t, ParallelSub, "testdata/src/parallelsub") }
+func TestObsDefault(t *testing.T)    { runFixture(t, ObsDefault, "testdata/src/obsdefault") }
 
 // TestVetRepoClean is the lbvet self-check: the committed tree must
 // stay free of findings, so reintroducing any violation fails CI both

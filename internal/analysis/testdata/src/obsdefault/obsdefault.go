@@ -1,0 +1,47 @@
+// Fixture for the obsdefault analyzer: obs.Discard filling an
+// observer-shaped hole and wall-clock reads in the observability layer
+// must be flagged; threading the caller's observer (nil means disabled)
+// and stamping events with simulated time must not.
+package obsdefault
+
+import (
+	"time"
+
+	"gtlb/internal/obs"
+)
+
+func runWithDefault() {
+	o := obs.Discard // want "obs.Discard hides the caller's observer"
+	o.Observe(obs.Event{Kind: obs.DESArrival})
+}
+
+func defaultInCall() {
+	runThreaded(obs.Discard) // want "obs.Discard hides the caller's observer"
+}
+
+func runThreaded(o obs.Observer) {
+	// The nil-safe helper with the threaded observer: fine.
+	obs.Emit(o, obs.Event{Kind: obs.DESArrival, Time: 1.5})
+}
+
+func stampsWallClock(o obs.Observer) {
+	now := time.Now() // want "time.Now reads the wall clock in the observability layer"
+	obs.Emit(o, obs.Event{Kind: obs.DESArrival, Time: float64(now.Unix())})
+}
+
+func measuresWallClock(o obs.Observer, start time.Time) {
+	d := time.Since(start) // want "time.Since reads the wall clock in the observability layer"
+	obs.Emit(o, obs.Event{Kind: obs.DESDeparture, V: d.Seconds()})
+}
+
+func stampsSimTime(o obs.Observer, simNow float64) {
+	obs.Emit(o, obs.Event{Kind: obs.DESDeparture, Time: simNow})
+	// Construction from explicit values never reads the clock: fine.
+	_ = time.Unix(0, 0)
+}
+
+func suppressed() {
+	//lint:ignore obsdefault exercising the suppression path
+	o := obs.Discard
+	o.Observe(obs.Event{Kind: obs.DESArrival})
+}

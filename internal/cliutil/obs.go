@@ -1,0 +1,62 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gtlb"
+)
+
+// ObsFlags bundles the observability flags shared by the run drivers:
+// -metrics prints the run's metrics registry and -trace records the
+// structured event stream as JSON Lines.
+type ObsFlags struct {
+	metrics *bool
+	trace   *string
+
+	reg  *gtlb.Registry
+	file *os.File
+}
+
+// RegisterObsFlags installs -metrics and -trace on fs.
+func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
+	o := &ObsFlags{}
+	o.metrics = fs.Bool("metrics", false, "print the run's metrics registry when done")
+	o.trace = fs.String("trace", "", "write the run's event trace to this JSONL file")
+	return o
+}
+
+// Options opens the trace file (when requested) and returns the facade
+// options wiring the observers in. Call Close once the run is done.
+func (o *ObsFlags) Options() ([]gtlb.Option, error) {
+	var opts []gtlb.Option
+	o.reg = gtlb.NewRegistry()
+	if *o.metrics {
+		opts = append(opts, gtlb.WithObserver(o.reg))
+	}
+	if *o.trace != "" {
+		f, err := os.Create(*o.trace)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: opening trace file: %w", err)
+		}
+		o.file = f
+		opts = append(opts, gtlb.WithTrace(f))
+	}
+	return opts, nil
+}
+
+// Report prints the metrics registry to stdout when -metrics was set.
+func (o *ObsFlags) Report() {
+	if o.reg != nil && *o.metrics {
+		fmt.Printf("\nrun metrics:\n%s\n", o.reg)
+	}
+}
+
+// Close closes the trace file when one was opened.
+func (o *ObsFlags) Close() error {
+	if o.file == nil {
+		return nil
+	}
+	return o.file.Close()
+}

@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 
+	"gtlb/internal/obs"
 	"gtlb/internal/queueing"
 )
 
@@ -132,6 +133,14 @@ func (a Allocation) NumUsed() int {
 // O(n log n) (Theorem 3.7 proves correctness; in general computing an NBS
 // is NP-hard, but this game is convex).
 func COOP(sys System) (Allocation, error) {
+	return COOPObserved(sys, nil)
+}
+
+// COOPObserved is COOP reporting its water-fill trajectory to o: one
+// CoopDrop event per dropped computer (A = the computer, V = the
+// recomputed water level, Time = the drop step) and a final CoopSolve
+// with the solution's level. A nil observer costs nothing.
+func COOPObserved(sys System, o obs.Observer) (Allocation, error) {
 	if err := sys.Validate(); err != nil {
 		return Allocation{}, err
 	}
@@ -155,10 +164,19 @@ func COOP(sys System) (Allocation, error) {
 	// Step 3: drop computers whose rate cannot cover the common spare
 	// capacity (their interior λ would be negative — "extremely slow
 	// computers are assigned no jobs").
+	step := 0
 	for c > 1 && sys.Mu[order[c-1]] <= d {
-		sumMu -= sys.Mu[order[c-1]]
+		dropped := order[c-1]
+		sumMu -= sys.Mu[dropped]
 		c--
 		d = (sumMu - sys.Phi) / float64(c)
+		step++
+		if o != nil {
+			o.Observe(obs.Event{Kind: obs.CoopDrop, Time: float64(step), A: int32(dropped), V: d})
+		}
+	}
+	if o != nil {
+		o.Observe(obs.Event{Kind: obs.CoopSolve, Time: float64(step), V: d})
 	}
 
 	alloc := Allocation{

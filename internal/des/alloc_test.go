@@ -3,6 +3,7 @@ package des
 import (
 	"testing"
 
+	"gtlb/internal/obs"
 	"gtlb/internal/queueing"
 )
 
@@ -74,6 +75,39 @@ func TestSteadyStateAllocs(t *testing.T) {
 					allocs, res.Jobs, budget)
 			}
 		})
+	}
+}
+
+// nopObserver is the cheapest possible observer: the engine's hooks
+// must not add steady-state allocations when it is installed, proving
+// the observation path passes events by value with no boxing.
+type nopObserver struct{}
+
+func (nopObserver) Observe(obs.Event) {}
+
+// TestObserverSteadyStateAllocs pins the hot-path cost of observation:
+// installing a no-op observer may add only a constant per-run setup
+// overhead (the per-replication fork bookkeeping), never a per-event
+// allocation. Run with the breakdown scenario so every hook — arrival,
+// departure, requeue, reroute, fail, repair — fires.
+func TestObserverSteadyStateAllocs(t *testing.T) {
+	cfg := steadyCfg(true)
+	base := testing.AllocsPerRun(3, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cfgObs := steadyCfg(true)
+	cfgObs.Observer = nopObserver{}
+	withObs := testing.AllocsPerRun(3, func() {
+		if _, err := Run(cfgObs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const setupSlack = 16
+	if withObs > base+setupSlack {
+		t.Errorf("no-op observer costs %.0f allocs vs %.0f bare (slack %d): the hooks are allocating per event",
+			withObs, base, setupSlack)
 	}
 }
 

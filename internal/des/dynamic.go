@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gtlb/internal/metrics"
+	"gtlb/internal/obs"
 	"gtlb/internal/queueing"
 )
 
@@ -60,6 +61,11 @@ type DynamicConfig struct {
 	// and the result is bit-identical for any value. Policies must be
 	// safe for concurrent use (the surveyed policies are stateless).
 	Workers int
+	// Observer optionally receives the run's events (arrivals,
+	// departures, transfers), as in Config.Observer: nil disables
+	// observation with zero steady-state allocation cost, and
+	// obs.RepForker implementations get one fork per replication.
+	Observer obs.Observer
 }
 
 func (c DynamicConfig) validate() error {
@@ -123,13 +129,17 @@ func RunDynamic(cfg DynamicConfig) (DynamicResult, error) {
 	}
 
 	streams := splitStreams(cfg.Seed, reps)
+	observers := make([]obs.Observer, reps)
+	for r := range observers {
+		observers[r] = obs.ForkRep(cfg.Observer, r)
+	}
 	type dynRep struct {
 		acc   metrics.Accumulator
 		moved int
 	}
 	results := make([]dynRep, reps)
 	forEachReplication(reps, workerCount(cfg.Workers, reps), func(r int) {
-		results[r].acc, results[r].moved = runDynamicOnce(cfg, streams[r])
+		results[r].acc, results[r].moved = runDynamicOnce(cfg, streams[r], observers[r])
 	})
 
 	means := make([]float64, 0, reps)
@@ -162,7 +172,7 @@ const (
 // 4-ary heap, and one reused queue-length buffer for the policy hooks
 // (the old engine allocated a fresh []int per arrival and per idle
 // probe).
-func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, int) {
+func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG, o obs.Observer) (metrics.Accumulator, int) {
 	n := len(cfg.Mu)
 	var acc metrics.Accumulator
 	moved := 0
@@ -219,6 +229,12 @@ func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, 
 			if dest < 0 || dest >= n {
 				dest = home
 			}
+			if o != nil {
+				o.Observe(obs.Event{Kind: obs.DESArrival, Time: now, A: int32(dest), B: int32(home)})
+				if dest != home {
+					o.Observe(obs.Event{Kind: obs.DESTransfer, Time: now, A: int32(home), B: int32(dest)})
+				}
+			}
 			if dest != home && cfg.TransferDelay > 0 {
 				moved++
 				sched.schedule(now+cfg.TransferDelay, evDynHandoff, dest, j)
@@ -237,6 +253,9 @@ func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, 
 			busy[i] = false
 			j := arena.jobs[ev.job]
 			arena.release(ev.job)
+			if o != nil {
+				o.Observe(obs.Event{Kind: obs.DESDeparture, Time: ev.time, A: int32(i), V: ev.time - j.arrival})
+			}
 			if j.arrival >= cfg.Warmup && j.arrival <= cfg.Horizon {
 				acc.Add(ev.time - j.arrival)
 			}
@@ -248,6 +267,9 @@ func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG) (metrics.Accumulator, 
 				if from >= 0 && from < n && from != i && queues[from].len() > 0 {
 					pulled := queues[from].popBack()
 					moved++
+					if o != nil {
+						o.Observe(obs.Event{Kind: obs.DESTransfer, Time: ev.time, A: int32(from), B: int32(i)})
+					}
 					if cfg.TransferDelay > 0 {
 						sched.schedule(ev.time+cfg.TransferDelay, evDynHandoff, i, pulled)
 					} else {

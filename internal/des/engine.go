@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gtlb/internal/metrics"
+	"gtlb/internal/obs"
 	"gtlb/internal/queueing"
 )
 
@@ -50,6 +51,16 @@ type Config struct {
 	// draws from its own pre-split random stream and results are
 	// aggregated in replication order.
 	Workers int
+
+	// Observer optionally receives the run's events (arrivals,
+	// departures, requeues, reroutes, failures, repairs) with virtual
+	// timestamps. nil disables observation at the cost of one predicted
+	// branch per event — the steady-state loop stays allocation-free
+	// either way. Observers implementing obs.RepForker (the Tracer)
+	// get one fork per replication so event streams stay deterministic
+	// at any worker count; other observers are shared across the pool
+	// and must be safe for concurrent use.
+	Observer obs.Observer
 
 	// Breakdowns optionally injects failures: computer i alternates
 	// exponentially distributed up-times (rate FailRate) and repair
@@ -218,9 +229,13 @@ func Run(cfg Config) (Result, error) {
 	for r := range arrivals {
 		arrivals[r] = forkDistribution(cfg.InterArrival)
 	}
+	observers := make([]obs.Observer, reps)
+	for r := range observers {
+		observers[r] = obs.ForkRep(cfg.Observer, r)
+	}
 	results := make([]replication, reps)
 	forEachReplication(reps, workerCount(cfg.Workers, reps), func(r int) {
-		results[r] = runOnce(cfg, arrivals[r], streams[r], users, sp)
+		results[r] = runOnce(cfg, arrivals[r], streams[r], users, sp, observers[r])
 	})
 
 	overall := make([]float64, 0, reps)
@@ -289,7 +304,12 @@ type replication struct {
 // per failure/repair scheduling. The alias tables are built before the
 // worker pool starts and consume no randomness, so worker scheduling can
 // never perturb any stream.
-func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, users int, sp samplers) replication {
+//
+// Observation discipline: every emission is guarded by `if o != nil`, so
+// the disabled path adds one predicted branch per event and no
+// allocations (gated by TestSteadyStateAllocs and TestDESAllocBaseline).
+// Emissions never draw randomness, so traces cannot perturb streams.
+func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, users int, sp samplers, o obs.Observer) replication {
 	rep := replication{
 		p95:      metrics.MustQuantile(0.95),
 		comp:     make([]metrics.Accumulator, len(cfg.Mu)),
@@ -350,7 +370,7 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 	// from failed computers by renormalizing the routing row over the
 	// up set; if everything it would use is down, the original pick is
 	// kept and the job waits out the repair.
-	route := func(u int) int {
+	route := func(u int, now float64) int {
 		i := sp.route[u].Sample(rng)
 		if !down[i] {
 			return i
@@ -371,18 +391,29 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 		// buffer, because the up-set changes with every failure/repair
 		// and rebuilding an alias table here would allocate.
 		x := rng.Float64() * total
+		pick := -1
 		for k, w := range scratch {
 			x -= w
 			if x < 0 {
-				return k
+				pick = k
+				break
 			}
 		}
-		for k := n - 1; k >= 0; k-- { // rounding guard at the boundary
-			if scratch[k] > 0 {
-				return k
+		if pick < 0 {
+			for k := n - 1; k >= 0; k-- { // rounding guard at the boundary
+				if scratch[k] > 0 {
+					pick = k
+					break
+				}
 			}
 		}
-		return i
+		if pick < 0 {
+			return i
+		}
+		if o != nil {
+			o.Observe(obs.Event{Kind: obs.DESReroute, Time: now, A: int32(i), B: int32(pick)})
+		}
+		return pick
 	}
 
 	for arrivalsOpen || !sched.empty() {
@@ -411,7 +442,10 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 			if sp.user != nil {
 				u = sp.user.Sample(rng)
 			}
-			i := route(u)
+			i := route(u, now)
+			if o != nil {
+				o.Observe(obs.Event{Kind: obs.DESArrival, Time: now, A: int32(i), B: int32(u)})
+			}
 			id := arena.alloc(int32(u), now)
 			servers[i].queue.pushBack(id)
 			startService(i, now)
@@ -426,8 +460,11 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 			clampBusy(int(i), servers[i].serviceStart, ev.time)
 			j := arena.jobs[ev.job]
 			arena.release(ev.job)
+			rt := ev.time - j.arrival
+			if o != nil {
+				o.Observe(obs.Event{Kind: obs.DESDeparture, Time: ev.time, A: int32(i), B: j.user, V: rt})
+			}
 			if j.arrival >= cfg.Warmup {
-				rt := ev.time - j.arrival
 				rep.total.Add(rt)
 				rep.comp[i].Add(rt)
 				rep.user[j.user].Add(rt)
@@ -442,6 +479,9 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 			}
 			down[i] = true
 			epoch[i]++ // invalidate the pending departure, if any
+			if o != nil {
+				o.Observe(obs.Event{Kind: obs.DESFail, Time: ev.time, A: int32(i)})
+			}
 			if servers[i].busy {
 				// Push the interrupted job back to the head of the
 				// queue; its remaining service is re-drawn on repair,
@@ -451,12 +491,18 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 				servers[i].inService = noJob
 				clampBusy(int(i), servers[i].serviceStart, ev.time)
 				servers[i].queue.pushFront(interrupted)
+				if o != nil {
+					o.Observe(obs.Event{Kind: obs.DESRequeue, Time: ev.time, A: int32(i)})
+				}
 			}
 			sched.schedule(ev.time+rng.Exp(cfg.Breakdowns[i].RepairRate), evRepair, int(i), noJob)
 
 		case evRepair:
 			i := int(ev.server)
 			down[i] = false
+			if o != nil {
+				o.Observe(obs.Event{Kind: obs.DESRepair, Time: ev.time, A: int32(i)})
+			}
 			startService(i, ev.time)
 			// Schedule the next failure.
 			sched.schedule(ev.time+rng.Exp(cfg.Breakdowns[i].FailRate), evFail, i, noJob)

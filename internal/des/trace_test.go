@@ -1,0 +1,106 @@
+package des
+
+// The trace determinism contract: a seeded run observed through the
+// tracer produces byte-identical JSONL at any worker count, and the
+// bytes are pinned by a committed golden file so encoding or event
+// ordering changes cannot slip in silently. Regenerate the golden with
+//
+//	UPDATE_GOLDEN=1 go test -run TestTraceMatchesGolden ./internal/des/
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gtlb/internal/obs"
+	"gtlb/internal/queueing"
+)
+
+// goldenTraceConfig is a small seeded Ch.3-style run with a breakdown
+// on the fast computer so the trace exercises every DES event kind:
+// arrivals, departures, requeues, reroutes, failures and repairs.
+func goldenTraceConfig(workers int, o obs.Observer) Config {
+	return Config{
+		Mu:           []float64{4, 2},
+		InterArrival: queueing.NewExponential(3),
+		Routing:      [][]float64{{0.7, 0.3}},
+		Horizon:      20,
+		Warmup:       2,
+		Seed:         42,
+		Replications: 3,
+		Workers:      workers,
+		Observer:     o,
+		Breakdowns:   []Breakdown{{FailRate: 0.3, RepairRate: 2}, {}},
+	}
+}
+
+func runTraced(t *testing.T, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	if _, err := Run(goldenTraceConfig(workers, tr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceIdenticalAcrossWorkers(t *testing.T) {
+	seq := runTraced(t, 1)
+	if len(seq) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, workers := range []int{2, 8} {
+		par := runTraced(t, workers)
+		if !bytes.Equal(seq, par) {
+			t.Fatalf("trace bytes differ between Workers=1 (%d bytes) and Workers=%d (%d bytes)",
+				len(seq), workers, len(par))
+		}
+	}
+}
+
+func TestTraceCoversEventKinds(t *testing.T) {
+	got := string(runTraced(t, 1))
+	for _, kind := range []obs.Kind{
+		obs.DESArrival, obs.DESDeparture, obs.DESRequeue,
+		obs.DESReroute, obs.DESFail, obs.DESRepair,
+	} {
+		if !strings.Contains(got, `"kind":"`+kind.Name()+`"`) {
+			t.Errorf("trace has no %s events; the golden config no longer exercises them", kind.Name())
+		}
+	}
+}
+
+func TestTraceMatchesGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "trace_ch3.jsonl")
+	got := runTraced(t, 1)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden trace (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		line := 0
+		for line < len(gl) && line < len(wl) && bytes.Equal(gl[line], wl[line]) {
+			line++
+		}
+		t.Fatalf("trace diverges from the golden file at line %d:\n got: %s\nwant: %s",
+			line+1, firstOf(gl, line), firstOf(wl, line))
+	}
+}
+
+func firstOf(lines [][]byte, i int) []byte {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return []byte("<EOF>")
+}

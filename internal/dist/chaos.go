@@ -6,7 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"gtlb/internal/metrics"
+	"gtlb/internal/obs"
 	"gtlb/internal/queueing"
 )
 
@@ -75,20 +75,10 @@ type PartitionPlan struct {
 // equivalent of the process dying.
 var ErrCrashed = errors.New("dist: node crashed (injected fault)")
 
-// Chaos counter names recorded through metrics.Counters.
-const (
-	cDrop      = "chaos.drop"
-	cDelay     = "chaos.delay"
-	cDup       = "chaos.duplicate"
-	cReorder   = "chaos.reorder"
-	cCrash     = "chaos.crash"
-	cPartition = "chaos.partition"
-)
-
 type chaosNetwork struct {
 	inner Network
 	plan  FaultPlan
-	ctr   *metrics.Counters
+	obs   obs.Observer
 	part  map[string]bool
 
 	mu    sync.Mutex
@@ -117,13 +107,14 @@ type chaosNode struct {
 }
 
 // NewChaosNetwork wraps inner with the seeded fault schedule of plan.
-// Fault events are recorded on ctr (which may be nil) under the
-// "chaos.*" counter names.
-func NewChaosNetwork(inner Network, plan FaultPlan, ctr *metrics.Counters) Network {
+// Fault events are reported to o (which may be nil) under the obs
+// Chaos* kinds; an *obs.Registry observer reproduces the historical
+// "chaos.*" counters.
+func NewChaosNetwork(inner Network, plan FaultPlan, o obs.Observer) Network {
 	n := &chaosNetwork{
 		inner: inner,
 		plan:  plan,
-		ctr:   ctr,
+		obs:   o,
 		links: make(map[linkKey]*chaosLink),
 		nodes: make(map[string]*chaosNode),
 	}
@@ -203,7 +194,7 @@ func (c *chaosConn) Send(m Message) error {
 	c.node.mu.Lock()
 	if !c.node.crashed && c.node.crashAt >= 0 && c.node.sends >= c.node.crashAt {
 		c.node.crashed = true
-		c.net.ctr.Inc(cCrash)
+		obs.Emit(c.net.obs, obs.Event{Kind: obs.ChaosCrash, Node: m.From})
 	}
 	crashed := c.node.crashed
 	c.node.sends++
@@ -227,16 +218,16 @@ func (c *chaosConn) Send(m Message) error {
 	uDelayAmt := l.rng.Float64()
 
 	if p := plan.Partition; p != nil && seq >= p.From && seq < p.To && c.net.part[m.From] != c.net.part[m.To] {
-		c.net.ctr.Inc(cPartition)
+		obs.Emit(c.net.obs, obs.Event{Kind: obs.ChaosPartition, Node: m.From})
 		return nil // dropped at the partition boundary
 	}
 	if uDrop < plan.Drop {
-		c.net.ctr.Inc(cDrop)
+		obs.Emit(c.net.obs, obs.Event{Kind: obs.ChaosDrop, Node: m.From})
 		return nil
 	}
 	if uReorder < plan.Reorder {
 		// Hold until the next message on this link overtakes it.
-		c.net.ctr.Inc(cReorder)
+		obs.Emit(c.net.obs, obs.Event{Kind: obs.ChaosReorder, Node: m.From})
 		l.held = append(l.held, m)
 		return nil
 	}
@@ -269,10 +260,10 @@ func (c *chaosConn) Send(m Message) error {
 // the schedule says so.
 func (c *chaosConn) deliver(m Message, delay time.Duration, dup bool) error {
 	if dup {
-		c.net.ctr.Inc(cDup)
+		obs.Emit(c.net.obs, obs.Event{Kind: obs.ChaosDuplicate, Node: m.From})
 	}
 	if delay > 0 {
-		c.net.ctr.Inc(cDelay)
+		obs.Emit(c.net.obs, obs.Event{Kind: obs.ChaosDelay, Node: m.From})
 		go func() {
 			time.Sleep(delay)
 			// Late delivery is best-effort: the recipient may have left.

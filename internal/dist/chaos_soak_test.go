@@ -13,6 +13,7 @@ import (
 	"gtlb/internal/mechanism"
 	"gtlb/internal/metrics"
 	"gtlb/internal/noncoop"
+	"gtlb/internal/obs"
 	"gtlb/internal/queueing"
 )
 
@@ -71,7 +72,7 @@ func soakPlan(seed uint64) FaultPlan {
 
 // writeChaosArtifact records a failing schedule so it can be replayed:
 // to CHAOS_ARTIFACT_DIR when set (CI uploads it), else the test tmpdir.
-func writeChaosArtifact(t *testing.T, label string, plan FaultPlan, ctr *metrics.Counters, runErr error) {
+func writeChaosArtifact(t *testing.T, label string, plan FaultPlan, ctr *obs.Registry, runErr error) {
 	t.Helper()
 	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
 	if dir == "" {
@@ -193,7 +194,7 @@ func lbmOracle(trueVals []float64, phi float64, res LBMResult, err error) error 
 
 // soakNetwork builds the transport under test, wrapped in the chaos
 // decorator; cleanup closes the broker for the TCP case.
-func soakNetwork(t *testing.T, transport string, plan FaultPlan, ctr *metrics.Counters) (Network, func()) {
+func soakNetwork(t *testing.T, transport string, plan FaultPlan, ctr *obs.Registry) (Network, func()) {
 	t.Helper()
 	switch transport {
 	case "mem":
@@ -231,17 +232,17 @@ func TestChaosSoak(t *testing.T) {
 	}
 	lbmPhi := 0.5 * lbmCap
 
-	nashOpts := func(seed uint64, ctr *metrics.Counters) NashOptions {
+	nashOpts := func(seed uint64, ctr *obs.Registry) NashOptions {
 		return NashOptions{
 			Watchdog:     60 * time.Millisecond,
 			ProbeTimeout: 15 * time.Millisecond,
 			MaxAttempts:  3,
 			Deadline:     2 * time.Second,
 			Seed:         seed,
-			Counters:     ctr,
+			Observer:     ctr,
 		}
 	}
-	lbmOpts := func(seed uint64, ctr *metrics.Counters) LBMOptions {
+	lbmOpts := func(seed uint64, ctr *obs.Registry) LBMOptions {
 		return LBMOptions{
 			BidDeadline: 30 * time.Millisecond,
 			MaxAttempts: 3,
@@ -249,7 +250,7 @@ func TestChaosSoak(t *testing.T) {
 			BackoffCap:  60 * time.Millisecond,
 			Seed:        seed,
 			AgentBudget: 300 * time.Millisecond,
-			Counters:    ctr,
+			Observer:    ctr,
 		}
 	}
 
@@ -259,7 +260,7 @@ func TestChaosSoak(t *testing.T) {
 		for _, transport := range []string{"mem", "tcp"} {
 			label := fmt.Sprintf("nash-%s", transport)
 			func() {
-				ctr := metrics.NewCounters()
+				ctr := obs.NewRegistry()
 				netw, cleanup := soakNetwork(t, transport, plan, ctr)
 				defer cleanup()
 				res, runErr := RunNashRingWith(netw, nashSys, 1e-9, 0, nashOpts(seed, ctr))
@@ -270,7 +271,7 @@ func TestChaosSoak(t *testing.T) {
 			}()
 			label = fmt.Sprintf("lbm-%s", transport)
 			func() {
-				ctr := metrics.NewCounters()
+				ctr := obs.NewRegistry()
 				netw, cleanup := soakNetwork(t, transport, plan, ctr)
 				defer cleanup()
 				policies := make([]BidPolicy, len(lbmTrue))

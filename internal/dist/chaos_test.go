@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"gtlb/internal/metrics"
+	"gtlb/internal/obs"
 )
 
 // scriptMessages sends count messages a→b on the given network's conns
@@ -90,8 +90,8 @@ func TestChaosReplayDeterminism(t *testing.T) {
 	for k := range kinds {
 		kinds[k] = fmt.Sprintf("k%d", k)
 	}
-	run := func() ([]Message, []Message, *metrics.Counters) {
-		ctr := metrics.NewCounters()
+	run := func() ([]Message, []Message, *obs.Registry) {
+		ctr := obs.NewRegistry()
 		n := NewChaosNetwork(NewMemNetwork(), plan, ctr)
 		a := mustJoin(t, n, "a")
 		b := mustJoin(t, n, "b")
@@ -128,7 +128,7 @@ func TestChaosReplayDeterminism(t *testing.T) {
 // TestChaosDropAll: Drop=1 loses every message and counts each one.
 func TestChaosDropAll(t *testing.T) {
 	t.Parallel()
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	n := NewChaosNetwork(NewMemNetwork(), FaultPlan{Drop: 1}, ctr)
 	a := mustJoin(t, n, "a")
 	b := mustJoin(t, n, "b")
@@ -145,7 +145,7 @@ func TestChaosDropAll(t *testing.T) {
 // sends deliver, later ones vanish, and its receives fail ErrCrashed.
 func TestChaosCrashAtStep(t *testing.T) {
 	t.Parallel()
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	n := NewChaosNetwork(NewMemNetwork(), FaultPlan{Crash: map[string]int{"a": 2}}, ctr)
 	a := mustJoin(t, n, "a")
 	b := mustJoin(t, n, "b")
@@ -166,7 +166,7 @@ func TestChaosCrashAtStep(t *testing.T) {
 // dropped exactly while the link sequence lies in [From, To).
 func TestChaosPartitionWindow(t *testing.T) {
 	t.Parallel()
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	plan := FaultPlan{Partition: &PartitionPlan{Nodes: []string{"a"}, From: 1, To: 3}}
 	n := NewChaosNetwork(NewMemNetwork(), plan, ctr)
 	a := mustJoin(t, n, "a")
@@ -190,7 +190,7 @@ func TestChaosPartitionWindow(t *testing.T) {
 // TestChaosDelayDelivers: delayed messages still arrive.
 func TestChaosDelayDelivers(t *testing.T) {
 	t.Parallel()
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	n := NewChaosNetwork(NewMemNetwork(), FaultPlan{Delay: 1, MaxDelay: 3 * time.Millisecond}, ctr)
 	a := mustJoin(t, n, "a")
 	b := mustJoin(t, n, "b")
@@ -214,7 +214,7 @@ func TestChaosDelayDelivers(t *testing.T) {
 // lost when the sender leaves — Close flushes them in order.
 func TestChaosReorderFlushOnClose(t *testing.T) {
 	t.Parallel()
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	n := NewChaosNetwork(NewMemNetwork(), FaultPlan{Reorder: 1}, ctr)
 	a := mustJoin(t, n, "a")
 	b := mustJoin(t, n, "b")

@@ -8,8 +8,8 @@ import (
 	"time"
 
 	"gtlb/internal/mechanism"
-	"gtlb/internal/metrics"
 	"gtlb/internal/noncoop"
+	"gtlb/internal/obs"
 )
 
 // brokenRecvNetwork wraps a Network and makes receives on one named
@@ -57,9 +57,9 @@ func TestLBMAgentFailsBeforeBid(t *testing.T) {
 	trueVals := table51Values()
 	policies := make([]BidPolicy, len(trueVals))
 	netw := &brokenRecvNetwork{Network: NewMemNetwork(), victim: computerName(3)}
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	opts := fastLBMOptions()
-	opts.Counters = ctr
+	opts.Observer = ctr
 	res, err := RunLBMWith(netw, trueVals, policies, 0.5*0.663, opts)
 	if err != nil {
 		t.Fatalf("degraded round failed: %v", err)
@@ -105,10 +105,10 @@ func TestLBMCrashedComputerExcluded(t *testing.T) {
 	t.Parallel()
 	trueVals := table51Values()
 	policies := make([]BidPolicy, len(trueVals))
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	netw := NewChaosNetwork(NewMemNetwork(), FaultPlan{Crash: map[string]int{computerName(5): 0}}, ctr)
 	opts := fastLBMOptions()
-	opts.Counters = ctr
+	opts.Observer = ctr
 	phi := 0.5 * 0.663
 	res, err := RunLBMWith(netw, trueVals, policies, phi, opts)
 	if err != nil {
@@ -191,14 +191,14 @@ func survivorsAtEquilibrium(t *testing.T, sys noncoop.System, res NashRingResult
 func TestNashRingCrashedUserEjected(t *testing.T) {
 	t.Parallel()
 	sys := soakNashSystem(t)
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	netw := NewChaosNetwork(NewMemNetwork(), FaultPlan{Crash: map[string]int{userName(2): 4}}, ctr)
 	opts := NashOptions{
 		Watchdog:     60 * time.Millisecond,
 		ProbeTimeout: 15 * time.Millisecond,
 		MaxAttempts:  3,
 		Deadline:     10 * time.Second,
-		Counters:     ctr,
+		Observer:     ctr,
 	}
 	res, err := RunNashRingWith(netw, sys, 1e-9, 0, opts)
 	if err != nil {
@@ -219,7 +219,7 @@ func TestNashRingCrashedUserEjected(t *testing.T) {
 func TestNashRingTokenLossRegenerated(t *testing.T) {
 	t.Parallel()
 	sys := soakNashSystem(t)
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	// Drop the first message into user 0 on every link: the injected
 	// token dies; first pings/pongs die too and are retried.
 	plan := FaultPlan{Partition: &PartitionPlan{Nodes: []string{userName(0)}, From: 0, To: 1}}
@@ -229,7 +229,7 @@ func TestNashRingTokenLossRegenerated(t *testing.T) {
 		ProbeTimeout: 15 * time.Millisecond,
 		MaxAttempts:  3,
 		Deadline:     10 * time.Second,
-		Counters:     ctr,
+		Observer:     ctr,
 	}
 	res, err := RunNashRingWith(netw, sys, 1e-9, 0, opts)
 	if err != nil {
@@ -337,9 +337,9 @@ func TestLBMServiceWithOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctr := metrics.NewCounters()
+	ctr := obs.NewRegistry()
 	opts := fastLBMOptions()
-	opts.Counters = ctr
+	opts.Observer = ctr
 	svc.SetOptions(opts)
 	if _, err := svc.Start(0.5 * 0.663); err != nil {
 		t.Fatal(err)

@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"gtlb/internal/mechanism"
-	"gtlb/internal/metrics"
+	"gtlb/internal/obs"
 	"gtlb/internal/queueing"
 )
 
@@ -108,8 +108,12 @@ type LBMOptions struct {
 	// orphaned agent always terminates (default: generous multiple of
 	// the dispatcher's total deadline).
 	AgentBudget time.Duration
-	// Counters, when non-nil, records lbm.* fault/retry events.
-	Counters *metrics.Counters
+	// Observer, when non-nil, receives lbm.* protocol events:
+	// fault/retry counts (retry, timeout, excluded, badmsg,
+	// agent.error — the historical Counters keys), one LBMRound per
+	// bid-collection attempt, one LBMBid per accepted bid and one
+	// LBMAward per load award.
+	Observer obs.Observer
 }
 
 func (o LBMOptions) withDefaults() LBMOptions {
@@ -207,7 +211,7 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 		return LBMResult{}, fmt.Errorf("dist: %d policies for %d computers", len(policies), n)
 	}
 	opts = opts.withDefaults()
-	ctr := opts.Counters
+	o := opts.Observer
 
 	disp, err := netw.Join("dispatcher")
 	if err != nil {
@@ -260,8 +264,9 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 	got := make([]bool, n)
 	remaining := n
 	for attempt := 0; attempt < opts.MaxAttempts && remaining > 0; attempt++ {
+		obs.Emit(o, obs.Event{Kind: obs.LBMRound, Time: float64(attempt)})
 		if attempt > 0 {
-			ctr.Add("lbm.retry", uint64(remaining))
+			obs.CountN(o, obs.LBMRetry, int64(remaining))
 			time.Sleep(backoffDelay(opts.Backoff, opts.BackoffCap, attempt-1, rng))
 		}
 		for i := 0; i < n; i++ {
@@ -280,7 +285,7 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 			m, err := disp.RecvTimeout(opts.BidDeadline)
 			if err != nil {
 				if errors.Is(err, ErrTimeout) {
-					ctr.Inc("lbm.timeout")
+					obs.Count(o, obs.LBMTimeout)
 					break // quiet network: next attempt (or degrade)
 				}
 				return LBMResult{}, err
@@ -290,7 +295,7 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 			}
 			var b bidPayload
 			if m.Decode(&b) != nil {
-				ctr.Inc("lbm.badmsg")
+				obs.Count(o, obs.LBMBadMsg)
 				continue
 			}
 			if b.Computer < 0 || b.Computer >= n || got[b.Computer] {
@@ -298,6 +303,7 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 			}
 			bids[b.Computer] = b.Bid
 			got[b.Computer] = true
+			obs.Emit(o, obs.Event{Kind: obs.LBMBid, Time: float64(attempt), A: int32(b.Computer), V: b.Bid, Node: computerName(b.Computer)})
 			remaining--
 		}
 	}
@@ -313,7 +319,7 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 		}
 	}
 	if len(excluded) > 0 {
-		ctr.Add("lbm.excluded", uint64(len(excluded)))
+		obs.CountN(o, obs.LBMExcluded, int64(len(excluded)))
 	}
 
 	// Feasibility of Φ against the surviving capacity Σ 1/b_i.
@@ -365,6 +371,7 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 		if err := disp.Send(award); err != nil {
 			return LBMResult{}, err
 		}
+		obs.Emit(o, obs.Event{Kind: obs.LBMAward, A: int32(i), V: outcome.Loads[i], Node: computerName(i)})
 	}
 	for _, i := range excluded {
 		rel := Message{To: computerName(i), Kind: kindRelease}
@@ -381,7 +388,7 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 			// still fails the round, as before the hardening.
 			return LBMResult{}, agentErrs[i]
 		}
-		ctr.Inc("lbm.agent.error") // degraded round: record and carry on
+		obs.Count(o, obs.LBMAgentError) // degraded round: record and carry on
 	}
 	return LBMResult{Bids: bids, Outcome: outcome, Computers: reports, Excluded: excluded}, nil
 }

@@ -7,8 +7,8 @@ import (
 	"sync"
 	"time"
 
-	"gtlb/internal/metrics"
 	"gtlb/internal/noncoop"
+	"gtlb/internal/obs"
 	"gtlb/internal/queueing"
 )
 
@@ -111,8 +111,13 @@ type NashOptions struct {
 	Deadline time.Duration
 	// Seed drives the retry-jitter streams (one split per node).
 	Seed uint64
-	// Counters, when non-nil, records nash.* fault/retry events.
-	Counters *metrics.Counters
+	// Observer, when non-nil, receives nash.* protocol events:
+	// fault/retry counts (timeout, retry, ejected, token.regenerated,
+	// token.stale — the historical Counters keys), one NashSend per
+	// token forward and one NashRound per completed ring round carrying
+	// the round's norm. Events from the ring's goroutines interleave
+	// nondeterministically; their counts are schedule-deterministic.
+	Observer obs.Observer
 }
 
 func (o NashOptions) withDefaults() NashOptions {
@@ -207,7 +212,7 @@ type userNode struct {
 	probeTO  time.Duration
 	attempts int
 	rng      *queueing.RNG
-	ctr      *metrics.Counters
+	obs      obs.Observer
 
 	prevTime  float64
 	seq       int
@@ -242,7 +247,7 @@ func (u *userNode) run() {
 		if err != nil {
 			if errors.Is(err, ErrTimeout) && u.id == 0 {
 				// Token-loss watchdog: probe, eject, regenerate.
-				u.ctr.Inc("nash.token.regenerated")
+				obs.Count(u.obs, obs.NashTokenRegenerated)
 				if !u.regenerate() {
 					return
 				}
@@ -267,7 +272,7 @@ func (u *userNode) run() {
 				return
 			}
 			if tok.Epoch < u.lastEpoch || (tok.Epoch == u.lastEpoch && tok.Hops <= u.lastHops) {
-				u.ctr.Inc("nash.token.stale") // duplicate or superseded token
+				obs.Count(u.obs, obs.NashTokenStale) // duplicate or superseded token
 				continue
 			}
 			u.lastEpoch, u.lastHops = tok.Epoch, tok.Hops
@@ -282,6 +287,11 @@ func (u *userNode) run() {
 			}
 			if u.id == 0 {
 				tok.Iteration++
+				if tok.Iteration > 1 {
+					// The previous round is complete: its norm is on
+					// the returning token.
+					obs.Emit(u.obs, obs.Event{Kind: obs.NashRound, Time: float64(tok.Iteration - 1), V: tok.Norm, Node: userName(0)})
+				}
 				if tok.Iteration > 1 && tok.Norm <= u.eps {
 					u.finish(tok.Iteration - 1)
 					return
@@ -315,6 +325,7 @@ func (u *userNode) run() {
 				u.fail(err)
 				return
 			}
+			obs.Emit(u.obs, obs.Event{Kind: obs.NashSend, A: int32(u.id), Node: userName(u.id)})
 		default:
 			// Stale rates/acks/pongs from completed retries; drop.
 		}
@@ -379,9 +390,9 @@ func (u *userNode) request(to, kind string, payload func(seq int) any, replyKind
 			r, err := u.conn.RecvTimeout(wait)
 			if err != nil {
 				if errors.Is(err, ErrTimeout) {
-					u.ctr.Inc("nash.timeout")
+					obs.Count(u.obs, obs.NashTimeout)
 					if a < u.attempts-1 {
-						u.ctr.Inc("nash.retry")
+						obs.Count(u.obs, obs.NashRetry)
 					}
 					break
 				}
@@ -438,7 +449,7 @@ func (u *userNode) regenerate() bool {
 			continue
 		}
 		u.ejected[j] = true
-		u.ctr.Inc("nash.ejected")
+		obs.Count(u.obs, obs.NashEjected)
 		_, err = u.request("state", kindEject, func(seq int) any { return ejectPayload{User: j, Seq: seq} }, kindAck)
 		if err != nil {
 			if !errors.Is(err, errStopped) {
@@ -614,7 +625,7 @@ func RunNashRingFromWith(netw Network, sys noncoop.System, initial noncoop.Profi
 			probeTO:   opts.ProbeTimeout,
 			attempts:  opts.MaxAttempts,
 			rng:       queueing.NewRNG(opts.Seed).Split(uint64(j) + 1),
-			ctr:       opts.Counters,
+			obs:       opts.Observer,
 			prevTime:  sys.UserTime(prof, j),
 			lastEpoch: -1, lastHops: -1,
 			ejected: make([]bool, m),

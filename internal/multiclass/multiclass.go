@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"gtlb/internal/numeric"
+	"gtlb/internal/obs"
 )
 
 // System is a multi-class distributed system.
@@ -161,6 +162,10 @@ type Options struct {
 	Tol float64
 	// MaxIter bounds the iterations; 0 means 100,000.
 	MaxIter int
+	// Observer optionally receives one FWIter event per Frank–Wolfe
+	// iteration (Time = iteration index, V = the relative duality gap),
+	// exposing the solver's convergence trajectory. nil disables.
+	Observer obs.Observer
 }
 
 // Result is the solver outcome.
@@ -226,6 +231,9 @@ func Optimize(sys System, opt Options) (Result, error) {
 		obj := sys.ResponseTime(lambda)
 		res.Iterations = iter
 		res.Gap = gap / (1 + math.Abs(obj)*sys.TotalPhi())
+		if opt.Observer != nil {
+			opt.Observer.Observe(obs.Event{Kind: obs.FWIter, Time: float64(iter), V: res.Gap})
+		}
 		if res.Gap <= tol {
 			res.Lambda = lambda
 			res.Objective = obj

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"gtlb/internal/obs"
 )
 
 // Init selects the initialization step of the NASH distributed algorithm.
@@ -70,6 +72,10 @@ type NashOptions struct {
 	Eps     float64 // acceptance tolerance on the norm; 0 means 1e-10
 	MaxIter int     // iteration budget; 0 means 10,000
 	Update  Update  // best-reply schedule; the zero value is the paper's round-robin
+	// Observer optionally receives one NashRound event per best-reply
+	// round (Time = round index, V = the round's norm), recording the
+	// Figure 4.2 convergence trajectory as it happens. nil disables.
+	Observer obs.Observer
 }
 
 // NashResult is the outcome of the NASH iteration.
@@ -160,6 +166,9 @@ func Nash(sys System, opt NashOptions) (NashResult, error) {
 		copy(prevTimes, times)
 		res.Norms = append(res.Norms, norm)
 		res.Iterations = iter
+		if opt.Observer != nil {
+			opt.Observer.Observe(obs.Event{Kind: obs.NashRound, Time: float64(iter), V: norm})
+		}
 		if norm <= eps {
 			res.Profile = p
 			return res, nil

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Tracer records events as JSON Lines. Determinism is the whole point:
+// for a fixed seed the flushed byte stream is identical at any
+// simulator worker count, which is what makes traces diffable and
+// golden-testable. Three mechanisms deliver that:
+//
+//  1. Per-replication buffers. The simulator calls ForkRep once per
+//     replication (see RepForker) before its worker pool starts; each
+//     replication then appends to its own buffer with no locking and no
+//     cross-replication interleaving, and Flush concatenates the
+//     buffers in ascending replication order — the sequential order —
+//     regardless of which worker ran which replication when.
+//  2. Deterministic encoding. Records are hand-encoded with a fixed
+//     field order, strconv float formatting ('g', shortest round-trip)
+//     and a field-omission rule that is a pure function of the event.
+//     No maps, no reflection, no wall clock.
+//  3. Events carry virtual time. Nothing in a record depends on when
+//     it was written.
+//
+// Events observed directly on the Tracer (protocol traffic from
+// concurrent goroutines, solver iterations) go to a root buffer under a
+// mutex; their relative order is the observation order, which for
+// concurrent emitters is schedule-dependent — deterministic byte
+// streams are guaranteed only for the per-replication (forked) events
+// and for single-goroutine emitters.
+//
+// The trace is buffered in memory until Flush, which writes the root
+// buffer then the replication buffers in ascending order. Write errors
+// are sticky: the first one is kept and returned by Flush and Err.
+type Tracer struct {
+	mu   sync.Mutex
+	w    io.Writer
+	root bytes.Buffer
+	reps map[int]*repTracer
+	err  error
+}
+
+// NewTracer returns a tracer writing JSONL to w on Flush.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, reps: map[int]*repTracer{}}
+}
+
+// Observe implements Observer: append one record to the root buffer.
+func (t *Tracer) Observe(e Event) {
+	t.mu.Lock()
+	appendRecord(&t.root, e, -1)
+	t.mu.Unlock()
+}
+
+// ForkRep implements RepForker: return the replication's private sink,
+// creating it on first use. Forks are handed out before the simulator's
+// worker pool starts and each is then driven by one goroutine only, so
+// their appends need no lock.
+func (t *Tracer) ForkRep(rep int) Observer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rt, ok := t.reps[rep]
+	if !ok {
+		rt = &repTracer{rep: rep}
+		t.reps[rep] = rt
+	}
+	return rt
+}
+
+// repTracer is one replication's buffer.
+type repTracer struct {
+	rep int
+	buf bytes.Buffer
+}
+
+func (rt *repTracer) Observe(e Event) {
+	appendRecord(&rt.buf, e, rt.rep)
+}
+
+// Flush writes the buffered trace — root records first, then each
+// replication's records in ascending replication order — and resets the
+// buffers. It returns the first write error encountered (also sticky in
+// Err).
+func (t *Tracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.write(t.root.Bytes())
+	t.root.Reset()
+	order := make([]int, 0, len(t.reps))
+	for rep := range t.reps {
+		order = append(order, rep)
+	}
+	sort.Ints(order)
+	for _, rep := range order {
+		rt := t.reps[rep]
+		t.write(rt.buf.Bytes())
+		rt.buf.Reset()
+	}
+	return t.err
+}
+
+// Err returns the first write error encountered by Flush.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) write(b []byte) {
+	if t.err != nil || len(b) == 0 {
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// appendRecord encodes one event as a JSON line. Field order is fixed:
+// rep (forked records only), kind, t, a, b, then n (only when > 1),
+// v (only when nonzero) and node (only when nonempty) — the omission
+// rule depends on the event alone, never on encoder state, so identical
+// event streams encode to identical bytes.
+func appendRecord(buf *bytes.Buffer, e Event, rep int) {
+	b := buf.AvailableBuffer()
+	b = append(b, '{')
+	if rep >= 0 {
+		b = append(b, `"rep":`...)
+		b = strconv.AppendInt(b, int64(rep), 10)
+		b = append(b, ',')
+	}
+	b = append(b, `"kind":"`...)
+	b = append(b, e.Kind.Name()...)
+	b = append(b, `","t":`...)
+	b = strconv.AppendFloat(b, e.Time, 'g', -1, 64)
+	b = append(b, `,"a":`...)
+	b = strconv.AppendInt(b, int64(e.A), 10)
+	b = append(b, `,"b":`...)
+	b = strconv.AppendInt(b, int64(e.B), 10)
+	if e.N > 1 {
+		b = append(b, `,"n":`...)
+		b = strconv.AppendInt(b, e.N, 10)
+	}
+	if e.V != 0 {
+		b = append(b, `,"v":`...)
+		b = strconv.AppendFloat(b, e.V, 'g', -1, 64)
+	}
+	if e.Node != "" {
+		b = append(b, `,"node":`...)
+		b = strconv.AppendQuote(b, e.Node)
+	}
+	b = append(b, '}', '\n')
+	buf.Write(b)
+}

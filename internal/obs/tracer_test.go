@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTracerEncoding(t *testing.T) {
+	var out strings.Builder
+	tr := NewTracer(&out)
+	tr.Observe(Event{Kind: ChaosDrop, Node: "user-3"})
+	tr.Observe(Event{Kind: DESDeparture, Time: 1.5, A: 2, B: 1, V: 0.25})
+	tr.Observe(Event{Kind: LBMRetry, N: 4})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"chaos.drop","t":0,"a":0,"b":0,"node":"user-3"}
+{"kind":"des.departure","t":1.5,"a":2,"b":1,"v":0.25}
+{"kind":"lbm.retry","t":0,"a":0,"b":0,"n":4}
+`
+	if out.String() != want {
+		t.Errorf("trace:\n%s\nwant:\n%s", out.String(), want)
+	}
+	// Every line must also be valid JSON.
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Errorf("line %q is not JSON: %v", sc.Text(), err)
+		}
+	}
+}
+
+// TestTracerRepOrdering pins the determinism mechanism: records from
+// forked replication sinks flush in ascending replication order with a
+// rep field, regardless of the order the forks were driven in.
+func TestTracerRepOrdering(t *testing.T) {
+	var out strings.Builder
+	tr := NewTracer(&out)
+	// Fork and drive out of order, as a worker pool would.
+	f2 := tr.ForkRep(2)
+	f0 := tr.ForkRep(0)
+	f2.Observe(Event{Kind: DESArrival, Time: 1})
+	f0.Observe(Event{Kind: DESArrival, Time: 2})
+	tr.Observe(Event{Kind: ChaosCrash})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"chaos.crash","t":0,"a":0,"b":0}
+{"rep":0,"kind":"des.arrival","t":2,"a":0,"b":0}
+{"rep":2,"kind":"des.arrival","t":1,"a":0,"b":0}
+`
+	if out.String() != want {
+		t.Errorf("trace:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+func TestTracerFlushResets(t *testing.T) {
+	var out strings.Builder
+	tr := NewTracer(&out)
+	tr.Observe(Event{Kind: ChaosDrop})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	first := out.String()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != first {
+		t.Error("second flush re-emitted buffered records")
+	}
+}
+
+type failWriter struct{ err error }
+
+func (w failWriter) Write(p []byte) (int, error) { return 0, w.err }
+
+func TestTracerStickyError(t *testing.T) {
+	sentinel := errors.New("disk full")
+	tr := NewTracer(failWriter{err: sentinel})
+	tr.Observe(Event{Kind: ChaosDrop})
+	if err := tr.Flush(); !errors.Is(err, sentinel) {
+		t.Errorf("Flush error = %v, want %v", err, sentinel)
+	}
+	if err := tr.Err(); !errors.Is(err, sentinel) {
+		t.Errorf("Err() = %v, want sticky %v", err, sentinel)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"gtlb/internal/core"
 	"gtlb/internal/numeric"
+	"gtlb/internal/obs"
 )
 
 // Allocator computes a static load allocation for a single-class system.
@@ -123,6 +124,13 @@ func (Optim) Allocate(mu []float64, phi float64) ([]float64, error) {
 type Wardrop struct {
 	// Eps is the acceptable conservation tolerance; 0 means 1e-10.
 	Eps float64
+	// Obs optionally receives one WardropStep event per bisection step
+	// (Time = step index, V = the midpoint level probed) and a final
+	// WardropSolve with the accepted level — the iterative trajectory
+	// the paper contrasts with COOP's direct solution. nil disables.
+	// Concurrent Allocate calls on a shared Wardrop report interleaved;
+	// the observer must be safe for concurrent use.
+	Obs obs.Observer
 	// iterations records how many bisection steps the last Allocate
 	// used, exposed for the complexity comparison with COOP. Stored
 	// atomically so concurrent Allocate calls on a shared Wardrop (the
@@ -194,12 +202,18 @@ func (w *Wardrop) Allocate(mu []float64, phi float64) ([]float64, error) {
 			hi = mid
 		}
 		iters++
+		if w.Obs != nil {
+			w.Obs.Observe(obs.Event{Kind: obs.WardropStep, Time: float64(iters), V: mid})
+		}
 		if iters > 10_000 {
 			break
 		}
 	}
 	w.iterations.Store(int64(iters))
 	t := lo + (hi-lo)/2
+	if w.Obs != nil {
+		w.Obs.Observe(obs.Event{Kind: obs.WardropSolve, Time: float64(iters), V: t})
+	}
 	for i, m := range mu {
 		if l := m - 1/t; l > 0 {
 			out[i] = l

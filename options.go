@@ -1,0 +1,156 @@
+package gtlb
+
+import (
+	"io"
+
+	"gtlb/internal/dist"
+	"gtlb/internal/obs"
+)
+
+// This file is the package's functional-options surface. Every run
+// entry point (Simulate, SimulateDynamic, RunNashRing, RunLBM, COOP)
+// takes a trailing ...Option, so cross-cutting concerns — observation,
+// tracing, fault injection, solver tuning — compose instead of forking
+// new Run/RunWith/RunFrom variants per concern.
+
+// Observer receives structured events from the simulator, the solvers
+// and the distributed protocols; see the obs package for the event
+// vocabulary. Pass one with WithObserver.
+type Observer = obs.Observer
+
+// Event is one observed occurrence (kind, virtual timestamp, operands).
+type Event = obs.Event
+
+// EventKind identifies what an Event reports.
+type EventKind = obs.Kind
+
+// Registry is a metrics observer: it folds events into named counters,
+// gauges and mergeable latency histograms, and renders them with
+// String(). It subsumes the old FaultCounters (the chaos.*, nash.* and
+// lbm.* keys are unchanged).
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Tracer is a structured JSONL event recorder; for a fixed seed its
+// flushed output is byte-identical at any simulator worker count.
+type Tracer = obs.Tracer
+
+// NewTracer returns a tracer writing JSON Lines to w when flushed. Run
+// entry points flush tracers passed via WithObserver only if the
+// caller does so; prefer WithTrace, which flushes automatically.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// Option configures one run of a gtlb entry point.
+type Option func(*runOptions)
+
+// runOptions accumulates the applied options.
+type runOptions struct {
+	observers []obs.Observer
+	tracers   []*obs.Tracer
+	plan      *FaultPlan
+	ring      NashRingOptions
+	lbm       LBMOptions
+	eps       float64
+	maxIter   int
+	resume    *Profile
+}
+
+// WithObserver attaches an observer to the run; repeated uses fan out.
+// The entry points thread it through every layer they drive (the DES
+// engine, the solvers, the protocol nodes, the chaos transport).
+func WithObserver(o Observer) Option {
+	return func(ro *runOptions) { ro.observers = append(ro.observers, o) }
+}
+
+// WithTrace records the run's events as JSON Lines on w, flushed
+// (buffered, in deterministic order) before the entry point returns.
+// Flush errors surface through the entry point's error result.
+func WithTrace(w io.Writer) Option {
+	return func(ro *runOptions) {
+		t := obs.NewTracer(w)
+		ro.observers = append(ro.observers, t)
+		ro.tracers = append(ro.tracers, t)
+	}
+}
+
+// WithFaultPlan wraps the entry point's network in the seeded chaos
+// transport before the protocol runs; fault events reach the run's
+// observers. Only the protocol entry points (RunNashRing, RunLBM) use
+// a network.
+func WithFaultPlan(plan FaultPlan) Option {
+	return func(ro *runOptions) { ro.plan = &plan }
+}
+
+// WithRingOptions installs the NASH ring's fault-tolerance options
+// (watchdog, probe timeout, retries, deadline, seed).
+func WithRingOptions(opts NashRingOptions) Option {
+	return func(ro *runOptions) { ro.ring = opts }
+}
+
+// WithLBMOptions installs the LBM dispatcher's fault-tolerance options
+// (bid deadline, retries, backoff, seed).
+func WithLBMOptions(opts LBMOptions) Option {
+	return func(ro *runOptions) { ro.lbm = opts }
+}
+
+// WithEpsilon sets the convergence tolerance of iterative entry points
+// (the NASH ring's norm acceptance); non-positive keeps the default.
+func WithEpsilon(eps float64) Option {
+	return func(ro *runOptions) { ro.eps = eps }
+}
+
+// WithMaxIter bounds the iterations of iterative entry points;
+// non-positive keeps the default.
+func WithMaxIter(n int) Option {
+	return func(ro *runOptions) { ro.maxIter = n }
+}
+
+// WithCheckpoint resumes the NASH ring from a checkpointed strategy
+// profile (e.g. after a node crash).
+func WithCheckpoint(checkpoint Profile) Option {
+	return func(ro *runOptions) { ro.resume = &checkpoint }
+}
+
+// applyOptions folds the options into one runOptions.
+func applyOptions(opts []Option) *runOptions {
+	ro := &runOptions{}
+	for _, o := range opts {
+		if o != nil {
+			o(ro)
+		}
+	}
+	return ro
+}
+
+// observer combines the attached observers (nil when none).
+func (ro *runOptions) observer() obs.Observer { return obs.Multi(ro.observers...) }
+
+// network wraps n in the chaos transport when a fault plan was given.
+func (ro *runOptions) network(n Network) Network {
+	if ro.plan == nil {
+		return n
+	}
+	return dist.NewChaosNetwork(n, *ro.plan, ro.observer())
+}
+
+// flush drains any WithTrace tracers, returning the first write error.
+func (ro *runOptions) flush() error {
+	var first error
+	for _, t := range ro.tracers {
+		if err := t.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// finish merges a run error with trace-flush errors (the run error
+// wins; a lost trace only surfaces when the run itself succeeded).
+func (ro *runOptions) finish(err error) error {
+	if ferr := ro.flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
