@@ -586,3 +586,84 @@ func BenchmarkBayesianEquilibrium(b *testing.B) {
 }
 
 func BenchmarkFigX5(b *testing.B) { benchFigure(b, "X5") }
+func BenchmarkFigX6(b *testing.B) { benchFigure(b, "X6") }
+
+// desHeavyTailConfig is desSpeedupConfig with every exponential draw
+// swapped out: mean-matched heavy-tail service overrides (Pareto,
+// Weibull, lognormal cycled across the 16 computers) and a diurnal
+// NHPP arrival profile whose multipliers normalize to the same offered
+// load. It exercises the interface-dispatch sampling path end to end.
+func desHeavyTailConfig(b *testing.B, workers int) gtlb.SimConfig {
+	b.Helper()
+	cfg := desSpeedupConfig(b, workers)
+	service := make([]gtlb.Distribution, len(cfg.Mu))
+	for i, m := range cfg.Mu {
+		var err error
+		switch i % 3 {
+		case 0:
+			service[i], err = gtlb.Pareto(1/m, 2.2)
+		case 1:
+			service[i], err = gtlb.Weibull(1/m, 0.7)
+		default:
+			service[i], err = gtlb.Lognormal(1/m, 2)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg.Service = service
+	var total float64
+	for _, m := range cfg.Mu {
+		total += m
+	}
+	arr, err := gtlb.DiurnalArrivals(0.7*total, []float64{0.8, 1.2}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.InterArrival = arr
+	return cfg
+}
+
+func benchmarkSimulatorHeavyTail(b *testing.B, workers int) {
+	cfg := desHeavyTailConfig(b, workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtlb.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDESAllocBaselineHeavyTail holds the heavy-tail hot path to the
+// same committed BENCH_DES.json envelope as the exponential baseline:
+// inverse-transform sampling and NHPP thinning draw from the
+// replication's RNG without allocating, so swapping every service and
+// arrival distribution must not move allocs/op. A per-draw allocation
+// (boxing, rng forking, slice growth in a sampler) costs hundreds of
+// thousands of allocs/op here and fails immediately.
+func TestDESAllocBaselineHeavyTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate skipped in -short mode")
+	}
+	baseline, err := benchio.Read("BENCH_DES.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := baseline.Lookup("des.Run/workers=1")
+	if !ok {
+		t.Fatal("BENCH_DES.json has no des.Run/workers=1 entry")
+	}
+	if entry.AllocsPerOp == 0 {
+		t.Skip("committed baseline predates alloc tracking; regenerate with go test -run TestBenchDESReport")
+	}
+	r := testing.Benchmark(func(b *testing.B) { benchmarkSimulatorHeavyTail(b, 1) })
+	got := float64(r.AllocsPerOp())
+	limit := 1.25*entry.AllocsPerOp + 64
+	t.Logf("des.Run/workers=1 heavy-tail: %.0f allocs/op, %d B/op (exponential baseline %.0f allocs/op, limit %.0f)",
+		got, r.AllocedBytesPerOp(), entry.AllocsPerOp, limit)
+	if got > limit {
+		t.Errorf("heavy-tail des.Run allocations regressed: %.0f allocs/op exceeds the exponential baseline %.0f (+25%%+64 slack = %.0f); a sampler is allocating per draw",
+			got, entry.AllocsPerOp, limit)
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	lbdyn -mu 20,20,4,4,4,4 -rho 0.7 -policy JSQ
 //	lbdyn -mu 4,4,4,4 -rho 0.9 -policy RECEIVER -delay 0.01
+//	lbdyn -mu 4,4,4,4 -rho 0.7 -policy all -svc-dist weibull:k=0.7
 //	lbdyn -mu 4,4,4,4 -rho 0.7 -policy all
 //	lbdyn -mu 4,4,4,4 -rho 0.7 -policy JSQ -metrics -trace run.jsonl
 package main
@@ -26,6 +27,7 @@ func main() {
 	rho := flag.Float64("rho", 0.7, "per-computer utilization of the home streams")
 	policy := flag.String("policy", "all", "LOCAL, RANDOM, THRESHOLD, SHORTEST, RECEIVER, SYMMETRIC, JSQ or all")
 	delay := flag.Float64("delay", 0.005, "job transfer delay (sec)")
+	svcDist := flag.String("svc-dist", "", "service-time shape, mean-matched to 1/mu[i]: exp, det, hyperexp:cv=, pareto:alpha=, weibull:k=, lognormal:cv= (empty = exponential)")
 	horizon := flag.Float64("horizon", 4_000, "virtual seconds per replication")
 	reps := flag.Int("reps", 5, "independent replications")
 	seed := flag.Uint64("seed", 1, "root random seed")
@@ -41,6 +43,11 @@ func main() {
 	lambda := make([]float64, len(mu))
 	for i, m := range mu {
 		lambda[i] = *rho * m
+	}
+	service, err := cliutil.ServiceDists(*svcDist, mu)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbdyn: %v\n", err)
+		os.Exit(2)
 	}
 
 	var policies []gtlb.DynamicPolicy
@@ -65,6 +72,7 @@ func main() {
 		res, err := gtlb.SimulateDynamic(gtlb.DynamicConfig{
 			Mu:            mu,
 			Lambda:        lambda,
+			Service:       service,
 			Policy:        p,
 			TransferDelay: *delay,
 			Horizon:       *horizon,

@@ -7,6 +7,9 @@
 //
 //	lbsim -mu 13,26,65,130 -phi 100 -scheme COOP -horizon 5000 -reps 5
 //	lbsim -mu 13,26 -phi 20 -scheme PROP -cv 1.6
+//	lbsim -mu 13,26 -phi 20 -svc-dist pareto:alpha=2.2
+//	lbsim -mu 13,26 -phi 20 -arrival-profile diurnal:mult=0.5,1.5;segment=100
+//	lbsim -mu 13,26 -phi 20 -arrival-profile trace:run.json
 //	lbsim -mu 13,26 -phi 20 -metrics -trace run.jsonl
 package main
 
@@ -29,6 +32,8 @@ func main() {
 	reps := flag.Int("reps", 5, "independent replications")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	cv := flag.Float64("cv", 1, "inter-arrival coefficient of variation (1 = Poisson, >1 = hyper-exponential)")
+	svcDist := flag.String("svc-dist", "", "service-time shape, mean-matched to 1/mu[i]: exp, det, hyperexp:cv=, pareto:alpha=, weibull:k=, lognormal:cv= (empty = exponential)")
+	arrivalProfile := flag.String("arrival-profile", "", "arrival process: poisson, hyperexp:cv=, diurnal:mult=m1,m2;segment=s, trace:FILE.json, or a gap shape (overrides -cv)")
 	workers := flag.Int("workers", 0, "concurrent replications (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	prof := cliutil.RegisterProfileFlags(flag.CommandLine)
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
@@ -61,14 +66,26 @@ func main() {
 		routing[i] = l / *phi
 	}
 	var arrivals queueing.Distribution
-	if *cv > 1 {
+	switch {
+	case *arrivalProfile != "":
+		arrivals, err = cliutil.ArrivalProfile(*arrivalProfile, *phi)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbsim: %v\n", err)
+			os.Exit(1)
+		}
+	case *cv > 1:
 		arrivals, err = gtlb.HyperExponential(1 / *phi, *cv)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbsim: %v\n", err)
 			os.Exit(1)
 		}
-	} else {
+	default:
 		arrivals = gtlb.Exponential(*phi)
+	}
+	service, err := cliutil.ServiceDists(*svcDist, mu)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbsim: %v\n", err)
+		os.Exit(1)
 	}
 
 	opts, err := obsFlags.Options()
@@ -79,6 +96,7 @@ func main() {
 	res, err := gtlb.Simulate(gtlb.SimConfig{
 		Mu:           mu,
 		InterArrival: arrivals,
+		Service:      service,
 		Routing:      [][]float64{routing},
 		Horizon:      *horizon,
 		Warmup:       *warmup,
@@ -94,8 +112,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s under simulation: %d jobs over %d replications (cv=%.2g)\n\n",
+	fmt.Printf("%s under simulation: %d jobs over %d replications (cv=%.2g)\n",
 		alloc.Name(), res.Jobs, *reps, *cv)
+	if *svcDist != "" || *arrivalProfile != "" {
+		fmt.Printf("workload: svc-dist=%q arrival-profile=%q — the analytic column remains the M/M/1 reference\n",
+			*svcDist, *arrivalProfile)
+	}
+	fmt.Println()
 	fmt.Printf("%-10s %-12s %-14s %-16s\n", "computer", "lambda", "analytic E[T]", "simulated E[T]")
 	for i := range mu {
 		analytic := 0.0

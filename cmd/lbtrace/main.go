@@ -3,6 +3,8 @@
 // Usage:
 //
 //	lbtrace -gen -rate 100 -cv 1.6 -jobs 50000 -out trace.json
+//	lbtrace -gen -rate 100 -dist pareto:alpha=2.2 -jobs 50000 -out heavy.json
+//	lbtrace -gen -rate 100 -dist diurnal:mult=0.5,1.5;segment=60 -out day.json
 //	lbtrace -info trace.json
 //	lbtrace -replay trace.json -mu 65,65,130 -scheme COOP
 package main
@@ -22,6 +24,7 @@ func main() {
 	gen := flag.Bool("gen", false, "generate a trace")
 	rate := flag.Float64("rate", 100, "arrival rate for -gen (jobs/sec)")
 	cv := flag.Float64("cv", 1, "inter-arrival CV for -gen (1 = Poisson)")
+	dist := flag.String("dist", "", "arrival process for -gen: poisson, hyperexp:cv=, diurnal:mult=...;segment=..., pareto:alpha=, weibull:k=, lognormal:cv= (overrides -cv)")
 	jobs := flag.Int("jobs", 100_000, "jobs to record for -gen")
 	seed := flag.Uint64("seed", 1, "random seed for -gen")
 	out := flag.String("out", "", "output file for -gen (default stdout)")
@@ -33,7 +36,7 @@ func main() {
 
 	switch {
 	case *gen:
-		runGen(*rate, *cv, *jobs, *seed, *out)
+		runGen(*rate, *cv, *dist, *jobs, *seed, *out)
 	case *info != "":
 		runInfo(*info)
 	case *replay != "":
@@ -49,22 +52,29 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runGen(rate, cv float64, jobs int, seed uint64, out string) {
+func runGen(rate, cv float64, spec string, jobs int, seed uint64, out string) {
 	var dist queueing.Distribution
-	if cv > 1 {
-		h, err := queueing.NewHyperExponential(1/rate, cv)
-		if err != nil {
-			fatal(err)
-		}
-		dist = h
-	} else {
+	var err error
+	switch {
+	case spec != "":
+		dist, err = cliutil.ArrivalProfile(spec, rate)
+	case cv > 1:
+		dist, err = queueing.NewHyperExponential(1/rate, cv)
+	default:
 		dist = queueing.NewExponential(rate)
+	}
+	if err != nil {
+		fatal(err)
 	}
 	tr, err := workload.Generate(dist, jobs, queueing.NewRNG(seed))
 	if err != nil {
 		fatal(err)
 	}
-	tr.Description = fmt.Sprintf("rate=%g cv=%g jobs=%d seed=%d", rate, cv, jobs, seed)
+	if spec != "" {
+		tr.Description = fmt.Sprintf("rate=%g dist=%s jobs=%d seed=%d", rate, spec, jobs, seed)
+	} else {
+		tr.Description = fmt.Sprintf("rate=%g cv=%g jobs=%d seed=%d", rate, cv, jobs, seed)
+	}
 	w := os.Stdout
 	var f *os.File
 	if out != "" {

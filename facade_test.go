@@ -117,6 +117,55 @@ func TestFacadeTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFacadeHeavyTailWorkloads covers the heavy-tail and nonstationary
+// workload exports: mean-matched constructors, a Service override
+// driven through Simulate, and the diurnal arrival process.
+func TestFacadeHeavyTailWorkloads(t *testing.T) {
+	pareto, err := gtlb.Pareto(0.005, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weibull, err := gtlb.Weibull(0.005, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn, err := gtlb.Lognormal(0.005, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []interface{ Mean() float64 }{pareto, weibull, logn} {
+		if math.Abs(d.Mean()-0.005) > 1e-9 {
+			t.Errorf("mean-matched constructor returned mean %v, want 0.005", d.Mean())
+		}
+	}
+	arrivals, err := gtlb.DiurnalArrivals(120, []float64{0.5, 1.5}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gtlb.Simulate(gtlb.SimConfig{
+		Mu:           []float64{200},
+		InterArrival: arrivals,
+		Service:      []gtlb.Distribution{pareto},
+		Routing:      [][]float64{{1}},
+		Horizon:      200,
+		Warmup:       10,
+		Seed:         4,
+		Replications: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs == 0 {
+		t.Error("heavy-tail simulation produced no jobs")
+	}
+	if _, err := gtlb.Pareto(1, 0.5); err == nil {
+		t.Error("invalid Pareto shape accepted")
+	}
+	if _, err := gtlb.DiurnalArrivals(0, []float64{1}, 1); err == nil {
+		t.Error("zero diurnal base rate accepted")
+	}
+}
+
 func TestFacadeTheoremCatalog(t *testing.T) {
 	entries := gtlb.TheoremCatalog()
 	if len(entries) != 10 {

@@ -274,6 +274,10 @@ func Simulate(cfg SimConfig, opts ...Option) (SimResult, error) {
 	return res, ro.finish(err)
 }
 
+// Distribution is a service-time or inter-arrival distribution usable
+// in SimConfig (InterArrival, Service) and DynamicConfig.
+type Distribution = queueing.Distribution
+
 // Exponential returns a Poisson-process inter-arrival distribution of
 // the given rate for use in SimConfig.
 func Exponential(rate float64) queueing.Distribution {
@@ -284,6 +288,35 @@ func Exponential(rate float64) queueing.Distribution {
 // distribution with the given mean and coefficient of variation (> 1).
 func HyperExponential(mean, cv float64) (queueing.Distribution, error) {
 	return queueing.NewHyperExponential(mean, cv)
+}
+
+// Pareto returns a heavy-tail Pareto distribution with the given mean
+// and tail index alpha (> 1), for SimConfig.Service or InterArrival.
+// The variance is infinite for alpha ≤ 2.
+func Pareto(mean, alpha float64) (queueing.Distribution, error) {
+	return queueing.NewParetoFromMean(mean, alpha)
+}
+
+// Weibull returns a Weibull distribution with the given mean and shape
+// k; k < 1 gives a heavier-than-exponential tail, k = 1 is exponential.
+func Weibull(mean, k float64) (queueing.Distribution, error) {
+	return queueing.NewWeibullFromMean(mean, k)
+}
+
+// Lognormal returns a lognormal distribution with the given mean and
+// coefficient of variation.
+func Lognormal(mean, cv float64) (queueing.Distribution, error) {
+	return queueing.NewLognormalFromMeanCV(mean, cv)
+}
+
+// DiurnalArrivals returns a periodic piecewise-constant nonhomogeneous
+// Poisson inter-arrival process for SimConfig.InterArrival: the rate
+// multipliers (one per equal segment of the period) are normalized to
+// mean 1 and scaled by the base rate, so the time-average offered load
+// equals base exactly. The simulator forks the process once per
+// replication, keeping results bit-identical at any worker count.
+func DiurnalArrivals(base float64, multipliers []float64, segment float64) (queueing.Distribution, error) {
+	return queueing.NewDiurnalFromMultipliers(base, multipliers, segment)
 }
 
 // DynamicPolicy is a dynamic load-balancing policy for the simulator's

@@ -1,0 +1,232 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gtlb/internal/queueing"
+	"gtlb/internal/workload"
+)
+
+// Distribution spec parsing for the -svc-dist and -arrival-profile
+// flags. A spec is "kind" or "kind:key=value;key=value"; list-valued
+// parameters are comma-separated. The shapes are mean-matched: the
+// caller supplies the mean (1/mu for service, 1/phi for inter-arrival
+// gaps), the spec only changes the shape, so swapping specs preserves
+// the offered load.
+
+// splitSpec parses "kind:key=value;key=value" into its kind and
+// parameter map. A bare "kind" has no parameters.
+func splitSpec(spec string) (string, map[string]string, error) {
+	spec = strings.TrimSpace(spec)
+	kind, rest, found := strings.Cut(spec, ":")
+	kind = strings.ToLower(strings.TrimSpace(kind))
+	params := map[string]string{}
+	if !found {
+		return kind, params, nil
+	}
+	for _, kv := range strings.Split(rest, ";") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("cliutil: bad parameter %q in spec %q (want key=value)", kv, spec)
+		}
+		params[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return kind, params, nil
+}
+
+// specFloat extracts a required float parameter, deleting it from the
+// map so leftover (misspelled) keys can be rejected afterwards.
+func specFloat(params map[string]string, key string) (float64, error) {
+	raw, ok := params[key]
+	if !ok {
+		return 0, fmt.Errorf("cliutil: missing parameter %q", key)
+	}
+	delete(params, key)
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad value for %q: %v", key, err)
+	}
+	return v, nil
+}
+
+func rejectLeftovers(kind string, params map[string]string) error {
+	for k := range params {
+		return fmt.Errorf("cliutil: unknown parameter %q for %q", k, kind)
+	}
+	return nil
+}
+
+// ShapeDist builds a distribution of the given mean whose shape is
+// described by spec:
+//
+//	exp                  exponential (the default; "" works too)
+//	det                  deterministic
+//	hyperexp:cv=1.6      two-stage balanced-means hyper-exponential
+//	pareto:alpha=2.2     Pareto, tail index alpha (> 1)
+//	weibull:k=0.7        Weibull, shape k
+//	lognormal:cv=2       lognormal with the given CV
+func ShapeDist(spec string, mean float64) (queueing.Distribution, error) {
+	kind, params, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	var d queueing.Distribution
+	switch kind {
+	case "", "exp", "exponential":
+		d = queueing.NewExponential(1 / mean)
+	case "det", "deterministic":
+		d = queueing.Deterministic{Value: mean}
+	case "hyperexp":
+		cv, err := specFloat(params, "cv")
+		if err != nil {
+			return nil, err
+		}
+		if d, err = queueing.NewHyperExponential(mean, cv); err != nil {
+			return nil, err
+		}
+	case "pareto":
+		alpha, err := specFloat(params, "alpha")
+		if err != nil {
+			return nil, err
+		}
+		if d, err = queueing.NewParetoFromMean(mean, alpha); err != nil {
+			return nil, err
+		}
+	case "weibull":
+		k, err := specFloat(params, "k")
+		if err != nil {
+			return nil, err
+		}
+		if d, err = queueing.NewWeibullFromMean(mean, k); err != nil {
+			return nil, err
+		}
+	case "lognormal":
+		cv, err := specFloat(params, "cv")
+		if err != nil {
+			return nil, err
+		}
+		if d, err = queueing.NewLognormalFromMeanCV(mean, cv); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cliutil: unknown distribution %q (want exp, det, hyperexp, pareto, weibull or lognormal)", kind)
+	}
+	if err := rejectLeftovers(kind, params); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ServiceDists builds the per-computer service overrides for
+// des.Config.Service from one spec: each computer gets the spec's shape
+// mean-matched to its own 1/mu[i], so the offered load is unchanged.
+// An empty or "exp" spec returns nil — the engine's default
+// exponential path.
+func ServiceDists(spec string, mu []float64) ([]queueing.Distribution, error) {
+	kind, _, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if kind == "" || kind == "exp" || kind == "exponential" {
+		return nil, nil
+	}
+	out := make([]queueing.Distribution, len(mu))
+	for i, m := range mu {
+		if out[i], err = ShapeDist(spec, 1/m); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parseMultipliers parses the diurnal profile's comma-separated rate
+// multipliers. Unlike ParseRates, zero entries are allowed — an
+// off-peak segment with no arrivals is a legitimate profile (the
+// normalization in NewDiurnalFromMultipliers still requires a positive
+// sum).
+func parseMultipliers(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad multiplier %q: %v", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("cliutil: multiplier %q must be non-negative", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ArrivalProfile builds the system inter-arrival distribution for
+// des.Config.InterArrival from a profile spec at total rate phi:
+//
+//	poisson                            Poisson stream of rate phi (default)
+//	hyperexp:cv=1.6                    renewal stream, H2 gaps
+//	diurnal:mult=0.5,1.5;segment=100   piecewise NHPP; multipliers are
+//	                                   normalized to time-average rate phi
+//	trace:FILE.json                    replay a recorded trace (phi ignored;
+//	                                   the trace's own gaps set the rate)
+//
+// Any ShapeDist spec (pareto:alpha=…, weibull:k=…, lognormal:cv=…) is
+// also accepted and yields a renewal stream with that gap shape at mean
+// 1/phi.
+func ArrivalProfile(spec string, phi float64) (queueing.Distribution, error) {
+	// The trace form carries a raw file path, not key=value parameters;
+	// handle it before the generic spec grammar.
+	if trimmed := strings.TrimSpace(spec); strings.EqualFold(trimmed, "trace") ||
+		strings.HasPrefix(strings.ToLower(trimmed), "trace:") {
+		_, path, _ := strings.Cut(trimmed, ":")
+		path = strings.TrimSpace(path)
+		if path == "" {
+			return nil, fmt.Errorf("cliutil: trace profile needs a file path (trace:FILE.json)")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: %v", err)
+		}
+		//lint:ignore errcheck read-only file; a close error cannot lose data
+		defer f.Close()
+		tr, err := workload.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewReplay(tr)
+	}
+	kind, params, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "", "poisson":
+		if err := rejectLeftovers(kind, params); err != nil {
+			return nil, err
+		}
+		return queueing.NewExponential(phi), nil
+	case "diurnal":
+		rawMult, ok := params["mult"]
+		if !ok {
+			return nil, fmt.Errorf("cliutil: diurnal profile needs mult=m1,m2,…")
+		}
+		delete(params, "mult")
+		mult, err := parseMultipliers(rawMult)
+		if err != nil {
+			return nil, err
+		}
+		segment, err := specFloat(params, "segment")
+		if err != nil {
+			return nil, err
+		}
+		if err := rejectLeftovers(kind, params); err != nil {
+			return nil, err
+		}
+		return queueing.NewDiurnalFromMultipliers(phi, mult, segment)
+	default:
+		return ShapeDist(spec, 1/phi)
+	}
+}

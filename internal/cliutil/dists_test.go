@@ -1,0 +1,192 @@
+package cliutil
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gtlb/internal/queueing"
+	"gtlb/internal/workload"
+)
+
+func TestShapeDistSpecs(t *testing.T) {
+	const mean = 0.25
+	cases := []struct {
+		spec   string
+		wantCV float64
+	}{
+		{"", 1},
+		{"exp", 1},
+		{"exponential", 1},
+		{"det", 0},
+		{"hyperexp:cv=1.6", 1.6},
+		{"lognormal:cv=2", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			d, err := ShapeDist(tc.spec, mean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(d.Mean()-mean) > 1e-12 {
+				t.Errorf("mean = %v, want %v", d.Mean(), mean)
+			}
+			if math.Abs(d.CV()-tc.wantCV) > 1e-9 {
+				t.Errorf("cv = %v, want %v", d.CV(), tc.wantCV)
+			}
+		})
+	}
+	// Shape-parameterized kinds: check the concrete type and parameter.
+	d, err := ShapeDist("pareto:alpha=2.2", mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := d.(queueing.Pareto)
+	if !ok || math.Abs(p.Alpha-2.2) > 1e-12 || math.Abs(d.Mean()-mean) > 1e-12 {
+		t.Errorf("pareto spec parsed to %#v", d)
+	}
+	d, err = ShapeDist("weibull:k=0.7", mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := d.(queueing.Weibull)
+	if !ok || math.Abs(w.K-0.7) > 1e-12 || math.Abs(d.Mean()-mean) > 1e-9 {
+		t.Errorf("weibull spec parsed to %#v", d)
+	}
+}
+
+func TestShapeDistErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nope",               // unknown kind
+		"pareto",             // missing alpha
+		"pareto:alpha=0.5",   // invalid alpha (≤ 1)
+		"pareto:alpha=x",     // non-numeric
+		"pareto:alpha=2;z=1", // unknown leftover parameter
+		"weibull:cv=2",       // wrong parameter name
+		"lognormal:cv=0",     // invalid cv
+		"hyperexp:cv=0.5",    // H2 needs cv > 1
+		"pareto:alpha",       // malformed key=value
+		"weibull:k=0",        // invalid shape
+	} {
+		if _, err := ShapeDist(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestServiceDists(t *testing.T) {
+	mu := []float64{2, 4}
+	svc, err := ServiceDists("", mu)
+	if err != nil || svc != nil {
+		t.Fatalf("empty spec: got %v, %v; want nil, nil", svc, err)
+	}
+	svc, err = ServiceDists("exp", mu)
+	if err != nil || svc != nil {
+		t.Fatalf("exp spec: got %v, %v; want nil, nil", svc, err)
+	}
+	svc, err = ServiceDists("pareto:alpha=2.5", mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svc) != 2 {
+		t.Fatalf("got %d distributions, want 2", len(svc))
+	}
+	for i, m := range mu {
+		if math.Abs(svc[i].Mean()-1/m) > 1e-12 {
+			t.Errorf("computer %d service mean %v, want %v (mean-matched)", i, svc[i].Mean(), 1/m)
+		}
+	}
+	if _, err := ServiceDists("pareto:alpha=0.5", mu); err == nil {
+		t.Error("invalid alpha accepted")
+	}
+}
+
+func TestArrivalProfile(t *testing.T) {
+	const phi = 10.0
+	d, err := ArrivalProfile("poisson", phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(queueing.Exponential); !ok || math.Abs(d.Mean()-0.1) > 1e-12 {
+		t.Errorf("poisson profile parsed to %#v", d)
+	}
+	d, err = ArrivalProfile("hyperexp:cv=1.6", phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.CV()-1.6) > 1e-9 || math.Abs(d.Mean()-0.1) > 1e-12 {
+		t.Errorf("hyperexp profile: mean %v cv %v", d.Mean(), d.CV())
+	}
+	d, err = ArrivalProfile("diurnal:mult=0.5,1.5;segment=100", phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, ok := d.(*queueing.Diurnal)
+	if !ok {
+		t.Fatalf("diurnal profile parsed to %#v", d)
+	}
+	// Multipliers normalized: time-average rate is phi.
+	if math.Abs(1/di.Mean()-phi) > 1e-9 {
+		t.Errorf("diurnal average rate %v, want %v", 1/di.Mean(), phi)
+	}
+	if math.Abs(di.Period()-200) > 1e-9 {
+		t.Errorf("diurnal period %v, want 200", di.Period())
+	}
+	// Heavy-tail gap shapes fall through to ShapeDist at mean 1/phi.
+	d, err = ArrivalProfile("pareto:alpha=2.2", phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-0.1) > 1e-12 {
+		t.Errorf("pareto profile mean %v, want 0.1", d.Mean())
+	}
+}
+
+func TestArrivalProfileTrace(t *testing.T) {
+	tr, err := workload.Generate(queueing.NewExponential(5), 100, queueing.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ArrivalProfile("trace:"+path, 999) // phi ignored for traces
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-tr.Mean()) > 1e-12 {
+		t.Errorf("replay mean %v, want the trace's %v", d.Mean(), tr.Mean())
+	}
+	if _, err := ArrivalProfile("trace:", 1); err == nil {
+		t.Error("empty trace path accepted")
+	}
+	if _, err := ArrivalProfile("trace:/no/such/file.json", 1); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestArrivalProfileErrors(t *testing.T) {
+	for _, spec := range []string{
+		"diurnal",                       // missing everything
+		"diurnal:mult=1,2",              // missing segment
+		"diurnal:segment=10",            // missing mult
+		"diurnal:mult=0,-1;segment=10",  // invalid multipliers
+		"diurnal:mult=1,2;segment=0",    // invalid segment
+		"diurnal:mult=1;segment=10;x=1", // leftover parameter
+		"poisson:x=1",                   // leftover parameter
+		"warp-drive",                    // unknown kind
+	} {
+		if _, err := ArrivalProfile(spec, 1); err == nil {
+			t.Errorf("profile %q accepted", spec)
+		}
+	}
+}

@@ -78,6 +78,57 @@ func TestSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestHeavyTailSteadyStateAllocs applies the same zero-allocation gate
+// with every computer's service overridden by a heavy-tail sampler and
+// the arrival stream replaced by a diurnal NHPP: the interface Sample
+// calls and the thinning loop must not allocate per draw, only the
+// per-replication Service fork setup may cost anything.
+func TestHeavyTailSteadyStateAllocs(t *testing.T) {
+	cfg := steadyCfg(false)
+	var total float64
+	for _, m := range cfg.Mu {
+		total += m
+	}
+	diurnal, err := queueing.NewDiurnalFromMultipliers(0.7*total, []float64{0.8, 1.2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InterArrival = diurnal
+	cfg.Service = make([]queueing.Distribution, len(cfg.Mu))
+	for i, m := range cfg.Mu {
+		var d queueing.Distribution
+		switch i % 3 {
+		case 0:
+			d, err = queueing.NewParetoFromMean(1/m, 2.2)
+		case 1:
+			d, err = queueing.NewWeibullFromMean(1/m, 0.7)
+		default:
+			d, err = queueing.NewLognormalFromMeanCV(1/m, 2)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Service[i] = d
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs < 20_000 {
+		t.Fatalf("only %d jobs simulated; the budget below assumes ≥20k", res.Jobs)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 500 // same envelope as the exponential path
+	if allocs > budget {
+		t.Errorf("Run with heavy-tail services allocated %.0f times for %d jobs (budget %d): a sampler is allocating per draw",
+			allocs, res.Jobs, budget)
+	}
+}
+
 // nopObserver is the cheapest possible observer: the engine's hooks
 // must not add steady-state allocations when it is installed, proving
 // the observation path passes events by value with no boxing.

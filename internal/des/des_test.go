@@ -34,6 +34,9 @@ func TestConfigValidate(t *testing.T) {
 		{"warmup past horizon", func(c *Config) { c.Warmup = 10 }},
 		{"multi-user no share", func(c *Config) { c.Routing = [][]float64{{1}, {1}} }},
 		{"share mismatch", func(c *Config) { c.UserShare = []float64{0.5, 0.5} }},
+		{"service length mismatch", func(c *Config) {
+			c.Service = make([]queueing.Distribution, 2)
+		}},
 	}
 	for _, cse := range cases {
 		c := good

@@ -46,6 +46,12 @@ type DynamicConfig struct {
 	Mu []float64
 	// Lambda are the per-computer external arrival rates (Poisson).
 	Lambda []float64
+	// Service optionally overrides the service-time distribution per
+	// computer, exactly as Config.Service in the static mode: nil slice
+	// or nil entry keeps the exponential Mu[i] draw; mean-matched
+	// constructors preserve the offered load; stateful entries are
+	// forked per replication.
+	Service []queueing.Distribution
 	// Policy decides transfers; nil means purely local execution.
 	Policy DynamicPolicy
 	// TransferDelay is the communication delay a transferred job pays
@@ -74,6 +80,9 @@ func (c DynamicConfig) validate() error {
 	}
 	if len(c.Lambda) != len(c.Mu) {
 		return fmt.Errorf("des: %d arrival rates for %d computers", len(c.Lambda), len(c.Mu))
+	}
+	if c.Service != nil && len(c.Service) != len(c.Mu) {
+		return fmt.Errorf("des: %d service distributions for %d computers", len(c.Service), len(c.Mu))
 	}
 	for i := range c.Mu {
 		if c.Mu[i] <= 0 {
@@ -137,9 +146,13 @@ func RunDynamic(cfg DynamicConfig) (DynamicResult, error) {
 		acc   metrics.Accumulator
 		moved int
 	}
+	services := make([][]queueing.Distribution, reps)
+	for r := range services {
+		services[r] = forkServices(cfg.Service)
+	}
 	results := make([]dynRep, reps)
 	forEachReplication(reps, workerCount(cfg.Workers, reps), func(r int) {
-		results[r].acc, results[r].moved = runDynamicOnce(cfg, streams[r], observers[r])
+		results[r].acc, results[r].moved = runDynamicOnce(cfg, services[r], streams[r], observers[r])
 	})
 
 	means := make([]float64, 0, reps)
@@ -172,7 +185,7 @@ const (
 // 4-ary heap, and one reused queue-length buffer for the policy hooks
 // (the old engine allocated a fresh []int per arrival and per idle
 // probe).
-func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG, o obs.Observer) (metrics.Accumulator, int) {
+func runDynamicOnce(cfg DynamicConfig, service []queueing.Distribution, rng *queueing.RNG, o obs.Observer) (metrics.Accumulator, int) {
 	n := len(cfg.Mu)
 	var acc metrics.Accumulator
 	moved := 0
@@ -199,7 +212,13 @@ func runDynamicOnce(cfg DynamicConfig, rng *queueing.RNG, o obs.Observer) (metri
 		}
 		busy[i] = true
 		j := queues[i].popFront()
-		sched.schedule(now+rng.Exp(cfg.Mu[i]), evDynComplete, i, j)
+		var svc float64
+		if service != nil && service[i] != nil {
+			svc = service[i].Sample(rng)
+		} else {
+			svc = rng.Exp(cfg.Mu[i])
+		}
+		sched.schedule(now+svc, evDynComplete, i, j)
 	}
 
 	enqueue := func(i int, j jobID, now float64) {

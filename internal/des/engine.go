@@ -12,8 +12,23 @@ import (
 // Config describes one simulation scenario.
 type Config struct {
 	// Mu are the computers' processing rates; service times at computer
-	// i are exponential with rate Mu[i] (the M/M/1 model).
+	// i are exponential with rate Mu[i] (the M/M/1 model) unless
+	// overridden per computer by Service.
 	Mu []float64
+
+	// Service optionally overrides the service-time distribution per
+	// computer: a nil slice (or a nil entry) keeps the exponential
+	// Mu[i] draw, so existing configurations are untouched. To change
+	// the shape without changing the offered load, build entries with
+	// the mean-matched constructors (e.g.
+	// queueing.NewParetoFromMean(1/Mu[i], alpha)); Mu[i] stays the
+	// analytic reference rate either way. Stateful distributions
+	// implementing Fork() get one fork per replication, like
+	// InterArrival. Caveat: with Breakdowns, a job interrupted by a
+	// failure re-draws its full service time on repair — exact for
+	// exponential service by memorylessness, a preemptive-repeat-
+	// with-resample approximation for general distributions.
+	Service []queueing.Distribution
 
 	// InterArrival is the system-wide inter-arrival distribution. Use
 	// queueing.NewExponential(phi) for a Poisson stream of total rate
@@ -89,6 +104,9 @@ func (c Config) validate() error {
 	}
 	if c.InterArrival == nil {
 		return errors.New("des: missing inter-arrival distribution")
+	}
+	if c.Service != nil && len(c.Service) != len(c.Mu) {
+		return fmt.Errorf("des: %d service distributions for %d computers", len(c.Service), len(c.Mu))
 	}
 	if len(c.Routing) == 0 {
 		return errors.New("des: missing routing fractions")
@@ -226,8 +244,10 @@ func Run(cfg Config) (Result, error) {
 	}
 	streams := splitStreams(cfg.Seed, reps)
 	arrivals := make([]queueing.Distribution, reps)
+	services := make([][]queueing.Distribution, reps)
 	for r := range arrivals {
 		arrivals[r] = forkDistribution(cfg.InterArrival)
+		services[r] = forkServices(cfg.Service)
 	}
 	observers := make([]obs.Observer, reps)
 	for r := range observers {
@@ -235,7 +255,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	results := make([]replication, reps)
 	forEachReplication(reps, workerCount(cfg.Workers, reps), func(r int) {
-		results[r] = runOnce(cfg, arrivals[r], streams[r], users, sp, observers[r])
+		results[r] = runOnce(cfg, arrivals[r], services[r], streams[r], users, sp, observers[r])
 	})
 
 	overall := make([]float64, 0, reps)
@@ -300,16 +320,19 @@ type replication struct {
 // draw sequence is fixed by event order — per arrival, one inter-arrival
 // sample, one user-share alias draw (multi-user systems only), one
 // routing alias draw, plus one renormalization draw only when the routed
-// computer is down; one service-time draw per service start; one draw
-// per failure/repair scheduling. The alias tables are built before the
-// worker pool starts and consume no randomness, so worker scheduling can
-// never perturb any stream.
+// computer is down; one service-time sample per service start (the
+// ziggurat Exp for the default exponential path, or the overriding
+// Service[i] distribution's documented draw count — one Float64 for the
+// heavy-tail inversion samplers); one draw per failure/repair
+// scheduling. The alias tables are built before the worker pool starts
+// and consume no randomness, so worker scheduling can never perturb any
+// stream.
 //
 // Observation discipline: every emission is guarded by `if o != nil`, so
 // the disabled path adds one predicted branch per event and no
 // allocations (gated by TestSteadyStateAllocs and TestDESAllocBaseline).
 // Emissions never draw randomness, so traces cannot perturb streams.
-func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, users int, sp samplers, o obs.Observer) replication {
+func runOnce(cfg Config, interArrival queueing.Distribution, service []queueing.Distribution, rng *queueing.RNG, users int, sp samplers, o obs.Observer) replication {
 	rep := replication{
 		p95:      metrics.MustQuantile(0.95),
 		comp:     make([]metrics.Accumulator, len(cfg.Mu)),
@@ -349,7 +372,13 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 		j := s.queue.popFront()
 		s.inService = j
 		s.serviceStart = now
-		sched.scheduleEpoch(now+rng.Exp(cfg.Mu[i]), evDeparture, i, j, epoch[i])
+		var svc float64
+		if service != nil && service[i] != nil {
+			svc = service[i].Sample(rng)
+		} else {
+			svc = rng.Exp(cfg.Mu[i])
+		}
+		sched.scheduleEpoch(now+svc, evDeparture, i, j, epoch[i])
 	}
 
 	// clampBusy accumulates the [start, end] service interval clipped to
@@ -484,8 +513,10 @@ func runOnce(cfg Config, interArrival queueing.Distribution, rng *queueing.RNG, 
 			}
 			if servers[i].busy {
 				// Push the interrupted job back to the head of the
-				// queue; its remaining service is re-drawn on repair,
-				// distributionally identical by memorylessness.
+				// queue; its remaining service is re-drawn on repair —
+				// distributionally identical by memorylessness for the
+				// exponential default, preemptive-repeat-with-resample
+				// for general Service distributions (see Config.Service).
 				interrupted := servers[i].inService
 				servers[i].busy = false
 				servers[i].inService = noJob

@@ -25,7 +25,33 @@ func parallelScenarios(t *testing.T) map[string]Config {
 	if err != nil {
 		t.Fatal(err)
 	}
+	pareto, err := queueing.NewParetoFromMean(1.0/3, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn, err := queueing.NewLognormalFromMeanCV(1.0/3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diurnal, err := queueing.NewDiurnalFromMultipliers(4, []float64{0.5, 1.5, 1}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Config{
+		// The heavy-tail Service override plus a stateful NHPP arrival
+		// stream: exercises the per-replication service forks and the
+		// Diurnal cursor fork; a nil Service entry covers the mixed
+		// exponential/override path.
+		"heavy-tail service, diurnal arrivals": {
+			Mu:           []float64{3, 3, 3},
+			InterArrival: diurnal,
+			Service:      []queueing.Distribution{pareto, logn, nil},
+			Routing:      [][]float64{{0.4, 0.3, 0.3}},
+			Horizon:      300,
+			Warmup:       10,
+			Seed:         63,
+			Replications: 6,
+		},
 		"single server": {
 			Mu:           []float64{2},
 			InterArrival: queueing.NewExponential(1),
@@ -104,9 +130,14 @@ func TestParallelRunBitIdentical(t *testing.T) {
 // dynamic-mode simulator.
 func TestParallelDynamicBitIdentical(t *testing.T) {
 	t.Parallel()
+	wb, err := queueing.NewWeibullFromMean(0.25, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := DynamicConfig{
 		Mu:            []float64{4, 4, 2},
 		Lambda:        []float64{2.8, 2.8, 1.4},
+		Service:       []queueing.Distribution{wb, nil, nil},
 		TransferDelay: 0.01,
 		Horizon:       300,
 		Warmup:        15,

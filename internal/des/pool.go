@@ -93,3 +93,19 @@ func forkDistribution(d queueing.Distribution) queueing.Distribution {
 	}
 	return d
 }
+
+// forkServices returns a per-replication copy of a service-distribution
+// slice, forking each stateful entry; nil in, nil out (the pure
+// exponential-Mu path).
+func forkServices(svc []queueing.Distribution) []queueing.Distribution {
+	if svc == nil {
+		return nil
+	}
+	forked := make([]queueing.Distribution, len(svc))
+	for i, d := range svc {
+		if d != nil {
+			forked[i] = forkDistribution(d)
+		}
+	}
+	return forked
+}

@@ -94,6 +94,117 @@ func TestValidationMM1Split(t *testing.T) {
 	within2SE(t, "overall mean", res.Overall.Mean, overall, res.Overall.StdErr)
 }
 
+// TestValidationMG1HeavyTail feeds the simulator Poisson arrivals and
+// heavy-tail service overrides (Config.Service) and checks the mean
+// response time against the M/G/1 Pollaczek–Khinchine closed form —
+// the end-to-end check that the heavy-tail samplers, the Service
+// wiring, and the event core compose correctly. Shapes are chosen with
+// finite second moments so P–K applies; all are mean-matched to 1/μ,
+// so only the shape differs from the M/M/1 baseline.
+func TestValidationMG1HeavyTail(t *testing.T) {
+	t.Parallel()
+	const mu, lambda = 2.0, 1.2
+	mk := func(d queueing.Distribution, err error) queueing.Distribution {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	for _, tc := range []struct {
+		name    string
+		service queueing.Distribution
+	}{
+		{"pareto alpha=2.5", mk(queueing.NewParetoFromMean(1/mu, 2.5))},
+		{"weibull k=0.7", mk(queueing.NewWeibullFromMean(1/mu, 0.7))},
+		{"lognormal cv=1.5", mk(queueing.NewLognormalFromMeanCV(1/mu, 1.5))},
+		{"deterministic", queueing.Deterministic{Value: 1 / mu}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{
+				Mu:           []float64{mu},
+				InterArrival: queueing.NewExponential(lambda),
+				Service:      []queueing.Distribution{tc.service},
+				Routing:      [][]float64{{1}},
+				Horizon:      60_000,
+				Warmup:       3_000,
+				Seed:         130 + uint64(len(tc.name)),
+				Replications: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := queueing.MG1FromService(lambda, tc.service).ResponseTime()
+			within2SE(t, "M/G/1 mean response", res.Overall.Mean, want, res.Overall.StdErr)
+		})
+	}
+}
+
+// TestValidationFlatDiurnalIsMM1: a constant-rate diurnal profile is a
+// plain Poisson stream, so driving the engine with it must reproduce
+// the M/M/1 closed form — the degenerate-case check of the NHPP
+// arrival path through the engine's fork-per-replication plumbing.
+func TestValidationFlatDiurnalIsMM1(t *testing.T) {
+	t.Parallel()
+	const mu, lambda = 2.0, 1.2
+	d, err := queueing.NewDiurnal([]float64{lambda, lambda}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Mu:           []float64{mu},
+		InterArrival: d,
+		Routing:      [][]float64{{1}},
+		Horizon:      40_000,
+		Warmup:       2_000,
+		Seed:         31,
+		Replications: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queueing.ResponseTime(mu, lambda)
+	within2SE(t, "flat-diurnal M/M/1 mean response", res.Overall.Mean, want, res.Overall.StdErr)
+}
+
+// TestValidationDiurnalLoadHigherThanPoisson: a genuinely varying
+// profile at the same offered load must measure a strictly worse mean
+// response time than the Poisson stream it is mean-matched to — the
+// qualitative burstiness effect the nonstationary model exists to
+// exhibit (convexity of the M/M/1 delay in the instantaneous load).
+func TestValidationDiurnalLoadHigherThanPoisson(t *testing.T) {
+	t.Parallel()
+	const mu, lambda = 2.0, 1.2
+	base := Config{
+		Mu:           []float64{mu},
+		InterArrival: queueing.NewExponential(lambda),
+		Routing:      [][]float64{{1}},
+		Horizon:      40_000,
+		Warmup:       2_000,
+		Seed:         37,
+		Replications: 8,
+	}
+	flat, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := queueing.NewDiurnalFromMultipliers(lambda, []float64{0.4, 1.6}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty := base
+	bursty.InterArrival = d
+	res, err := Run(bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Mean <= flat.Overall.Mean {
+		t.Errorf("diurnal mean response %.4f not worse than Poisson %.4f at equal offered load",
+			res.Overall.Mean, flat.Overall.Mean)
+	}
+}
+
 // TestValidationGIM1 feeds the simulator a hyper-exponential (H2)
 // arrival stream and checks the mean against the GI/M/1 fixed point
 // 1/(μ(1−σ)), σ = A*(μ(1−σ)) — exercising the non-Poisson arrival path

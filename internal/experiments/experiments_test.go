@@ -39,7 +39,7 @@ func TestRegistryComplete(t *testing.T) {
 		"T4.1", "F4.2", "F4.3", "F4.4", "F4.5", "F4.6", "F4.7", "F4.8",
 		"T5.1", "F5.2", "F5.3", "F5.4", "F5.5", "F5.6", "F5.7",
 		"T6.1", "T6.2", "F6.1", "F6.2", "F6.3", "F6.4", "F6.5", "F6.6",
-		"X1", "X2", "X3", "X4", "X5", // extensions
+		"X1", "X2", "X3", "X4", "X5", "X6", // extensions
 	}
 	ids := IDs()
 	got := map[string]bool{}
@@ -647,5 +647,41 @@ func TestFigX5BayesianHedging(t *testing.T) {
 	}
 	if !(s.Y[0] < s.Y[len(s.Y)-1]) {
 		t.Error("equilibrium load should grow with health probability")
+	}
+}
+
+func TestFigX6FairnessDrift(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	f, err := FigX6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels) != 2 {
+		t.Fatalf("X6 has %d panels, want 2", len(f.Panels))
+	}
+	fair := series(t, f, 0, "COOP(static)")
+	// Index 0 is the exponential baseline: the COOP allocation equalizes
+	// per-computer E[T] under M/M/1, so Jain fairness must be ~1.
+	if fair.Y[0] < 0.99 {
+		t.Errorf("exponential fairness %v, want ~1 (NBS property)", fair.Y[0])
+	}
+	// Every heavy-tail override must drift below the baseline: the
+	// allocation only sees means, the response times see second moments.
+	for i := 1; i < len(fair.Y); i++ {
+		if fair.Y[i] >= fair.Y[0] {
+			t.Errorf("distribution %d fairness %v did not drift below exponential %v",
+				i, fair.Y[i], fair.Y[0])
+		}
+	}
+	// The recovery baselines must be present on the E[T] panel.
+	coop := series(t, f, 1, "COOP(static)")
+	for _, name := range []string{"THRESHOLD", "JSQ"} {
+		dyn := series(t, f, 1, name)
+		if len(dyn.Y) != len(coop.Y) {
+			t.Errorf("%s series has %d points, want %d", name, len(dyn.Y), len(coop.Y))
+		}
 	}
 }

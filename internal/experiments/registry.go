@@ -45,6 +45,7 @@ var registry = map[string]Generator{
 	"X3": FigX3,
 	"X4": FigX4,
 	"X5": FigX5,
+	"X6": FigX6,
 }
 
 // IDs returns the registered experiment ids in a stable order.

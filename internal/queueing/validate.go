@@ -1,0 +1,212 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Statistical validation harness for the samplers: Kolmogorov–Smirnov
+// goodness-of-fit against closed-form CDFs, moment matching with
+// asymptotic standard errors, and Hill tail-index estimation for the
+// Pareto sampler. The harness is what the distribution-validation CI
+// job and the property tests run; it is exported (within the module)
+// so experiments can assert their own workload models before spending
+// simulation budget on them.
+
+// KSResult is the outcome of a one-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the KS statistic: the supremum distance between the
+	// empirical CDF and the hypothesized CDF.
+	D float64
+	// N is the sample count.
+	N int
+	// P is the asymptotic p-value of D under the null (samples drawn
+	// from the hypothesized CDF), with Stephens' finite-n correction.
+	P float64
+}
+
+// KSTest runs the one-sample KS test of xs against the closed-form cdf.
+// The sample slice is not modified (it is copied for sorting).
+func KSTest(xs []float64, cdf func(float64) float64) (KSResult, error) {
+	if len(xs) == 0 {
+		return KSResult{}, fmt.Errorf("queueing: KS test needs at least one sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return KSResult{}, fmt.Errorf("queueing: CDF(%g) = %g outside [0,1]", x, f)
+		}
+		// The empirical CDF jumps from i/n to (i+1)/n at x; the sup
+		// distance is attained on one side of a jump.
+		if up := float64(i+1)/n - f; up > d {
+			d = up
+		}
+		if down := f - float64(i)/n; down > d {
+			d = down
+		}
+	}
+	return KSResult{D: d, N: len(sorted), P: ksPValue(d, len(sorted))}, nil
+}
+
+// ksPValue returns the asymptotic Kolmogorov p-value
+// Q(λ) = 2·Σ_{k≥1} (−1)^{k−1} exp(−2k²λ²) evaluated at Stephens'
+// effective λ = (√n + 0.12 + 0.11/√n)·d, accurate to a few parts in
+// 10³ for n ≥ 8 (Numerical Recipes §14.3).
+func ksPValue(d float64, n int) float64 {
+	sqn := math.Sqrt(float64(n))
+	lambda := (sqn + 0.12 + 0.11/sqn) * d
+	if lambda <= 0 {
+		return 1
+	}
+	a2 := -2 * lambda * lambda
+	var sum, prev float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(a2*float64(k)*float64(k))
+		sum += term
+		if math.Abs(term) <= 1e-12*math.Abs(prev) || math.Abs(term) < 1e-300 {
+			break
+		}
+		prev = term
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Moments are empirical sample moments with the asymptotic standard
+// errors of their estimators.
+type Moments struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n−1) sample variance
+	// SEMean is the standard error of the sample mean, s/√n.
+	SEMean float64
+	// SEVariance is the asymptotic standard error of the sample
+	// variance, √((m4 − s⁴)/n) with m4 the fourth central moment — the
+	// distribution-free form, valid whenever the fourth moment exists.
+	SEVariance float64
+}
+
+// SampleMoments computes mean, variance and their standard errors in
+// one pass over xs.
+func SampleMoments(xs []float64) (Moments, error) {
+	if len(xs) < 2 {
+		return Moments{}, fmt.Errorf("queueing: moment estimation needs at least two samples")
+	}
+	n := float64(len(xs))
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / n
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - mean
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m4 /= n
+	variance := m2 * n / (n - 1)
+	sev := math.Sqrt(math.Max(m4-m2*m2, 0) / n)
+	return Moments{
+		N:          len(xs),
+		Mean:       mean,
+		Variance:   variance,
+		SEMean:     math.Sqrt(variance / n),
+		SEVariance: sev,
+	}, nil
+}
+
+// MomentCheck verifies that the sample mean and variance of xs sit
+// within k standard errors of the analytic values. An infinite
+// wantVariance (Pareto α ≤ 2) skips the variance check — no finite
+// sample can confirm an infinite moment, only fail to reject it.
+func MomentCheck(xs []float64, wantMean, wantVariance, k float64) error {
+	m, err := SampleMoments(xs)
+	if err != nil {
+		return err
+	}
+	if d := math.Abs(m.Mean - wantMean); d > k*m.SEMean {
+		return fmt.Errorf("queueing: sample mean %g vs analytic %g differs by %.2f SE (limit %g)",
+			m.Mean, wantMean, d/m.SEMean, k)
+	}
+	if math.IsInf(wantVariance, 1) {
+		return nil
+	}
+	if d := math.Abs(m.Variance - wantVariance); d > k*m.SEVariance {
+		return fmt.Errorf("queueing: sample variance %g vs analytic %g differs by %.2f SE (limit %g)",
+			m.Variance, wantVariance, d/m.SEVariance, k)
+	}
+	return nil
+}
+
+// HillEstimator returns the Hill estimate of the tail index α from the
+// k largest order statistics of xs: 1/mean(ln X_(n−i) − ln X_(n−k)),
+// i = 0..k−1. For Pareto samples the estimate is consistent for the
+// shape α; for lighter tails it drifts upward with k — which is itself
+// the diagnostic the harness uses to tell power-law from lognormal
+// tails.
+func HillEstimator(xs []float64, k int) (float64, error) {
+	if k < 2 || k >= len(xs) {
+		return 0, fmt.Errorf("queueing: Hill estimator needs 2 ≤ k < n, got k=%d n=%d", k, len(xs))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	xk := sorted[len(sorted)-1-k]
+	if xk <= 0 {
+		return 0, fmt.Errorf("queueing: Hill estimator needs positive order statistics, got %g", xk)
+	}
+	logXk := math.Log(xk)
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += math.Log(sorted[len(sorted)-1-i]) - logXk
+	}
+	if sum <= 0 {
+		return 0, fmt.Errorf("queueing: degenerate tail (all top-%d samples equal)", k)
+	}
+	return float64(k) / sum, nil
+}
+
+// ValidateSampler draws n samples from dist with the given seed and
+// runs the full harness: a KS test against the distribution's own
+// closed-form CDF and a k-SE moment check against its analytic mean
+// and variance. It returns the KS result for reporting; a non-nil
+// error means the sampler failed its own distribution.
+func ValidateSampler(dist Distribution, cdf CDFer, n int, seed uint64, alpha, kSE float64) (KSResult, error) {
+	if n <= 0 {
+		return KSResult{}, fmt.Errorf("queueing: sampler validation needs a positive sample count")
+	}
+	rng := NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = dist.Sample(rng)
+	}
+	ks, err := KSTest(xs, cdf.CDF)
+	if err != nil {
+		return KSResult{}, err
+	}
+	if ks.P < alpha {
+		return ks, fmt.Errorf("queueing: KS rejects sampler at level %g: D=%g p=%g (n=%d)", alpha, ks.D, ks.P, n)
+	}
+	mean := dist.Mean()
+	cv := dist.CV()
+	variance := cv * cv * mean * mean
+	if err := MomentCheck(xs, mean, variance, kSE); err != nil {
+		return ks, err
+	}
+	return ks, nil
+}

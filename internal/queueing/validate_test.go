@@ -1,0 +1,203 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// The TestDistValidation* tests are the fixed-seed-budget statistical
+// validation suite the CI distribution-validation job runs: every
+// sampler is KS- and moment-checked against its own closed form, the
+// heavy-tail service models are checked against the M/G/1
+// Pollaczek–Khinchine and GI/M/1 closed forms downstream (see
+// internal/des/validation_test.go), and the Pareto tail index is
+// recovered by the Hill estimator.
+
+func TestKSTestRejectsWrongDistribution(t *testing.T) {
+	rng := NewRNG(41)
+	xs := make([]float64, 5_000)
+	e := Exponential{Rate: 1}
+	for i := range xs {
+		xs[i] = e.Sample(rng)
+	}
+	// Same mean, different shape: Exp(1) samples against a Pareto CDF.
+	p, err := NewParetoFromMean(1, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := KSTest(xs, p.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.P > 1e-6 {
+		t.Errorf("KS failed to reject Exp samples vs Pareto CDF: D=%g p=%g", ks.D, ks.P)
+	}
+	// And the true CDF is not rejected.
+	ks, err = KSTest(xs, e.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.P < 0.01 {
+		t.Errorf("KS rejected Exp samples vs their own CDF: D=%g p=%g", ks.D, ks.P)
+	}
+}
+
+func TestKSTestValidation(t *testing.T) {
+	if _, err := KSTest(nil, func(float64) float64 { return 0 }); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := KSTest([]float64{1}, func(float64) float64 { return 2 }); err == nil {
+		t.Error("CDF outside [0,1] accepted")
+	}
+}
+
+func TestSampleMomentsValidation(t *testing.T) {
+	if _, err := SampleMoments([]float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	m, err := SampleMoments([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mean-2.5) > 1e-12 {
+		t.Errorf("mean = %v, want 2.5", m.Mean)
+	}
+	if math.Abs(m.Variance-5.0/3) > 1e-12 {
+		t.Errorf("variance = %v, want 5/3", m.Variance)
+	}
+}
+
+func TestMomentCheckDetectsBias(t *testing.T) {
+	rng := NewRNG(5)
+	e := Exponential{Rate: 2}
+	xs := make([]float64, 100_000)
+	for i := range xs {
+		xs[i] = e.Sample(rng)
+	}
+	if err := MomentCheck(xs, 0.5, 0.25, 3); err != nil {
+		t.Errorf("true moments rejected: %v", err)
+	}
+	if err := MomentCheck(xs, 0.52, 0.25, 3); err == nil {
+		t.Error("4%% mean bias accepted at 3 SE over 100k samples")
+	}
+	if err := MomentCheck(xs, 0.5, 0.3, 3); err == nil {
+		t.Error("20%% variance bias accepted at 3 SE over 100k samples")
+	}
+}
+
+func TestHillEstimatorValidation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if _, err := HillEstimator(xs, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := HillEstimator(xs, 5); err == nil {
+		t.Error("k=n accepted")
+	}
+	if _, err := HillEstimator([]float64{0, 0, 0, 0}, 2); err == nil {
+		t.Error("non-positive order statistics accepted")
+	}
+}
+
+// TestDistValidationHill: the Hill estimator recovers the Pareto shape
+// within 10% from the top decile, and drifts visibly upward on
+// lognormal samples — the power-law-vs-lognormal diagnostic.
+func TestDistValidationHill(t *testing.T) {
+	const n = 200_000
+	for _, alpha := range []float64{1.5, 2.2, 3.0} {
+		p, err := NewPareto(alpha, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := NewRNG(uint64(100 * alpha))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = p.Sample(rng)
+		}
+		got, err := HillEstimator(xs, n/10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-alpha)/alpha > 0.10 {
+			t.Errorf("Hill estimate %g for Pareto alpha=%g (>10%% off)", got, alpha)
+		}
+	}
+	// Lognormal has all moments: its pseudo tail index at the same k
+	// must come out well above a genuinely heavy Pareto tail's.
+	l, err := NewLognormalFromMeanCV(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(9)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = l.Sample(rng)
+	}
+	got, err := HillEstimator(xs, n/10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 2.5 {
+		t.Errorf("lognormal pseudo tail index %g; expected clearly above heavy-tail range", got)
+	}
+}
+
+// TestDistValidationSamplers runs the full harness — KS against the
+// closed-form CDF plus a 3-SE moment check — over every sampler at a
+// fixed seed budget. This is the headline check of the
+// distribution-validation CI job.
+func TestDistValidationSamplers(t *testing.T) {
+	const (
+		n     = 50_000
+		alpha = 0.005 // KS rejection level per sampler at fixed seeds
+		kSE   = 3
+	)
+	type cd interface {
+		Distribution
+		CDFer
+	}
+	mk := func(d cd, err error) cd {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		dist cd
+		seed uint64
+	}{
+		{"exponential", Exponential{Rate: 2}, 101},
+		{"hyperexponential cv=1.6", MustHyperExponential(1, 1.6), 102},
+		{"pareto alpha=2.5", mk(NewParetoFromMean(1, 2.5)), 103},
+		{"pareto alpha=3.5", mk(NewParetoFromMean(0.2, 3.5)), 104},
+		{"weibull k=0.7", mk(NewWeibullFromMean(1, 0.7)), 105},
+		{"weibull k=2", mk(NewWeibullFromMean(3, 2)), 106},
+		{"lognormal cv=1", mk(NewLognormalFromMeanCV(1, 1)), 107},
+		{"lognormal cv=2", mk(NewLognormalFromMeanCV(0.5, 2)), 108},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ks, err := ValidateSampler(tc.dist, tc.dist, n, tc.seed, alpha, kSE)
+			if err != nil {
+				t.Errorf("%v (KS D=%g p=%g)", err, ks.D, ks.P)
+			}
+		})
+	}
+}
+
+// TestDistValidationHarnessCatchesBrokenSampler: a sampler whose draws
+// are deliberately biased must fail the harness — the harness tests
+// the harness.
+func TestDistValidationHarnessCatchesBrokenSampler(t *testing.T) {
+	_, err := ValidateSampler(biased{}, Exponential{Rate: 1}, 50_000, 1, 0.005, 3)
+	if err == nil {
+		t.Error("harness passed a sampler biased by 5%")
+	}
+}
+
+type biased struct{}
+
+func (biased) Sample(r *RNG) float64 { return 1.05 * r.ExpInv(1) }
+func (biased) Mean() float64         { return 1 }
+func (biased) CV() float64           { return 1 }

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FromArrivalTimes converts absolute arrival timestamps — the form
+// external recordings (and lbtrace-decoded captures) usually come in —
+// into a Trace of inter-arrival gaps. Timestamps must be finite,
+// non-negative and non-decreasing; the first gap is the first timestamp,
+// i.e. time is measured from the recording's start.
+func FromArrivalTimes(times []float64) (Trace, error) {
+	if len(times) == 0 {
+		return Trace{}, errors.New("workload: no arrival times")
+	}
+	gaps := make([]float64, len(times))
+	prev := 0.0
+	for i, at := range times {
+		if math.IsNaN(at) || math.IsInf(at, 0) {
+			return Trace{}, fmt.Errorf("workload: arrival time %d invalid: %g", i, at)
+		}
+		if at < prev {
+			return Trace{}, fmt.Errorf("workload: arrival time %d (%g) decreases below %g", i, at, prev)
+		}
+		gaps[i] = at - prev
+		prev = at
+	}
+	return Trace{InterArrivals: gaps}, nil
+}
+
+// ArrivalTimes returns the trace's absolute arrival timestamps — the
+// inverse of FromArrivalTimes (cumulative sums of the gaps).
+func (t Trace) ArrivalTimes() []float64 {
+	times := make([]float64, len(t.InterArrivals))
+	now := 0.0
+	for i, g := range t.InterArrivals {
+		now += g
+		times[i] = now
+	}
+	return times
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gtlb/internal/queueing"
+)
+
+func TestFromArrivalTimes(t *testing.T) {
+	tr, err := FromArrivalTimes([]float64{0.5, 1.5, 1.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1, 0, 2.5}
+	for i, g := range want {
+		if math.Abs(tr.InterArrivals[i]-g) > 1e-12 {
+			t.Errorf("gap %d = %v, want %v", i, tr.InterArrivals[i], g)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("converted trace fails validation: %v", err)
+	}
+}
+
+func TestFromArrivalTimesErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		times []float64
+	}{
+		{"empty", nil},
+		{"decreasing", []float64{1, 0.5}},
+		{"negative first", []float64{-1, 2}},
+		{"NaN", []float64{1, math.NaN()}},
+		{"Inf", []float64{1, math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromArrivalTimes(tc.times); err == nil {
+				t.Error("invalid arrival times accepted")
+			}
+		})
+	}
+}
+
+func TestArrivalTimesRoundTrip(t *testing.T) {
+	tr, err := Generate(queueing.NewExponential(3), 1_000, queueing.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromArrivalTimes(tr.ArrivalTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.InterArrivals {
+		if math.Abs(back.InterArrivals[i]-tr.InterArrivals[i]) > 1e-9 {
+			t.Fatalf("gap %d drifted: %v vs %v", i, back.InterArrivals[i], tr.InterArrivals[i])
+		}
+	}
+}
+
+// TestHeavyTailTraceRoundTrip is the satellite's generate → save →
+// load → replay loop over every new generator: the replayed stream
+// must reproduce the recorded summary statistics exactly (same gaps,
+// so identical mean and CV), and the recorded moments must sit near
+// the generating distribution's analytic values.
+func TestHeavyTailTraceRoundTrip(t *testing.T) {
+	mk := func(d queueing.Distribution, err error) queueing.Distribution {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		dist queueing.Distribution
+	}{
+		{"pareto", mk(queueing.NewParetoFromMean(0.01, 2.5))},
+		{"weibull", mk(queueing.NewWeibullFromMean(0.01, 0.7))},
+		{"lognormal", mk(queueing.NewLognormalFromMeanCV(0.01, 2))},
+		{"diurnal", mk(queueing.NewDiurnalFromMultipliers(100, []float64{0.5, 1.5}, 10))},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 50_000
+			orig, err := Generate(tc.dist, n, queueing.NewRNG(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := orig.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := NewReplay(loaded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum, sq float64
+			for i := 0; i < n; i++ {
+				g := rep.Sample(nil)
+				if g != orig.InterArrivals[i] {
+					t.Fatalf("replayed gap %d differs from recording", i)
+				}
+				sum += g
+				d := g - orig.Mean()
+				sq += d * d
+			}
+			mean := sum / n
+			cv := math.Sqrt(sq/(n-1)) / mean
+			if math.Abs(mean-orig.Mean()) > 1e-12*orig.Mean() {
+				t.Errorf("replayed mean %v, recorded %v", mean, orig.Mean())
+			}
+			if math.Abs(cv-orig.CV()) > 1e-9 {
+				t.Errorf("replayed CV %v, recorded %v", cv, orig.CV())
+			}
+			// The recording reflects its generator: mean within 5%.
+			if math.Abs(orig.Mean()-tc.dist.Mean())/tc.dist.Mean() > 0.05 {
+				t.Errorf("recorded mean %v far from generator mean %v", orig.Mean(), tc.dist.Mean())
+			}
+		})
+	}
+}
