@@ -1,23 +1,29 @@
-// Command lbvet runs the project's static-analyzer suite: six checks
+// Command lbvet runs the project's static-analyzer suite: nine checks
 // that mechanically enforce the invariants the reproduction depends on
-// (deterministic simulation paths, pre-split RNG streams, tolerance-
-// based float comparison, handled errors, consistent parallel suites,
-// threaded observers).
+// (deterministic simulation paths — now interprocedural over the module
+// call graph, pre-split RNG streams, branch-balanced RNG draw counts,
+// an allocation-free //lb:hotpath core, joined goroutines in
+// internal/dist, tolerance-based float comparison, handled errors,
+// consistent parallel suites, threaded observers).
 //
 // Usage:
 //
 //	lbvet [packages]      # e.g. lbvet ./...  (the default)
 //	lbvet -list           # describe the analyzers
+//	lbvet -json ./...     # machine-readable diagnostics on stdout
 //
 // lbvet exits 0 when the tree is clean, 1 with file:line:col
 // diagnostics when any invariant is violated, and 2 on a usage or load
-// error. Findings are suppressed case by case with a directive on the
-// offending line or the line above:
+// error. -json keeps the same exit contract but emits one JSON document
+// with the surviving diagnostics, the //lint:ignore suppressions (for
+// audit), and the package/file counts. Findings are suppressed case by
+// case with a directive on the offending line or the line above:
 //
 //	//lint:ignore <analyzer> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +32,32 @@ import (
 	"gtlb/internal/analysis"
 )
 
+// jsonDiagnostic is the machine-readable form of one finding or
+// suppression.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Suppression fields, present only under "suppressed".
+	Suppression   string `json:"suppression,omitempty"`   // the directive's reason
+	DirectiveFile string `json:"directiveFile,omitempty"` // where the directive sits
+	DirectiveLine int    `json:"directiveLine,omitempty"`
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Suppressed  []jsonDiagnostic `json:"suppressed"`
+	Packages    int              `json:"packages"`
+	Files       int              `json:"files"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	root := flag.String("root", ".", "module root directory (containing go.mod)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON diagnostics")
 	flag.Parse()
 
 	if *list {
@@ -47,14 +76,51 @@ func main() {
 	if err != nil {
 		cwd = ""
 	}
-	for _, d := range res.Diagnostics {
-		name := d.Pos.Filename
+	rel := func(name string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
-				name = rel
+			if r, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(r) {
+				return r
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		return name
+	}
+	if *asJSON {
+		report := jsonReport{
+			Diagnostics: []jsonDiagnostic{},
+			Suppressed:  []jsonDiagnostic{},
+			Packages:    res.Packages,
+			Files:       res.Files,
+		}
+		for _, d := range res.Diagnostics {
+			report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		for _, s := range res.Suppressed {
+			report.Suppressed = append(report.Suppressed, jsonDiagnostic{
+				File: rel(s.Pos.Filename), Line: s.Pos.Line, Column: s.Pos.Column,
+				Analyzer: s.Analyzer, Message: s.Message,
+				Suppression:   s.Reason,
+				DirectiveFile: rel(s.Directive.Filename),
+				DirectiveLine: s.Directive.Line,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "lbvet: %v\n", err)
+			os.Exit(2)
+		}
+		// Findings mirror to stderr so a redirected JSON report (the CI
+		// artifact) still leaves a readable trace in the job log.
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if n := len(res.Diagnostics); n > 0 {
 		fmt.Fprintf(os.Stderr, "lbvet: %d finding(s) in %d package(s)\n", n, res.Packages)

@@ -21,6 +21,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -65,6 +66,10 @@ type Pass struct {
 	// Pkg and Info come from typechecking the unit.
 	Pkg  *types.Package
 	Info *types.Info
+	// Mod is the module-wide call graph shared by the interprocedural
+	// analyzers (allocfree, leakcheck, transitive nodeterminism). May be
+	// nil when a caller runs a purely local analyzer standalone.
+	Mod *Module
 
 	diags *[]Diagnostic
 }
@@ -138,12 +143,24 @@ func parseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool, diags
 	return out
 }
 
-// applyIgnores drops diagnostics suppressed by a directive on the same
-// line or the line directly above, and reports directives that suppress
-// nothing (so stale suppressions are cleaned up, not accumulated).
-func applyIgnores(diags []Diagnostic, ignores map[string][]ignoreDirective, fset *token.FileSet) []Diagnostic {
+// Suppression records one finding silenced by a //lint:ignore
+// directive, with the directive's reason and position — surfaced in
+// lbvet -json so suppressions stay auditable from CI output.
+type Suppression struct {
+	Diagnostic
+	Reason    string
+	Directive token.Position
+}
+
+// applyIgnores splits diagnostics into kept and suppressed according to
+// directives on the same line or the line directly above, and reports
+// directives that suppress nothing (so stale suppressions are cleaned
+// up, not accumulated). The stale diagnostic names the directive's own
+// file:line so it is locatable even when CI output strips positions.
+func applyIgnores(diags []Diagnostic, ignores map[string][]ignoreDirective, fset *token.FileSet) ([]Diagnostic, []Suppression) {
 	used := map[string]map[int]bool{} // filename -> directive line -> hit
 	var kept []Diagnostic
+	var supp []Suppression
 	for _, d := range diags {
 		suppressed := false
 		for _, ig := range ignores[d.Pos.Filename] {
@@ -153,6 +170,8 @@ func applyIgnores(diags []Diagnostic, ignores map[string][]ignoreDirective, fset
 					used[d.Pos.Filename] = map[int]bool{}
 				}
 				used[d.Pos.Filename][ig.line] = true
+				supp = append(supp, Suppression{Diagnostic: d, Reason: ig.reason, Directive: fset.Position(ig.pos)})
+				break
 			}
 		}
 		if !suppressed {
@@ -163,11 +182,11 @@ func applyIgnores(diags []Diagnostic, ignores map[string][]ignoreDirective, fset
 		for _, ig := range igs {
 			if !used[file][ig.line] {
 				kept = append(kept, Diagnostic{Pos: fset.Position(ig.pos), Analyzer: "lbvet",
-					Message: fmt.Sprintf("lint:ignore %s suppresses nothing on this or the next line", ig.analyzer)})
+					Message: fmt.Sprintf("lint:ignore %s at %s:%d suppresses nothing on this or the next line", ig.analyzer, filepath.Base(file), ig.line)})
 			}
 		}
 	}
-	return kept
+	return kept, supp
 }
 
 // sortDiagnostics orders findings by file, line, column, analyzer for
@@ -193,18 +212,18 @@ func sortDiagnostics(diags []Diagnostic) {
 
 // Analyzers returns the full lbvet suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoDeterminism, SharedRand, FloatCmp, ErrCheck, ParallelSub, ObsDefault}
+	return []*Analyzer{NoDeterminism, SharedRand, FloatCmp, ErrCheck, ParallelSub, ObsDefault, AllocFree, DrawDiscipline, LeakCheck}
 }
 
 // runUnit applies every matching analyzer to one unit, returning raw
 // (unsuppressed) diagnostics.
-func runUnit(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+func runUnit(u *Unit, mod *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		if a.Match != nil && !a.Match(u) {
 			continue
 		}
-		if err := runAnalyzer(a, u, &diags); err != nil {
+		if err := runAnalyzer(a, u, mod, &diags); err != nil {
 			return nil, err
 		}
 	}
@@ -212,7 +231,7 @@ func runUnit(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 }
 
 // runAnalyzer applies one analyzer to one unit unconditionally.
-func runAnalyzer(a *Analyzer, u *Unit, diags *[]Diagnostic) error {
+func runAnalyzer(a *Analyzer, u *Unit, mod *Module, diags *[]Diagnostic) error {
 	var files []*ast.File
 	for i, f := range u.Files {
 		switch a.Files {
@@ -237,6 +256,7 @@ func runAnalyzer(a *Analyzer, u *Unit, diags *[]Diagnostic) error {
 		Files:    files,
 		Pkg:      u.Pkg,
 		Info:     u.Info,
+		Mod:      mod,
 		diags:    diags,
 	}
 	if err := a.Run(pass); err != nil {

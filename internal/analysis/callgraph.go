@@ -1,0 +1,360 @@
+// Module-wide function index and call graph. The loader typechecks
+// every package unit separately, so *types.Func identities are not
+// stable across units (package B seen through A's imports is a
+// different types.Package instance than B's own unit). Functions are
+// therefore keyed by their qualified name — "pkgpath.Func" or
+// "(pkgpath.Type).Method" — which is stable across instances.
+//
+// Edges come in two flavors:
+//
+//   - static: the callee resolves to a concrete in-module function or
+//     method (direct calls, method calls on concrete receivers);
+//   - dynamic: the call goes through an interface; candidates are
+//     resolved CHA-style to every in-module method of that name whose
+//     receiver type carries all of the interface's method names
+//     (structural identity across checker instances is unavailable, so
+//     the match is by method-name superset — a sound over-
+//     approximation for reachability).
+//
+// Calls inside function literals are attributed to the enclosing
+// declared function: a closure's draws and allocations happen on the
+// enclosing function's watch.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Call is one call site inside a function body.
+type Call struct {
+	Callee  string // qualified name of the (candidate) callee
+	Pos     token.Pos
+	Dynamic bool // true for interface-dispatch candidates
+	// InLoop marks call sites lexically inside a for/range body or a
+	// function literal of the caller — the sites that can execute once
+	// per steady-state iteration.
+	InLoop bool
+}
+
+// FuncInfo is one declared function or method of the module.
+type FuncInfo struct {
+	Key  string // qualified name, see helpers.qualifiedName
+	Unit *Unit
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	// Test marks functions declared in _test.go files.
+	Test bool
+	// Hot marks functions whose doc comment carries //lb:hotpath.
+	Hot   bool
+	Calls []Call
+}
+
+// Module is the whole-module analysis artifact shared by the
+// interprocedural analyzers through Pass.Mod.
+type Module struct {
+	Units []*Unit
+	// Funcs maps qualified names to declarations, in the deterministic
+	// order units were loaded.
+	Funcs map[string]*FuncInfo
+	Keys  []string // sorted keys for deterministic iteration
+	// methodsByName indexes in-module methods for CHA resolution.
+	methodsByName map[string][]*FuncInfo
+	// methodSets records the method-name set of each in-module named
+	// type, keyed like "(pkgpath.Type)".
+	methodSets map[string]map[string]bool
+	// nondet caches the nodeterminism analyzer's transitive summaries.
+	nondet *nondetFactSet
+}
+
+// hotpathMarker is the annotation that puts a function under the
+// allocfree analyzer's zero-allocation contract.
+const hotpathMarker = "//lb:hotpath"
+
+// BuildModule indexes the loaded units: declared functions, their call
+// sites (static and CHA-resolved dynamic), hotpath annotations, and
+// the method sets used for interface resolution.
+func BuildModule(units []*Unit) *Module {
+	m := &Module{
+		Units:         units,
+		Funcs:         map[string]*FuncInfo{},
+		methodsByName: map[string][]*FuncInfo{},
+		methodSets:    map[string]map[string]bool{},
+	}
+	// First pass: declare every function and record method sets.
+	for _, u := range units {
+		for fi, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := qualifiedName(obj)
+				if _, dup := m.Funcs[key]; dup {
+					continue // re-declared across unit variants; keep the first
+				}
+				info := &FuncInfo{
+					Key:  key,
+					Unit: u,
+					Decl: fd,
+					Obj:  obj,
+					Test: u.TestFile[fi],
+					Hot:  hasHotpathMarker(fd),
+				}
+				m.Funcs[key] = info
+				m.Keys = append(m.Keys, key)
+				if fd.Recv != nil {
+					m.methodsByName[fd.Name.Name] = append(m.methodsByName[fd.Name.Name], info)
+					if tkey := recvTypeKey(obj); tkey != "" {
+						set := m.methodSets[tkey]
+						if set == nil {
+							set = map[string]bool{}
+							m.methodSets[tkey] = set
+						}
+						set[fd.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(m.Keys)
+	// Second pass: collect call sites now that every callee is known.
+	for _, key := range m.Keys {
+		info := m.Funcs[key]
+		m.collectCalls(info)
+	}
+	return m
+}
+
+// hasHotpathMarker reports whether the declaration's doc comment block
+// contains the //lb:hotpath annotation line.
+func hasHotpathMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeKey renders a method's receiver type as "(pkgpath.Type)".
+func recvTypeKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	pkg, name := namedType(sig.Recv().Type())
+	if name == "" {
+		return ""
+	}
+	return "(" + pkg + "." + name + ")"
+}
+
+// collectCalls walks one function body recording call edges. Function
+// literal bodies are attributed to the enclosing declaration, with
+// InLoop set (a closure may be invoked repeatedly).
+func (m *Module) collectCalls(info *FuncInfo) {
+	u := info.Unit
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.ForStmt:
+				if x.Init != nil {
+					walk(x.Init, inLoop)
+				}
+				if x.Cond != nil {
+					walk(x.Cond, inLoop)
+				}
+				if x.Post != nil {
+					walk(x.Post, true)
+				}
+				walk(x.Body, true)
+				return false
+			case *ast.RangeStmt:
+				if x.X != nil {
+					walk(x.X, inLoop)
+				}
+				walk(x.Body, true)
+				return false
+			case *ast.FuncLit:
+				walk(x.Body, true)
+				return false
+			case *ast.CallExpr:
+				m.recordCall(info, u, x, inLoop)
+			}
+			return true
+		})
+	}
+	walk(info.Decl.Body, false)
+}
+
+// recordCall resolves one call expression to static or dynamic edges.
+func (m *Module) recordCall(info *FuncInfo, u *Unit, call *ast.CallExpr, inLoop bool) {
+	if fn := calleeOf(u.Info, call); fn != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			// Method call: static when the receiver expression's type is
+			// concrete, dynamic (interface dispatch) otherwise.
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := u.Info.Types[sel.X]; ok && tv.Type != nil {
+					if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+						m.recordDynamic(info, tv.Type.Underlying().(*types.Interface), fn.Name(), call.Pos(), inLoop)
+						return
+					}
+				}
+			}
+		}
+		key := qualifiedName(fn)
+		if _, ok := m.Funcs[key]; ok {
+			info.Calls = append(info.Calls, Call{Callee: key, Pos: call.Pos(), InLoop: inLoop})
+		}
+	}
+}
+
+// recordDynamic adds CHA candidate edges for an interface method call:
+// every in-module method of that name whose receiver's method-name set
+// covers the interface's method names.
+func (m *Module) recordDynamic(info *FuncInfo, iface *types.Interface, name string, pos token.Pos, inLoop bool) {
+	var want []string
+	for i := 0; i < iface.NumMethods(); i++ {
+		want = append(want, iface.Method(i).Name())
+	}
+	for _, cand := range m.methodsByName[name] {
+		tkey := recvTypeKey(cand.Obj)
+		set := m.methodSets[tkey]
+		ok := set != nil
+		for _, w := range want {
+			if !set[w] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			info.Calls = append(info.Calls, Call{Callee: cand.Key, Pos: pos, Dynamic: true, InLoop: inLoop})
+		}
+	}
+}
+
+// HotSet computes the allocfree contract sets from the //lb:hotpath
+// roots. full maps functions whose entire body must stay allocation-
+// free: annotated loop-free functions, plus everything reachable over
+// static call edges from a hot region. partial maps annotated functions
+// that contain loops — there only the loop bodies and function literals
+// are steady-state, the straight-line preamble is per-replication
+// setup. Dynamic (interface) edges are not followed: dispatch through
+// an interface is a contract boundary (the engine's nil-observer rule).
+func (m *Module) HotSet(roots []string) (full, partial map[string]bool) {
+	full = map[string]bool{}
+	partial = map[string]bool{}
+	var visit func(key string)
+	visit = func(key string) {
+		if full[key] {
+			return
+		}
+		full[key] = true
+		info := m.Funcs[key]
+		if info == nil {
+			return
+		}
+		for _, c := range info.Calls {
+			if !c.Dynamic {
+				visit(c.Callee)
+			}
+		}
+	}
+	for _, r := range roots {
+		info := m.Funcs[r]
+		if info == nil {
+			continue
+		}
+		if !hasLoops(info.Decl) {
+			visit(r)
+			continue
+		}
+		partial[r] = true
+		for _, c := range info.Calls {
+			if !c.Dynamic && c.InLoop {
+				visit(c.Callee)
+			}
+		}
+	}
+	for key := range full {
+		delete(partial, key)
+	}
+	return full, partial
+}
+
+// HotPath returns a call chain from some //lb:hotpath root to target
+// under the same edge rules as HotSet, or nil. BFS over deterministic
+// call lists, so the reported chain is stable.
+func (m *Module) HotPath(roots []string, target string) []string {
+	type qe struct {
+		key  string
+		prev int
+	}
+	var queue []qe
+	seen := map[string]bool{}
+	push := func(key string, prev int) {
+		if !seen[key] {
+			seen[key] = true
+			queue = append(queue, qe{key: key, prev: prev})
+		}
+	}
+	for _, r := range roots {
+		push(r, -1)
+	}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if cur.key == target {
+			var rev []string
+			for j := i; j >= 0; j = queue[j].prev {
+				rev = append(rev, queue[j].key)
+			}
+			path := make([]string, 0, len(rev))
+			for j := len(rev) - 1; j >= 0; j-- {
+				path = append(path, rev[j])
+			}
+			return path
+		}
+		info := m.Funcs[cur.key]
+		if info == nil {
+			continue
+		}
+		restricted := cur.prev == -1 && hasLoops(info.Decl)
+		for _, c := range info.Calls {
+			if c.Dynamic || (restricted && !c.InLoop) {
+				continue
+			}
+			push(c.Callee, i)
+		}
+	}
+	return nil
+}
+
+// hasLoops reports whether the function declaration contains any for or
+// range statement outside nested function literals.
+func hasLoops(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

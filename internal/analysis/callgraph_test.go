@@ -1,0 +1,199 @@
+package analysis
+
+// Unit tests for the module call graph: static edges, CHA resolution
+// of interface dispatch, the loop-position flag on call sites, and the
+// HotSet/HotPath semantics the allocfree analyzer consumes.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadCallGraphFixture writes src as a one-file package in a directory
+// named cgfix (so its import path, and thus every qualified name, is
+// the stable "fixture/cgfix") and builds the module over it.
+func loadCallGraphFixture(t *testing.T, src string) *Module {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "cgfix")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cgfix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := fixtureLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildModule(units)
+}
+
+const callGraphSrc = `package cgfix
+
+type worker interface{ Work() }
+
+type fast struct{}
+
+func (fast) Work() {}
+
+type slow struct{}
+
+func (slow) Work() {}
+
+// helper is a leaf.
+func helper() {}
+
+// caller exercises a static edge and a dynamic dispatch.
+func caller(w worker) {
+	helper()
+	w.Work()
+}
+
+// hot is a loop-free annotated root: its whole body, and every static
+// callee, is hot.
+//
+//lb:hotpath
+func hot() {
+	helper()
+}
+
+// hotLoop is an annotated root with a loop: only the loop body (and
+// its callees) falls under the contract.
+//
+//lb:hotpath
+func hotLoop(w worker, n int) {
+	preamble()
+	for i := 0; i < n; i++ {
+		inner()
+		w.Work()
+	}
+}
+
+func preamble() {}
+
+func inner() {
+	leaf()
+}
+
+func leaf() {}
+`
+
+func callTo(info *FuncInfo, callee string) *Call {
+	for i := range info.Calls {
+		if info.Calls[i].Callee == callee {
+			return &info.Calls[i]
+		}
+	}
+	return nil
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	mod := loadCallGraphFixture(t, callGraphSrc)
+	caller := mod.Funcs["fixture/cgfix.caller"]
+	if caller == nil {
+		t.Fatalf("caller not declared; keys: %v", mod.Keys)
+	}
+	if c := callTo(caller, "fixture/cgfix.helper"); c == nil {
+		t.Errorf("missing static edge caller -> helper")
+	} else if c.Dynamic {
+		t.Errorf("caller -> helper should be static")
+	}
+	// CHA: w.Work() resolves to every in-module type whose method set
+	// covers the interface.
+	for _, impl := range []string{"(fixture/cgfix.fast).Work", "(fixture/cgfix.slow).Work"} {
+		c := callTo(caller, impl)
+		if c == nil {
+			t.Errorf("missing dynamic edge caller -> %s", impl)
+			continue
+		}
+		if !c.Dynamic {
+			t.Errorf("caller -> %s should be marked dynamic", impl)
+		}
+	}
+	// Loop position: hotLoop's preamble call is outside the loop, the
+	// inner call is inside it.
+	hotLoop := mod.Funcs["fixture/cgfix.hotLoop"]
+	if c := callTo(hotLoop, "fixture/cgfix.preamble"); c == nil || c.InLoop {
+		t.Errorf("preamble call should exist outside the loop, got %+v", c)
+	}
+	if c := callTo(hotLoop, "fixture/cgfix.inner"); c == nil || !c.InLoop {
+		t.Errorf("inner call should be marked InLoop, got %+v", c)
+	}
+}
+
+func TestCallGraphHotMarkers(t *testing.T) {
+	mod := loadCallGraphFixture(t, callGraphSrc)
+	for key, wantHot := range map[string]bool{
+		"fixture/cgfix.hot":     true,
+		"fixture/cgfix.hotLoop": true,
+		"fixture/cgfix.caller":  false,
+	} {
+		info := mod.Funcs[key]
+		if info == nil {
+			t.Fatalf("%s not declared", key)
+		}
+		if info.Hot != wantHot {
+			t.Errorf("%s: Hot = %v, want %v", key, info.Hot, wantHot)
+		}
+	}
+}
+
+func TestHotSet(t *testing.T) {
+	mod := loadCallGraphFixture(t, callGraphSrc)
+	full, partial := mod.HotSet([]string{"fixture/cgfix.hot", "fixture/cgfix.hotLoop"})
+
+	// The loop-free root and its static callees are fully hot.
+	for _, key := range []string{"fixture/cgfix.hot", "fixture/cgfix.helper"} {
+		if !full[key] {
+			t.Errorf("%s should be fully hot", key)
+		}
+	}
+	// The looping root is only partially hot: its loop body counts, its
+	// preamble does not.
+	if full["fixture/cgfix.hotLoop"] {
+		t.Errorf("hotLoop has loops and must not be fully hot")
+	}
+	if !partial["fixture/cgfix.hotLoop"] {
+		t.Errorf("hotLoop should be partially hot")
+	}
+	if full["fixture/cgfix.preamble"] {
+		t.Errorf("preamble runs once per replication, outside the loop; must not be hot")
+	}
+	// Loop-body callees, and their own callees, become fully hot.
+	for _, key := range []string{"fixture/cgfix.inner", "fixture/cgfix.leaf"} {
+		if !full[key] {
+			t.Errorf("%s is reachable from the loop body and should be fully hot", key)
+		}
+	}
+	// Dynamic dispatch is a contract boundary: the interface call in the
+	// loop does not pull implementations into the hot set.
+	for _, key := range []string{"(fixture/cgfix.fast).Work", "(fixture/cgfix.slow).Work"} {
+		if full[key] || partial[key] {
+			t.Errorf("%s reached only through interface dispatch; must stay cold", key)
+		}
+	}
+}
+
+func TestHotPath(t *testing.T) {
+	mod := loadCallGraphFixture(t, callGraphSrc)
+	roots := []string{"fixture/cgfix.hot", "fixture/cgfix.hotLoop"}
+	chain := mod.HotPath(roots, "fixture/cgfix.leaf")
+	want := []string{"fixture/cgfix.hotLoop", "fixture/cgfix.inner", "fixture/cgfix.leaf"}
+	if len(chain) != len(want) {
+		t.Fatalf("HotPath = %v, want %v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("HotPath = %v, want %v", chain, want)
+		}
+	}
+	// A function nobody hot reaches has no witness chain.
+	if chain := mod.HotPath(roots, "fixture/cgfix.preamble"); chain != nil {
+		t.Errorf("HotPath to preamble = %v, want nil", chain)
+	}
+}

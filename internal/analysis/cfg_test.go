@@ -1,0 +1,279 @@
+package analysis
+
+// Unit tests for the CFG builder and the dataflow framework: each case
+// parses one function, builds its graph, and compares the compact
+// String() rendering ("=>" marks back edges). The fixture tests cover
+// the analyzers end to end; these pin the graph shapes the analyzers
+// stand on.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses src (a complete file whose first decl is the
+// function under test) and returns its CFG.
+func buildTestCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, ok := f.Decls[0].(*ast.FuncDecl)
+	if !ok {
+		t.Fatalf("first decl is %T, want *ast.FuncDecl", f.Decls[0])
+	}
+	return BuildCFG(fd.Body)
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "if-else diamond",
+			src: `package p
+func f(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}`,
+			want: "0:entry ->4 ->5; 1:exit; 2:panic; 3:if.done ->1; 4:if.then ->3; 5:if.else ->3",
+		},
+		{
+			name: "three-clause for marks the back edge",
+			src: `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`,
+			want: "0:entry ->3; 1:exit; 2:panic; 3:for.head ->6 ->4; 4:for.done ->1; 5:for.post =>3; 6:for.body ->5",
+		},
+		{
+			name: "range loop",
+			src: `package p
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`,
+			want: "0:entry ->3; 1:exit; 2:panic; 3:range.head ->5 ->4; 4:range.done ->1; 5:range.body =>3",
+		},
+		{
+			name: "labeled break exits both loops",
+			src: `package p
+func f(n int) int {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				break outer
+			}
+		}
+	}
+	return n
+}`,
+			want: "0:entry ->3; 1:exit; 2:panic; 3:label.outer ->4; " +
+				"4:for.head ->7 ->5; 5:for.done ->1; 6:for.post =>4; 7:for.body ->8; " +
+				"8:for.head ->11 ->9; 9:for.done ->6; 10:for.post =>8; " +
+				"11:for.body ->13 ->12; 12:if.done ->10; 13:if.then ->5",
+		},
+		{
+			name: "select with returning cases",
+			src: `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+		return 0
+	}
+}`,
+			want: "0:entry ->4 ->5; 1:exit; 2:panic; 3:select.done ->1; 4:select.case ->1; 5:select.case ->1",
+		},
+		{
+			name: "switch fallthrough chains cases",
+			src: `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x += 2
+	default:
+		x = 0
+	}
+	return x
+}`,
+			want: "0:entry ->4 ->5 ->6; 1:exit; 2:panic; 3:switch.done ->1; " +
+				"4:switch.case ->5; 5:switch.case ->3; 6:switch.case ->3",
+		},
+		{
+			name: "panic routes to the panic sink, not exit",
+			src: `package p
+func f(x int) int {
+	if x < 0 {
+		panic("neg")
+	}
+	return x
+}`,
+			want: "0:entry ->4 ->3; 1:exit; 2:panic; 3:if.done ->1; 4:if.then ->2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildTestCFG(t, tc.src)
+			if got := g.String(); got != tc.want {
+				t.Errorf("graph mismatch:\n got %s\nwant %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGDefers checks that defer statements are collected per graph:
+// they execute on every exit, so all-exit-path analyses read them
+// directly rather than through edges.
+func TestCFGDefers(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(x int) int {
+	defer done()
+	if x < 0 {
+		return -1
+	}
+	return x
+}
+func done() {}`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+	want := "0:entry ->4 ->3; 1:exit; 2:panic; 3:if.done ->1; 4:if.then ->1"
+	if got := g.String(); got != want {
+		t.Errorf("graph mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestForwardReachingCount runs the generic framework on a loop,
+// counting statements along each path: with back edges excluded the
+// analysis must converge on the acyclic skeleton, and the loop body's
+// IN count must reflect only the pre-loop straight-line prefix.
+func TestForwardReachingCount(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	// State: max number of blocks traversed to reach each block.
+	bottom := -1
+	in := Forward(g, bottom, 0,
+		func(b *Block, s int) int { return s + 1 },
+		func(into, from int) (int, bool) {
+			if from > into {
+				return from, true
+			}
+			return into, false
+		},
+		DAGEdges,
+	)
+	if in[g.Entry.Index] != 0 {
+		t.Errorf("entry IN = %d, want 0", in[g.Entry.Index])
+	}
+	if in[g.Exit.Index] == bottom {
+		t.Errorf("exit unreachable under DAGEdges")
+	}
+	// The panic sink has no inbound edges here and must stay at bottom.
+	if in[g.Panics.Index] != bottom {
+		t.Errorf("panic IN = %d, want bottom (%d)", in[g.Panics.Index], bottom)
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == "for.body" && in[b.Index] == bottom {
+			t.Errorf("loop body unreachable under DAGEdges")
+		}
+	}
+}
+
+// TestEveryPathTo checks the backward must-analysis from the entry's
+// point of view: a statement shared by all normal paths satisfies the
+// property, a branch-only statement does not, and paths that end in
+// panic are exempt.
+func TestEveryPathTo(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x++
+	}
+	if x > 10 {
+		x--
+	}
+	return x
+}`)
+	hasIncDec := func(tok token.Token) func(*Block) bool {
+		return func(b *Block) bool {
+			for _, n := range b.Nodes {
+				if s, ok := n.(*ast.IncDecStmt); ok && s.Tok == tok {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// x++ appears on both arms of the first if: every path from entry to
+	// the exit passes one.
+	must := EveryPathTo(g, hasIncDec(token.INC))
+	if !must[g.Entry.Index] {
+		t.Errorf("x++ covers both branches and should hold on every path from entry")
+	}
+	// x-- sits on one arm of the second if only.
+	must = EveryPathTo(g, hasIncDec(token.DEC))
+	if must[g.Entry.Index] {
+		t.Errorf("x-- is branch-only and must not hold on every path from entry")
+	}
+}
+
+// TestEveryPathToIgnoresPanics checks that paths ending at the panic
+// sink are exempt from the property — the rule that lets leakcheck
+// accept a join skipped only by a guard that panics.
+func TestEveryPathToIgnoresPanics(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(x int) {
+	if x < 0 {
+		panic("neg")
+	}
+	join()
+}
+func join() {}`)
+	callsJoin := func(b *Block) bool {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "join" {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	must := EveryPathTo(g, callsJoin)
+	if !must[g.Entry.Index] {
+		t.Errorf("the only normal path passes join(); the panic arm must not count against it")
+	}
+}

@@ -1,0 +1,280 @@
+// Analyzer drawdiscipline: parallel replications are bit-identical only
+// if every replication consumes the same RNG stream positions for the
+// same logical events (DESIGN.md "RNG-draw discipline"). The bug class
+// that silently breaks this is a branch that draws a different number
+// of variates than its sibling — after the branch, every later draw in
+// one run is offset against the other and replay diverges. This
+// analyzer computes, per function, the set of possible draw counts per
+// RNG stream along every path of the back-edge-cut CFG and flags
+// streams whose normal exits disagree.
+//
+// Deliberate scope cuts, each keeping the check precise:
+//
+//   - draws inside for/range bodies are ignored: loop multiplicity is a
+//     runtime quantity (rejection sampling in RNG.Intn and the ziggurat
+//     are correct by construction — the loop count IS part of the
+//     stream state);
+//   - paths ending in panic/os.Exit are ignored (guard clauses);
+//   - a stream that is Split/Fork-ed anywhere in the function is exempt
+//     (forking is the sanctioned way to decouple branch consumption);
+//   - a stream passed to another function or captured by a closure is
+//     opaque here and is analyzed where it is consumed.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DrawDiscipline flags branch-divergent RNG draw counts.
+var DrawDiscipline = &Analyzer{
+	Name:  "drawdiscipline",
+	Doc:   "flags branches that consume divergent RNG draw counts from one stream without Fork/Split",
+	Files: FilesNonTest,
+	Match: func(u *Unit) bool { return inModulePackage(u, "internal", "cmd", "examples", ".") },
+	Run:   runDrawDiscipline,
+}
+
+func runDrawDiscipline(p *Pass) error {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDraws(p, fd.Body, fd.Name.Pos(), fd.Name.Name)
+			// Function literals are separate draw scopes: a closure's
+			// draws happen at its own call sites.
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkDraws(p, lit.Body, lit.Pos(), fmt.Sprintf("function literal in %s", name))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// drawSites is the lexical pre-pass over one function body: which call
+// expressions are straight-line draws, and which streams are exempt.
+type drawSites struct {
+	draws   map[*ast.CallExpr]string // loop-depth-0 draw call -> stream key
+	forked  map[string]bool          // stream had Split/Fork/... called on it
+	tainted map[string]bool          // stream escaped to a call or closure
+}
+
+// collectDraws walks body (excluding nested function literals) and
+// classifies RNG usage. Stream identity is the source text of the
+// receiver expression — stable, deterministic, and exactly as precise
+// as the code is explicit.
+func collectDraws(info *types.Info, body *ast.BlockStmt) drawSites {
+	ds := drawSites{
+		draws:   map[*ast.CallExpr]string{},
+		forked:  map[string]bool{},
+		tainted: map[string]bool{},
+	}
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.ForStmt:
+				if x.Init != nil {
+					walk(x.Init, loopDepth)
+				}
+				if x.Cond != nil {
+					walk(x.Cond, loopDepth)
+				}
+				if x.Post != nil {
+					walk(x.Post, loopDepth+1)
+				}
+				walk(x.Body, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				walk(x.X, loopDepth)
+				walk(x.Body, loopDepth+1)
+				return false
+			case *ast.FuncLit:
+				// Captured streams are consumed on the closure's watch.
+				ast.Inspect(x.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil && isRNGType(obj.Type()) {
+							if obj.Pos() < x.Pos() || obj.Pos() >= x.End() {
+								ds.tainted[id.Name] = true
+							}
+						}
+					}
+					return true
+				})
+				return false
+			case *ast.CallExpr:
+				// A stream handed to another function is opaque here.
+				for _, arg := range x.Args {
+					if tv, ok := info.Types[arg]; ok && tv.Type != nil && isRNGType(tv.Type) {
+						ds.tainted[types.ExprString(arg)] = true
+					}
+				}
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if tv, ok := info.Types[sel.X]; ok && tv.Type != nil && isRNGType(tv.Type) {
+						key := types.ExprString(sel.X)
+						switch {
+						case forkMethods[sel.Sel.Name]:
+							ds.forked[key] = true
+						case loopDepth == 0:
+							ds.draws[x] = key
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+	return ds
+}
+
+// drawState maps stream key -> sorted set of possible cumulative draw
+// counts on entry to a block. nil is the dataflow bottom (unreached).
+type drawState map[string][]int
+
+// checkDraws runs the count-set analysis over one function body and
+// reports streams whose normal exits can disagree on how many draws
+// were consumed.
+func checkDraws(p *Pass, body *ast.BlockStmt, at token.Pos, name string) {
+	ds := collectDraws(p.Info, body)
+	if len(ds.draws) == 0 {
+		return
+	}
+	g := BuildCFG(body)
+	// Per-block draw counts per stream: each block's nodes are walked
+	// once (function literals excluded — separate scopes).
+	counts := make([]map[string]int, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		c := map[string]int{}
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := x.(*ast.CallExpr); ok {
+					if key, ok := ds.draws[call]; ok {
+						c[key]++
+					}
+				}
+				return true
+			})
+		}
+		counts[blk.Index] = c
+	}
+	states := Forward(g, drawState(nil), drawState{},
+		func(blk *Block, in drawState) drawState {
+			out := drawState{}
+			for k, v := range in {
+				out[k] = v
+			}
+			for key, n := range counts[blk.Index] {
+				out[key] = shiftCounts(out[key], n)
+			}
+			return out
+		},
+		joinDrawStates, DAGEdges)
+	exit := states[g.Exit.Index]
+	if exit == nil {
+		return // no normal exit path
+	}
+	var keys []string
+	for key := range exit {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		set := exit[key]
+		if len(set) < 2 || ds.forked[key] || ds.tainted[key] {
+			continue
+		}
+		p.Reportf(at, "branches of %s consume divergent draw counts %v from RNG stream %q without Fork/Split; balance the draws or fork the stream", name, set, key)
+	}
+}
+
+// shiftCounts adds n to every element of a sorted count set; the empty
+// set means "zero draws so far" and shifts to {n}.
+func shiftCounts(set []int, n int) []int {
+	if len(set) == 0 {
+		return []int{n}
+	}
+	out := make([]int, len(set))
+	for i, v := range set {
+		out[i] = v + n
+	}
+	return out
+}
+
+// joinDrawStates unions two states; nil is bottom.
+func joinDrawStates(into, from drawState) (drawState, bool) {
+	if from == nil {
+		return into, false
+	}
+	if into == nil {
+		merged := drawState{}
+		for k, v := range from {
+			merged[k] = v
+		}
+		return merged, true
+	}
+	changed := false
+	for k, set := range from {
+		cur, ok := into[k]
+		if !ok {
+			// A stream absent from one predecessor means zero draws on
+			// that path: represent the implicit zero explicitly so the
+			// union is sound.
+			cur = []int{0}
+		}
+		merged, grew := unionCounts(cur, set)
+		if grew || !ok {
+			into[k] = merged
+			changed = true
+		}
+	}
+	// Streams present in into but absent in from also gain the implicit
+	// zero from the new path.
+	for k, cur := range into {
+		if _, ok := from[k]; !ok {
+			merged, grew := unionCounts(cur, []int{0})
+			if grew {
+				into[k] = merged
+				changed = true
+			}
+		}
+	}
+	return into, changed
+}
+
+// unionCounts merges two sorted unique int slices, reporting growth of
+// the first.
+func unionCounts(a, b []int) ([]int, bool) {
+	grew := false
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			grew = true
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out, grew
+}

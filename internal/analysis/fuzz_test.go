@@ -1,0 +1,118 @@
+package analysis
+
+// FuzzIgnoreDirectives hammers the suppression machinery — the one
+// part of lbvet that parses untrusted comment text — with arbitrary
+// source. The oracle is a set of invariants rather than goldens:
+// parsing and applying directives never panics, every directive either
+// suppresses a diagnostic or is reported stale, and suppressed +
+// kept always partitions the input diagnostics.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func FuzzIgnoreDirectives(f *testing.F) {
+	// Seed with the fixture packages: real directives, real wants, and
+	// the malformed-directive cases from the harness tests.
+	dirs, err := os.ReadDir("testdata/src")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		files, err := filepath.Glob(filepath.Join("testdata/src", d.Name(), "*.go"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, name := range files {
+			src, err := os.ReadFile(name)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+	f.Add("package p\n//lint:ignore floatcmp\nvar x int\n")
+	f.Add("package p\n//lint:ignore nosuch reason\nvar x int\n")
+	f.Add("package p\n//lint:ignore floatcmp reason\n\nvar x int\n")
+
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip() // not Go source; the loader would reject it first
+		}
+		var parseDiags []Diagnostic
+		igs := parseIgnores(fset, file, known, &parseDiags)
+		for _, d := range parseDiags {
+			if d.Analyzer != "lbvet" {
+				t.Fatalf("parse diagnostics must use the lbvet pseudo-analyzer, got %q", d.Analyzer)
+			}
+		}
+
+		// Apply against a synthetic diagnostic on every directive line
+		// and the line after: each directive must suppress exactly those
+		// and be stale otherwise.
+		ignores := map[string][]ignoreDirective{"fuzz.go": igs}
+		var synthetic []Diagnostic
+		for _, ig := range igs {
+			for _, line := range []int{ig.line, ig.line + 1} {
+				synthetic = append(synthetic, Diagnostic{
+					Analyzer: ig.analyzer,
+					Message:  "synthetic",
+					Pos:      token.Position{Filename: "fuzz.go", Line: line, Column: 1},
+				})
+			}
+		}
+		kept, supp := applyIgnores(synthetic, ignores, fset)
+		stale := 0
+		for _, d := range kept {
+			if d.Analyzer != "lbvet" {
+				t.Fatalf("synthetic diagnostic on a directive line survived suppression: %s", d)
+			}
+			if !strings.Contains(d.Message, "suppresses nothing") {
+				t.Fatalf("unexpected lbvet diagnostic: %s", d)
+			}
+			if !strings.Contains(d.Message, "fuzz.go:") {
+				t.Fatalf("stale diagnostic must cite the directive's file:line: %s", d)
+			}
+			stale++
+		}
+		if stale != 0 {
+			t.Fatalf("every directive had matching diagnostics; none may be stale (got %d)", stale)
+		}
+		if len(supp) != len(synthetic) {
+			t.Fatalf("suppressed %d of %d matching diagnostics", len(supp), len(synthetic))
+		}
+		for _, s := range supp {
+			if s.Reason == "" {
+				t.Fatalf("suppression lost its justification: %+v", s)
+			}
+			if !s.Directive.IsValid() {
+				t.Fatalf("suppression lost its directive position: %+v", s)
+			}
+		}
+
+		// With no diagnostics at all, every directive must go stale, and
+		// each stale report must carry a resolvable position.
+		kept, supp = applyIgnores(nil, ignores, fset)
+		if len(supp) != 0 {
+			t.Fatalf("suppressed %d diagnostics out of thin air", len(supp))
+		}
+		if len(kept) != len(igs) {
+			t.Fatalf("%d directives with no diagnostics produced %d stale reports", len(igs), len(kept))
+		}
+	})
+}

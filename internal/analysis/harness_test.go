@@ -52,11 +52,12 @@ func runFixture(t *testing.T, a *Analyzer, dir string) {
 	for _, an := range Analyzers() {
 		known[an.Name] = true
 	}
+	mod := BuildModule(units)
 	var diags []Diagnostic
 	ignores := map[string][]ignoreDirective{}
 	expected := map[string]map[int]*expectation{} // file -> line -> want
 	for _, u := range units {
-		if err := runAnalyzer(a, u, &diags); err != nil {
+		if err := runAnalyzer(a, u, mod, &diags); err != nil {
 			t.Fatal(err)
 		}
 		for _, f := range u.Files {
@@ -84,7 +85,7 @@ func runFixture(t *testing.T, a *Analyzer, dir string) {
 			}
 		}
 	}
-	diags = applyIgnores(diags, ignores, loader.Fset)
+	diags, _ = applyIgnores(diags, ignores, loader.Fset)
 	for _, d := range diags {
 		want := expected[d.Pos.Filename][d.Pos.Line]
 		if want == nil {
@@ -112,6 +113,11 @@ func TestFloatCmp(t *testing.T)      { runFixture(t, FloatCmp, "testdata/src/flo
 func TestErrCheck(t *testing.T)      { runFixture(t, ErrCheck, "testdata/src/errcheck") }
 func TestParallelSub(t *testing.T)   { runFixture(t, ParallelSub, "testdata/src/parallelsub") }
 func TestObsDefault(t *testing.T)    { runFixture(t, ObsDefault, "testdata/src/obsdefault") }
+func TestAllocFree(t *testing.T)     { runFixture(t, AllocFree, "testdata/src/allocfree") }
+func TestDrawDiscipline(t *testing.T) {
+	runFixture(t, DrawDiscipline, "testdata/src/drawdiscipline")
+}
+func TestLeakCheck(t *testing.T) { runFixture(t, LeakCheck, "testdata/src/leakcheck") }
 
 // TestVetRepoClean is the lbvet self-check: the committed tree must
 // stay free of findings, so reintroducing any violation fails CI both
@@ -164,7 +170,7 @@ func zero(x float64) bool {
 	var diags []Diagnostic
 	ignores := map[string][]ignoreDirective{}
 	for _, u := range units {
-		if err := runAnalyzer(FloatCmp, u, &diags); err != nil {
+		if err := runAnalyzer(FloatCmp, u, nil, &diags); err != nil {
 			t.Fatal(err)
 		}
 		for _, f := range u.Files {
@@ -172,7 +178,7 @@ func zero(x float64) bool {
 			ignores[name] = append(ignores[name], parseIgnores(u.Fset, f, known, &diags)...)
 		}
 	}
-	diags = applyIgnores(diags, ignores, loader.Fset)
+	diags, _ = applyIgnores(diags, ignores, loader.Fset)
 	sortDiagnostics(diags)
 	var got []string
 	for _, d := range diags {
@@ -184,7 +190,7 @@ func zero(x float64) bool {
 		floatDiag, // a malformed directive suppresses nothing
 		"lbvet: lint:ignore names unknown analyzer \"nosuchanalyzer\"",
 		floatDiag, // an unknown-analyzer directive suppresses nothing
-		"lbvet: lint:ignore floatcmp suppresses nothing on this or the next line",
+		"lbvet: lint:ignore floatcmp at ignorefix.go:10 suppresses nothing on this or the next line",
 		floatDiag, // the stale directive sits two lines up, out of range
 	}
 	if len(got) != len(want) {

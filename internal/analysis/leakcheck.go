@@ -1,0 +1,247 @@
+// Analyzer leakcheck: internal/dist is the one subtree that spawns
+// goroutines (brokers, protocol nodes, chaos wrappers), and a goroutine
+// with no join path outlives its owner — in tests it trips the race
+// detector long after the cause, in the future lbd daemon it is a slow
+// leak. Every `go` statement must therefore exhibit one of three join
+// disciplines:
+//
+//  1. a join primitive travels with the spawn: a channel, a
+//     context.Context, or a *sync.WaitGroup appears among the spawned
+//     call's arguments or the closure's captured variables;
+//  2. the spawned body itself performs channel operations or
+//     WaitGroup.Done/Wait — it participates in a rendezvous (for
+//     in-module named callees the analyzer resolves the declaration
+//     through the call graph and inspects its body);
+//  3. every normal CFG exit path of the spawning function after the
+//     `go` statement passes a join operation (WaitGroup.Wait, a channel
+//     send/receive/close, or a select), deferred joins included.
+//
+// Fire-and-forget goroutines that are bounded by construction (e.g. a
+// chaos delay that sleeps and sends) are justified with //lint:ignore.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeakCheck flags goroutines in internal/dist without a join path.
+var LeakCheck = &Analyzer{
+	Name:  "leakcheck",
+	Doc:   "flags goroutines launched in internal/dist without a WaitGroup/channel/context join path",
+	Files: FilesNonTest,
+	Match: func(u *Unit) bool { return inModulePackage(u, "internal/dist") },
+	Run:   runLeakCheck,
+}
+
+func runLeakCheck(p *Pass) error {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLeaks(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkLeaks(p *Pass, fd *ast.FuncDecl) {
+	var gos []*ast.GoStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return
+	}
+	g := BuildCFG(fd.Body)
+	// Does any deferred statement perform a join? Defers run on every
+	// exit path.
+	deferJoins := false
+	for _, d := range g.Defers {
+		if hasJoinOp(p.Info, d) {
+			deferJoins = true
+			break
+		}
+	}
+	// must[i]: every normal-exit path from block i passes a join.
+	must := EveryPathTo(g, func(blk *Block) bool {
+		for _, n := range blk.Nodes {
+			if hasJoinOp(p.Info, n) {
+				return true
+			}
+		}
+		return false
+	})
+	for _, gs := range gos {
+		if joinTravels(p, gs.Call) || spawnedBodyJoins(p, gs.Call) {
+			continue
+		}
+		if deferJoins || joinOnEveryExit(p, g, must, gs) {
+			continue
+		}
+		p.Reportf(gs.Pos(), "goroutine in %s has no join path (WaitGroup/channel/context) on every exit; track it or justify the leak", fd.Name.Name)
+	}
+}
+
+// joinTravels implements rule 1: a join primitive is handed to the
+// goroutine via arguments or closure captures.
+func joinTravels(p *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && isJoinPrimitive(tv.Type) {
+			return true
+		}
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || !isJoinPrimitive(obj.Type()) {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isJoinPrimitive reports whether t is a channel, context.Context, or
+// sync.WaitGroup (possibly behind a pointer). Struct types that embed a
+// WaitGroup or hold channels also count — the join is mediated by the
+// receiver object.
+func isJoinPrimitive(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	pkg, name := namedType(t)
+	return (pkg == "context" && name == "Context") || (pkg == "sync" && name == "WaitGroup")
+}
+
+// spawnedBodyJoins implements rule 2: the goroutine body itself holds a
+// rendezvous. FuncLit bodies are inspected directly; named in-module
+// callees are resolved through the call graph.
+func spawnedBodyJoins(p *Pass, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return hasJoinOp(p.Info, lit.Body)
+	}
+	if p.Mod == nil {
+		return false
+	}
+	fn := calleeOf(p.Info, call)
+	if fn == nil {
+		return false
+	}
+	info := p.Mod.Funcs[qualifiedName(fn)]
+	if info == nil || info.Decl.Body == nil {
+		return false
+	}
+	// The resolved declaration lives in its own unit; its body's type
+	// facts come from that unit's Info.
+	return hasJoinOp(info.Unit.Info, info.Decl.Body)
+}
+
+// joinOnEveryExit implements rule 3 for one go statement: from the
+// statement on, every normal exit path passes a join. The statement's
+// own block counts only for nodes after the spawn.
+func joinOnEveryExit(p *Pass, g *CFG, must []bool, gs *ast.GoStmt) bool {
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if n != ast.Node(gs) {
+				continue
+			}
+			// Join later in the same block?
+			for _, rest := range blk.Nodes[i+1:] {
+				if hasJoinOp(p.Info, rest) {
+					return true
+				}
+			}
+			// Otherwise every successor path must join.
+			if len(blk.Succs) == 0 {
+				return false
+			}
+			for _, e := range blk.Succs {
+				if e.To == g.Panics {
+					continue
+				}
+				if !must[e.To.Index] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// hasJoinOp reports whether the subtree contains a join operation:
+// channel send/receive/close, range over a channel, select, or a
+// WaitGroup Wait/Done call. Nested function literals are included — a
+// join wrapped in a helper closure still joins.
+func hasJoinOp(info *types.Info, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" && info.Uses[fun] == types.Universe.Lookup("close") {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Wait" || fun.Sel.Name == "Done" {
+					if tv, ok := info.Types[fun.X]; ok && tv.Type != nil {
+						pkg, name := namedType(tv.Type)
+						if pkg == "sync" && name == "WaitGroup" {
+							found = true
+						}
+						if pkg == "context" && name == "Context" {
+							found = true // ctx.Done() channel
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

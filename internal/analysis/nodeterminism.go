@@ -5,12 +5,22 @@
 // whole classes of constructs, which this analyzer flags mechanically:
 // wall-clock reads, the process-global math/rand generator, and
 // iteration over Go maps (whose order is randomized per run).
+//
+// Since PR 7 the check is interprocedural: a call site inside a
+// deterministic package is also flagged when the callee — living
+// outside the deterministic subtrees — transitively reaches a
+// wall-clock or global-rand construct over static call-graph edges.
+// The diagnostic spells out the witness chain ("X → Y → time.Now").
+// Callees inside the deterministic subtrees are not re-flagged at the
+// call site: their own unit already carries the direct diagnostic.
 
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // detPackages are the module-relative subtrees that must stay
@@ -79,5 +89,141 @@ func runNoDeterminism(p *Pass) error {
 			return true
 		})
 	}
+	if p.Mod != nil {
+		reportTransitiveNondet(p)
+	}
 	return nil
+}
+
+// reportTransitiveNondet flags calls out of the deterministic subtrees
+// into functions that transitively reach a nondeterministic construct.
+func reportTransitiveNondet(p *Pass) {
+	facts := p.Mod.nondetFacts()
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p.Info, call)
+			if fn == nil {
+				return true
+			}
+			key := qualifiedName(fn)
+			info := p.Mod.Funcs[key]
+			if info == nil {
+				return true // out-of-module callee
+			}
+			if inModulePackage(info.Unit, detPackages...) {
+				return true // the callee's own unit carries the direct diagnostic
+			}
+			if chain := facts.chain(key); chain != "" {
+				p.Reportf(call.Pos(), "call is transitively nondeterministic: %s; thread simulated time or a seeded RNG stream through the callee", chain)
+			}
+			return true
+		})
+	}
+}
+
+// nondetFactSet holds the module-wide transitive summaries: direct
+// violation descriptions and, for purely transitive functions, the
+// callee the nondeterminism flows through.
+type nondetFactSet struct {
+	direct map[string]string // key -> "time.Now" / "math/rand.Int63" ...
+	via    map[string]string // key -> callee key on the witness path
+}
+
+// chain renders the witness path from key down to the direct construct,
+// or "" when key is deterministic.
+func (f nondetFactSet) chain(key string) string {
+	var parts []string
+	for hops := 0; hops < 64; hops++ { // cycle guard; via-links form a DAG in practice
+		parts = append(parts, key)
+		if d, ok := f.direct[key]; ok {
+			parts = append(parts, d)
+			return strings.Join(parts, " → ")
+		}
+		next, ok := f.via[key]
+		if !ok {
+			return ""
+		}
+		key = next
+	}
+	return strings.Join(parts, " → ")
+}
+
+// nondetFacts computes (and caches) per-function nondeterminism
+// summaries over static call edges. Dynamic (interface) edges are not
+// followed: CHA candidates would smear one implementation's wall-clock
+// use across every caller of the interface.
+func (m *Module) nondetFacts() nondetFactSet {
+	if m.nondet != nil {
+		return *m.nondet
+	}
+	facts := nondetFactSet{direct: map[string]string{}, via: map[string]string{}}
+	for _, key := range m.Keys {
+		info := m.Funcs[key]
+		if d := directNondet(info.Unit.Info, info.Decl); d != "" {
+			facts.direct[key] = d
+		}
+	}
+	// Propagate to a fixpoint: a function is nondeterministic when any
+	// static callee is.
+	for changed := true; changed; {
+		changed = false
+		for _, key := range m.Keys {
+			if _, ok := facts.direct[key]; ok {
+				continue
+			}
+			if _, ok := facts.via[key]; ok {
+				continue
+			}
+			for _, c := range m.Funcs[key].Calls {
+				if c.Dynamic {
+					continue
+				}
+				_, d := facts.direct[c.Callee]
+				_, v := facts.via[c.Callee]
+				if d || v {
+					facts.via[key] = c.Callee
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	m.nondet = &facts
+	return facts
+}
+
+// directNondet reports the first wall-clock or global-rand construct in
+// a function body, rendered like "time.Now", or "".
+func directNondet(info *types.Info, fd *ast.FuncDecl) string {
+	found := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		sig := obj.Type().(*types.Signature)
+		switch obj.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[obj.Name()] {
+				found = fmt.Sprintf("time.%s", obj.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if sig.Recv() == nil && !randConstructors[obj.Name()] {
+				found = fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+			}
+		}
+		return true
+	})
+	return found
 }

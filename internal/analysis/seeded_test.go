@@ -1,0 +1,130 @@
+package analysis
+
+// Seeded-violation tests: the acceptance contract for the
+// interprocedural analyzers is that reintroducing a contract breach
+// produces a diagnostic naming the offending function. Each test
+// writes a small package that breaks one contract, runs the analyzer
+// exactly the way Vet does (module graph included), and checks the
+// finding. Any diagnostic surviving suppression makes lbvet exit 1,
+// so a non-empty result here is the exit-1 guarantee.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSeeded loads src as package fixture/<base> and runs one analyzer
+// over it with the module call graph, suppressions applied.
+func runSeeded(t *testing.T, a *Analyzer, base, src string) []Diagnostic {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), base)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := fixtureLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := BuildModule(units)
+	known := map[string]bool{}
+	for _, an := range Analyzers() {
+		known[an.Name] = true
+	}
+	var diags []Diagnostic
+	ignores := map[string][]ignoreDirective{}
+	for _, u := range units {
+		if err := runAnalyzer(a, u, mod, &diags); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range u.Files {
+			name := u.Fset.Position(f.Pos()).Filename
+			ignores[name] = append(ignores[name], parseIgnores(u.Fset, f, known, &diags)...)
+		}
+	}
+	diags, _ = applyIgnores(diags, ignores, loader.Fset)
+	return diags
+}
+
+// TestSeededDivergentDraw seeds a branch-divergent RNG draw — the
+// violation that breaks bit-identical parallel replication — and
+// checks drawdiscipline flags it by function name.
+func TestSeededDivergentDraw(t *testing.T) {
+	diags := runSeeded(t, DrawDiscipline, "seeddraw", `package seeddraw
+
+import "gtlb/internal/queueing"
+
+// unbalancedRoute draws once on the transfer path and zero times on
+// the keep-at-home path: replicas that disagree on the branch desync
+// the stream.
+func unbalancedRoute(rng *queueing.RNG, q []int, home int) int {
+	if q[home] < 2 {
+		return home
+	}
+	return rng.Intn(len(q))
+}
+`)
+	if len(diags) == 0 {
+		t.Fatal("seeded divergent draw produced no diagnostics; lbvet would exit 0")
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "unbalancedRoute") {
+		t.Errorf("diagnostic does not name the function: %s", d)
+	}
+	if !strings.Contains(d.Message, "divergent draw counts") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestSeededHotAllocation seeds an unannotated fmt.Sprintf into a
+// //lb:hotpath function and checks allocfree flags it by name.
+func TestSeededHotAllocation(t *testing.T) {
+	diags := runSeeded(t, AllocFree, "seedhot", `package seedhot
+
+import "fmt"
+
+// hotFormat breaks the zero-allocation contract: Sprintf allocates
+// its result on every call.
+//
+//lb:hotpath
+func hotFormat(step int) string {
+	return fmt.Sprintf("step=%d", step)
+}
+`)
+	if len(diags) == 0 {
+		t.Fatal("seeded hot allocation produced no diagnostics; lbvet would exit 0")
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "hotFormat") {
+		t.Errorf("diagnostic does not name the function: %s", d)
+	}
+	if !strings.Contains(d.Message, "fmt.Sprintf") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestSeededGoroutineLeak seeds an untracked goroutine and checks
+// leakcheck flags the spawning function.
+func TestSeededGoroutineLeak(t *testing.T) {
+	diags := runSeeded(t, LeakCheck, "seedleak", `package seedleak
+
+// drip spawns a goroutine nothing ever joins.
+func drip(work func()) {
+	go work()
+}
+`)
+	if len(diags) == 0 {
+		t.Fatal("seeded goroutine leak produced no diagnostics; lbvet would exit 0")
+	}
+	if d := diags[0]; !strings.Contains(d.Message, "drip") || !strings.Contains(d.Message, "no join path") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,78 @@
+// Fixture for the allocfree analyzer: //lb:hotpath functions and their
+// static callees must stay free of heap-allocating constructs; loop
+// preambles of annotated functions count as per-replication setup, and
+// unannotated unreachable functions are unconstrained.
+package allocfree
+
+import "fmt"
+
+// kernel is loop-free: the entire body is under the contract.
+//
+//lb:hotpath
+func kernel(x int) string {
+	s := fmt.Sprintf("x=%d", x) // want `fmt.Sprintf allocates`
+	b := make([]int, 4)         // want `make allocates in //lb:hotpath fixture/allocfree.kernel`
+	_ = b
+	return s + "!" // want `string concatenation allocates`
+}
+
+// stepper has a loop: the preamble is setup, the loop body is
+// steady-state, and callees of the loop body are hot in full.
+//
+//lb:hotpath
+func stepper(n int) int {
+	buf := make([]int, 0, n) // setup: not flagged
+	total := 0
+	for i := 0; i < n; i++ {
+		buf = append(buf, i) // want `append may grow the backing array in the steady-state loop of //lb:hotpath fixture/allocfree.stepper`
+		total += consume(i)
+	}
+	return total
+}
+
+// consume is hot by reachability from stepper's loop.
+func consume(i int) int {
+	p := &point{x: i} // want `&composite literal escapes to the heap in hot function fixture/allocfree.consume \(reachable from //lb:hotpath fixture/allocfree.stepper → fixture/allocfree.consume\)`
+	return p.x
+}
+
+type point struct{ x int }
+
+type sink interface{ accept(v any) }
+
+// boxed passes a concrete value to an interface parameter: the value
+// escapes into the interface word pair.
+//
+//lb:hotpath
+func boxed(s sink, v int) {
+	s.accept(v) // want `argument boxes a int into an interface parameter`
+}
+
+// closures allocates a fresh capturing closure per iteration.
+//
+//lb:hotpath
+func closures(n int) func() int {
+	k := 7
+	var f func() int
+	for i := 0; i < n; i++ {
+		f = func() int { return k + i } // want `capturing closure allocates`
+	}
+	return f
+}
+
+// justified growth: amortized to a high-water mark.
+//
+//lb:hotpath
+func amortized(buf []int, n int) []int {
+	for i := 0; i < n; i++ {
+		//lint:ignore allocfree amortized growth to the replication high-water mark
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// cold is unannotated and unreachable from any hot region: anything
+// goes.
+func cold() []string {
+	return []string{fmt.Sprint("fine")}
+}

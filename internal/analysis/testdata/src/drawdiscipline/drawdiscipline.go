@@ -1,0 +1,116 @@
+// Fixture for the drawdiscipline analyzer: branches that consume a
+// different number of RNG variates than their siblings break replay
+// and parallel determinism. Loops, panic guards, forked streams, and
+// streams handed to other functions are exempt by design.
+package drawdiscipline
+
+import "gtlb/internal/queueing"
+
+// divergent draws once or twice depending on the branch.
+func divergent(rng *queueing.RNG) float64 { // want `divergent draw counts \[1 2\] from RNG stream "rng"`
+	if rng.Float64() < 0.5 {
+		return rng.Float64()
+	}
+	return 0
+}
+
+// balanced draws exactly one variate on every path.
+func balanced(rng *queueing.RNG, p float64) float64 {
+	if rng.Float64() < p {
+		return 1
+	}
+	return 0
+}
+
+// branchDraws balances one draw inside each arm.
+func branchDraws(rng *queueing.RNG, hot bool) float64 {
+	if hot {
+		return rng.Exp(2)
+	}
+	return rng.Float64()
+}
+
+// switchBalanced: every case draws once.
+func switchBalanced(rng *queueing.RNG, k int) float64 {
+	switch k {
+	case 0:
+		return rng.Float64()
+	case 1:
+		return rng.Exp(1)
+	default:
+		return rng.ExpInv(1)
+	}
+}
+
+// skewedSwitch: the default arm draws nothing.
+func skewedSwitch(rng *queueing.RNG, k int) float64 { // want `divergent draw counts \[0 1\] from RNG stream "rng"`
+	switch k {
+	case 0:
+		return rng.Float64()
+	default:
+		return 0
+	}
+}
+
+// forkExempt: a stream that is Split inside the function is exempt —
+// forking is the sanctioned decoupling.
+func forkExempt(rng *queueing.RNG, hot bool) float64 {
+	if hot {
+		_ = rng.Float64()
+		_ = rng.Float64()
+	}
+	child := rng.Split(1)
+	return child.Float64()
+}
+
+// loopDraws: rejection loops are correct by construction; loop
+// multiplicity is part of the stream state.
+func loopDraws(rng *queueing.RNG) float64 {
+	for {
+		v := rng.Float64()
+		if v > 0.1 {
+			return v
+		}
+	}
+}
+
+// panicGuard: a panicking path never counts against the discipline.
+func panicGuard(rng *queueing.RNG, n int) float64 {
+	if n <= 0 {
+		panic("n must be positive")
+	}
+	return rng.Float64()
+}
+
+// escaped: a stream handed to a helper is opaque here and analyzed
+// where it is consumed.
+func escaped(rng *queueing.RNG, hot bool) float64 {
+	if hot {
+		return helper(rng)
+	}
+	return rng.Float64()
+}
+
+func helper(rng *queueing.RNG) float64 { return rng.Float64() }
+
+// closureDivergent: a function literal is its own draw scope.
+func closureDivergent(rng *queueing.RNG) func(bool) float64 {
+	return func(hot bool) float64 { // want `function literal in closureDivergent consume divergent draw counts \[1 2\]`
+		if hot {
+			_ = rng.Float64()
+		}
+		return rng.Float64()
+	}
+}
+
+// justified: divergence that is a pure function of the stream itself is
+// suppressible with a reason. The diagnostic lands on the func line, so
+// the directive sits directly above it.
+//
+//lint:ignore drawdiscipline the extra draw happens iff the first draw fails the cutoff, a pure function of the stream
+func justified(rng *queueing.RNG, cutoff float64) float64 {
+	if rng.Float64() < cutoff {
+		return rng.Float64()
+	}
+	return 0
+}

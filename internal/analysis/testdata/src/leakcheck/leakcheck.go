@@ -1,0 +1,106 @@
+// Fixture for the leakcheck analyzer: every `go` statement needs a join
+// discipline — a primitive traveling with the spawn (rule 1), a
+// rendezvous inside the spawned body (rule 2), or a join on every
+// normal exit path of the spawner (rule 3).
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leak: no join anywhere.
+func leak() {
+	go work() // want `goroutine in leak has no join path`
+}
+
+// litLeak: a closure with no join primitive and no rendezvous.
+func litLeak(n int) {
+	go func() { // want `goroutine in litLeak has no join path`
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+// wgCaptured: rule 1 — the WaitGroup is captured by the closure.
+func wgCaptured() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// chanArg: rule 1 — a channel travels as an argument.
+func chanArg() {
+	done := make(chan struct{})
+	go signal(done)
+	<-done
+}
+
+func signal(done chan struct{}) { close(done) }
+
+// ctxArg: rule 1 — a context travels as an argument.
+func ctxArg(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+type pumper struct{ out chan int }
+
+func (p *pumper) run() {
+	for i := 0; i < 3; i++ {
+		p.out <- i
+	}
+}
+
+// bodyJoins: rule 2 — the named callee's body holds the rendezvous.
+func bodyJoins(p *pumper) {
+	go p.run()
+}
+
+// exitJoined: rule 3 — the spawner rendezvouses on every exit path.
+func exitJoined(sig chan struct{}) {
+	go work()
+	<-sig
+}
+
+// branchLeak: rule 3 fails — the fast path returns without joining.
+func branchLeak(sig chan struct{}, fast bool) {
+	go work() // want `goroutine in branchLeak has no join path`
+	if fast {
+		return
+	}
+	<-sig
+}
+
+// deferJoined: rule 3 — the join is deferred, so it runs on every exit.
+func deferJoined(sig chan struct{}, fast bool) {
+	defer func() { <-sig }()
+	go work()
+	if fast {
+		return
+	}
+	work()
+}
+
+// panicPathOK: rule 3 — a panicking exit needs no join.
+func panicPathOK(sig chan struct{}, bad bool) {
+	go work()
+	if bad {
+		panic("invariant violated")
+	}
+	<-sig
+}
+
+// justified: a bounded fire-and-forget is suppressible with a reason.
+func justified() {
+	//lint:ignore leakcheck delay-bounded by construction, exits after one unit of work
+	go work()
+}

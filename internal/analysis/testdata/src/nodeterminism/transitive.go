@@ -1,0 +1,43 @@
+// Transitive fixtures: a call whose callee reaches a wall-clock or
+// global-rand construct over static call-graph edges is flagged at the
+// call site with a witness chain, while the direct construct keeps its
+// own diagnostic inside the callee.
+package nodeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func viaHelper() float64 {
+	return stamp() // want `transitively nondeterministic: fixture/nodeterminism.stamp → time.Now`
+}
+
+func stamp() float64 {
+	return float64(time.Now().UnixNano()) // want "time.Now reads the wall clock"
+}
+
+func deepChain() int64 {
+	return layerOne() // want `transitively nondeterministic: fixture/nodeterminism.layerOne → fixture/nodeterminism.stampNano → time.Now`
+}
+
+func layerOne() int64 {
+	return stampNano() // want `transitively nondeterministic: fixture/nodeterminism.stampNano → time.Now`
+}
+
+func stampNano() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func viaRand() float64 {
+	return draw() // want `transitively nondeterministic: fixture/nodeterminism.draw → rand.Float64`
+}
+
+func draw() float64 {
+	return rand.Float64() // want "global rand.Float64 uses process-wide random state"
+}
+
+// cleanCaller calls a pure helper: no finding.
+func cleanCaller() int { return pureAdd(1, 2) }
+
+func pureAdd(a, b int) int { return a + b }

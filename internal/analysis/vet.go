@@ -17,13 +17,19 @@ import (
 type VetResult struct {
 	// Diagnostics are the surviving findings in stable order.
 	Diagnostics []Diagnostic
+	// Suppressed are findings silenced by //lint:ignore directives,
+	// kept for the -json audit trail.
+	Suppressed []Suppression
 	// Packages and Files count what was analyzed.
 	Packages int
 	Files    int
 }
 
 // Vet runs the given analyzers (nil means the full suite) over the
-// packages matched by patterns, relative to the module root.
+// packages matched by patterns, relative to the module root. Loading is
+// two-phase: every matched unit is typechecked first, then the module
+// call graph is built over all of them, so the interprocedural
+// analyzers see cross-package edges regardless of pattern order.
 func Vet(root string, patterns []string, analyzers []*Analyzer) (VetResult, error) {
 	if analyzers == nil {
 		analyzers = Analyzers()
@@ -41,26 +47,31 @@ func Vet(root string, patterns []string, analyzers []*Analyzer) (VetResult, erro
 		known[a.Name] = true
 	}
 	var res VetResult
-	var diags []Diagnostic
+	var all []*Unit
 	for _, dir := range dirs {
 		units, err := loader.LoadDir(dir)
 		if err != nil {
 			return VetResult{}, err
 		}
-		for _, u := range units {
-			res.Packages++
-			res.Files += len(u.Files)
-			unitDiags, err := runUnit(u, analyzers)
-			if err != nil {
-				return VetResult{}, err
-			}
-			ignores := map[string][]ignoreDirective{}
-			for _, f := range u.Files {
-				name := u.Fset.Position(f.Pos()).Filename
-				ignores[name] = append(ignores[name], parseIgnores(u.Fset, f, known, &unitDiags)...)
-			}
-			diags = append(diags, applyIgnores(unitDiags, ignores, u.Fset)...)
+		all = append(all, units...)
+	}
+	mod := BuildModule(all)
+	var diags []Diagnostic
+	for _, u := range all {
+		res.Packages++
+		res.Files += len(u.Files)
+		unitDiags, err := runUnit(u, mod, analyzers)
+		if err != nil {
+			return VetResult{}, err
 		}
+		ignores := map[string][]ignoreDirective{}
+		for _, f := range u.Files {
+			name := u.Fset.Position(f.Pos()).Filename
+			ignores[name] = append(ignores[name], parseIgnores(u.Fset, f, known, &unitDiags)...)
+		}
+		kept, supp := applyIgnores(unitDiags, ignores, u.Fset)
+		diags = append(diags, kept...)
+		res.Suppressed = append(res.Suppressed, supp...)
 	}
 	sortDiagnostics(diags)
 	res.Diagnostics = diags

@@ -332,6 +332,8 @@ type replication struct {
 // the disabled path adds one predicted branch per event and no
 // allocations (gated by TestSteadyStateAllocs and TestDESAllocBaseline).
 // Emissions never draw randomness, so traces cannot perturb streams.
+//
+//lb:hotpath
 func runOnce(cfg Config, interArrival queueing.Distribution, service []queueing.Distribution, rng *queueing.RNG, users int, sp samplers, o obs.Observer) replication {
 	rep := replication{
 		p95:      metrics.MustQuantile(0.95),

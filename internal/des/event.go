@@ -62,6 +62,7 @@ type eventHeap struct {
 func (h *eventHeap) len() int { return len(h.ev) }
 
 func (h *eventHeap) push(e event) {
+	//lint:ignore allocfree amortized growth to the heap's high-water event count; capacity is retained across pops
 	h.ev = append(h.ev, e)
 	// Sift up.
 	i := len(h.ev) - 1

@@ -186,6 +186,8 @@ func (c *chaosConn) Name() string { return c.inner.Name() }
 
 // Send runs the seeded fault schedule for this message and delivers (or
 // withholds) it accordingly.
+//
+//lint:ignore drawdiscipline the zero-draw path is a crashed sender whose messages vanish before the link stream is consulted; decision k stays a pure function of (seed, link, k)
 func (c *chaosConn) Send(m Message) error {
 	m.From = c.inner.Name()
 	// Crash check: the node's own sends count toward its crash step, so
@@ -264,6 +266,7 @@ func (c *chaosConn) deliver(m Message, delay time.Duration, dup bool) error {
 	}
 	if delay > 0 {
 		obs.Emit(c.net.obs, obs.Event{Kind: obs.ChaosDelay, Node: m.From})
+		//lint:ignore leakcheck delay-bounded fire-and-forget by design; a late delivery must be able to outlive the recipient
 		go func() {
 			time.Sleep(delay)
 			// Late delivery is best-effort: the recipient may have left.

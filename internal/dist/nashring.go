@@ -604,6 +604,33 @@ func RunNashRingFromWith(netw Network, sys noncoop.System, initial noncoop.Profi
 	var resMu sync.Mutex
 	errCh := make(chan error, m)
 	conns := make([]Conn, m)
+	var wg sync.WaitGroup
+	var stopOnce sync.Once
+	// teardown is idempotent and joins every protocol goroutine: the
+	// extra STOP makes the state node exit even when a user failed
+	// mid-round; it is best-effort (the state node may already be gone,
+	// or the message may be chaos-dropped), so the conn closes guarantee
+	// termination regardless. Deferred for the early error returns and
+	// called explicitly before the results are read — the wg.Wait is the
+	// happens-before edge that makes st.prof and st.ejected safe to
+	// read.
+	teardown := func() {
+		stopOnce.Do(func() {
+			if conns[0] != nil {
+				// Best-effort STOP; the conn closes below guarantee
+				// termination even if it is lost.
+				_ = conns[0].Send(Message{To: "state", Kind: kindStop})
+			}
+			for _, c := range conns {
+				if c != nil {
+					_ = c.Close() // teardown; unblocks every user node
+				}
+			}
+			_ = stConn.Close() // teardown; unblocks the state node even if the STOP was lost
+			wg.Wait()
+		})
+	}
+	defer teardown()
 	for j := 0; j < m; j++ {
 		c, err := netw.Join(userName(j))
 		if err != nil {
@@ -612,7 +639,6 @@ func RunNashRingFromWith(netw Network, sys noncoop.System, initial noncoop.Profi
 		conns[j] = c
 	}
 
-	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -634,7 +660,11 @@ func RunNashRingFromWith(netw Network, sys noncoop.System, initial noncoop.Profi
 		if j == 0 {
 			u.watchdog = opts.Watchdog
 		}
-		go u.run()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u.run()
+		}()
 	}
 
 	// Inject the token at user 0.
@@ -657,16 +687,7 @@ func RunNashRingFromWith(netw Network, sys noncoop.System, initial noncoop.Profi
 	case <-deadline.C:
 		runErr = fmt.Errorf("dist: no progress within %v: %w", opts.Deadline, ErrStalled)
 	}
-	// The extra STOP makes the state node exit even when a user failed
-	// mid-round; it is best-effort (the state node may already be gone,
-	// or the message may be chaos-dropped), so the conn closes below
-	// guarantee termination regardless.
-	_ = conns[0].Send(Message{To: "state", Kind: kindStop})
-	for _, c := range conns {
-		_ = c.Close() // teardown; unblocks every user node
-	}
-	_ = stConn.Close() // teardown; unblocks the state node even if the STOP was lost
-	wg.Wait()
+	teardown()
 	resMu.Lock()
 	defer resMu.Unlock()
 	// Hand back the latest profile even on failure: it is the

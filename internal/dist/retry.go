@@ -10,6 +10,8 @@ import (
 // bounded exponential backoff min(limit, base·2^attempt) plus uniform
 // jitter of up to half the base, drawn from the caller's seeded stream
 // so a replayed run backs off identically.
+//
+//lint:ignore drawdiscipline the zero-draw path is rng == nil: there is no stream whose position could diverge
 func backoffDelay(base, limit time.Duration, attempt int, rng *queueing.RNG) time.Duration {
 	if base <= 0 {
 		base = 10 * time.Millisecond

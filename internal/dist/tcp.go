@@ -15,27 +15,47 @@ import (
 // running over real sockets; the in-memory transport is preferred for
 // tests.
 type tcpNetwork struct {
-	ln   net.Listener
-	mu   sync.Mutex
-	conn map[string]*gob.Encoder
-	encM map[string]*sync.Mutex
+	ln    net.Listener
+	mu    sync.Mutex
+	conn  map[string]*gob.Encoder
+	encM  map[string]*sync.Mutex
+	socks map[net.Conn]struct{} // live node sockets, closed on shutdown
+	wg    sync.WaitGroup        // accept loop + one serve per socket
 }
 
 // NewTCPNetwork starts a broker on addr ("127.0.0.1:0" picks a free
 // port) and returns the network together with the address nodes connect
-// to. Close the returned closer to shut the broker down.
+// to. Closing the returned closer shuts the broker down and joins every
+// broker goroutine: the listener stops accepting, live node sockets are
+// closed (unblocking their serve loops), and the closer returns only
+// after all of them have exited.
 func NewTCPNetwork(addr string) (Network, string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", nil, fmt.Errorf("dist: broker listen: %w", err)
 	}
 	n := &tcpNetwork{
-		ln:   ln,
-		conn: make(map[string]*gob.Encoder),
-		encM: make(map[string]*sync.Mutex),
+		ln:    ln,
+		conn:  make(map[string]*gob.Encoder),
+		encM:  make(map[string]*sync.Mutex),
+		socks: make(map[net.Conn]struct{}),
 	}
-	go n.acceptLoop()
-	return n, ln.Addr().String(), ln.Close, nil
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.acceptLoop()
+	}()
+	closer := func() error {
+		err := ln.Close()
+		n.mu.Lock()
+		for c := range n.socks {
+			_ = c.Close() // unblocks the serve loop's Decode
+		}
+		n.mu.Unlock()
+		n.wg.Wait()
+		return err
+	}
+	return n, ln.Addr().String(), closer, nil
 }
 
 func (n *tcpNetwork) acceptLoop() {
@@ -44,19 +64,31 @@ func (n *tcpNetwork) acceptLoop() {
 		if err != nil {
 			return // broker closed
 		}
-		go n.serve(c)
+		n.mu.Lock()
+		n.socks[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serve(c)
+		}()
 	}
 }
 
 // serve handles one node connection: first message announces the node's
 // name; subsequent messages are relayed to their recipients.
 func (n *tcpNetwork) serve(c net.Conn) {
+	defer func() {
+		n.mu.Lock()
+		delete(n.socks, c)
+		n.mu.Unlock()
+		_ = c.Close() // broker teardown; the peer sees EOF either way
+	}()
 	dec := gob.NewDecoder(c)
 	enc := gob.NewEncoder(c)
 	var hello Message
 	if err := dec.Decode(&hello); err != nil || hello.Kind != "hello" {
-		_ = c.Close() // bad handshake; drop the connection
-		return
+		return // bad handshake; the deferred close drops the connection
 	}
 	name := hello.From
 	mu := &sync.Mutex{}
@@ -64,6 +96,12 @@ func (n *tcpNetwork) serve(c net.Conn) {
 	n.conn[name] = enc
 	n.encM[name] = mu
 	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.conn, name)
+		delete(n.encM, name)
+		n.mu.Unlock()
+	}()
 	// Ack the hello only after the node is registered: Join blocks on this
 	// ack, so once any node's Join returns, messages sent to it cannot be
 	// dropped as "recipient unknown" by a broker that has not caught up.
@@ -71,16 +109,8 @@ func (n *tcpNetwork) serve(c net.Conn) {
 	err := enc.Encode(Message{To: name, Kind: "hello.ok"})
 	mu.Unlock()
 	if err != nil {
-		_ = c.Close() // ack failed; the peer sees a decode error
-		return
+		return // ack failed; the peer sees a decode error
 	}
-	defer func() {
-		n.mu.Lock()
-		delete(n.conn, name)
-		delete(n.encM, name)
-		n.mu.Unlock()
-		_ = c.Close() // broker teardown; the peer sees EOF either way
-	}()
 	for {
 		var m Message
 		if err := dec.Decode(&m); err != nil {

@@ -50,6 +50,8 @@ type Random struct {
 func (Random) Name() string { return "RANDOM" }
 
 // OnArrival implements the random location policy.
+//
+//lint:ignore drawdiscipline the draw happens iff the job transfers, a pure function of the deterministic queue state
 func (p Random) OnArrival(home int, q []int, r *queueing.RNG) int {
 	if q[home] < p.Threshold || len(q) == 1 {
 		return home

@@ -44,6 +44,7 @@ func MustQuantile(p float64) *Quantile {
 func (q *Quantile) Add(x float64) {
 	q.n++
 	if len(q.initial) < 5 {
+		//lint:ignore allocfree warmup only: the first five observations fill a bootstrap slice that never grows again
 		q.initial = append(q.initial, x)
 		if len(q.initial) == 5 {
 			sort.Float64s(q.initial)

@@ -46,6 +46,8 @@ func (r *RNG) Split(stream uint64) *RNG {
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
+//
+//lb:hotpath
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17
@@ -59,6 +61,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Float64 returns a uniform value in [0,1) with 53 random bits.
+//
+//lb:hotpath
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
@@ -66,6 +70,8 @@ func (r *RNG) Float64() float64 {
 // Exp returns an exponentially distributed value with the given rate
 // (mean 1/rate) using the ziggurat method (see ziggurat.go). rate must
 // be positive.
+//
+//lb:hotpath
 func (r *RNG) Exp(rate float64) float64 {
 	if rate <= 0 {
 		panic("queueing: Exp requires positive rate")
@@ -77,6 +83,8 @@ func (r *RNG) Exp(rate float64) float64 {
 // -ln(1-U)/rate. It consumes exactly one Float64 and exists as the
 // slower reference implementation the ziggurat sampler is validated
 // against; the simulator draws through Exp.
+//
+//lb:hotpath
 func (r *RNG) ExpInv(rate float64) float64 {
 	if rate <= 0 {
 		panic("queueing: ExpInv requires positive rate")
@@ -95,6 +103,8 @@ func (r *RNG) ExpInv(rate float64) float64 {
 // every bucket's preimage exactly ⌊2^64/n⌋ states. The rejection loop
 // consumes a variable number of Uint64 draws, which is fine for
 // determinism: consumption is a pure function of the stream itself.
+//
+//lb:hotpath
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("queueing: Intn requires positive n")
@@ -113,6 +123,8 @@ func (r *RNG) Intn(n int) int {
 // Pick returns an index i with probability weights[i]/Σweights. Weights
 // must be non-negative with a positive sum; used by the dispatcher to
 // route jobs according to allocation fractions.
+//
+//lb:hotpath
 func (r *RNG) Pick(weights []float64) int {
 	var total float64
 	for _, w := range weights {

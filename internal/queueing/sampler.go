@@ -125,6 +125,8 @@ func (a *AliasSampler) N() int { return len(a.prob) }
 // column's biased coin. The fractional split costs at most one part in
 // 2^53 of uniformity per draw — far below the simulator's statistical
 // resolution.
+//
+//lb:hotpath
 func (a *AliasSampler) Sample(r *RNG) int {
 	u := r.Float64() * float64(len(a.prob))
 	i := int(u)
@@ -168,6 +170,8 @@ func (p *Picker) N() int { return len(p.cum) }
 
 // Pick draws one index, consuming exactly one Float64 from r. Indices
 // with zero weight are never returned.
+//
+//lb:hotpath
 func (p *Picker) Pick(r *RNG) int {
 	total := p.cum[len(p.cum)-1]
 	u := r.Float64() * total

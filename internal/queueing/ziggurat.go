@@ -53,6 +53,8 @@ func init() {
 }
 
 // expUnit returns a unit-rate exponential sample via the ziggurat.
+//
+//lb:hotpath
 func (r *RNG) expUnit() float64 {
 	for {
 		j := uint64(uint32(r.Uint64() >> 32))
