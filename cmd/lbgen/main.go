@@ -1,0 +1,143 @@
+// Command lbgen emits a deterministic load-estimate stream as JSON
+// Lines on stdout: diurnal (piecewise-NHPP shaped) per-user arrival
+// rates and per-computer processing rates with seeded jitter and
+// scripted churn. Pipe it into lbd to close the loop:
+//
+//	lbgen -seed 7 -steps 120 -crash 1:30 -restore 1:60 -join 30:80 | lbd -metrics
+//
+// The same seed and flags always produce a byte-identical stream, so a
+// piped closed loop replays exactly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gtlb"
+	"gtlb/internal/cliutil"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "jitter RNG seed")
+	steps := flag.Int("steps", 100, "number of estimates to emit (<= 0 streams forever)")
+	dt := flag.Float64("dt", 1, "logical seconds between estimates")
+	computers := flag.String("computers", "40,40,25,15", "comma-separated computer processing rates (jobs/s)")
+	users := flag.String("users", "20,15,10,8,5", "comma-separated base user arrival rates (jobs/s)")
+	profile := flag.String("profile", "0.6,1.0,1.5,1.1,0.7", "diurnal rate multipliers, empty for a flat profile")
+	segment := flag.Float64("segment", 25, "seconds per diurnal profile segment")
+	jitter := flag.Float64("jitter", 0.08, "relative uniform jitter amplitude in [0,1)")
+	source := flag.String("source", "lbgen", "source tag stamped on every estimate")
+	var crashes, restores, joins eventList
+	flag.Var(&crashes, "crash", "crash computer i at step s, as i:s (repeatable)")
+	flag.Var(&restores, "restore", "restore computer i at step s, as i:s (repeatable)")
+	flag.Var(&joins, "join", "join a new computer with rate mu at step s, as mu:s (repeatable)")
+	flag.Parse()
+
+	cfg := gtlb.LoadGenConfig{
+		Seed:    *seed,
+		Steps:   *steps,
+		DT:      *dt,
+		Segment: *segment,
+		Jitter:  *jitter,
+		Source:  *source,
+	}
+	var err error
+	if cfg.Mu, err = cliutil.ParseRates(*computers); err != nil {
+		fatal(err)
+	}
+	if cfg.Users, err = cliutil.ParseRates(*users); err != nil {
+		fatal(err)
+	}
+	if *profile != "" {
+		if cfg.Multipliers, err = cliutil.ParseRates(*profile); err != nil {
+			fatal(err)
+		}
+	}
+	for _, ev := range crashes {
+		cfg.Events = append(cfg.Events, gtlb.ChurnEvent{Kind: gtlb.ChurnCrash, Computer: int(ev.a), Step: ev.s})
+	}
+	for _, ev := range restores {
+		cfg.Events = append(cfg.Events, gtlb.ChurnEvent{Kind: gtlb.ChurnRestore, Computer: int(ev.a), Step: ev.s})
+	}
+	for _, ev := range joins {
+		cfg.Events = append(cfg.Events, gtlb.ChurnEvent{Kind: gtlb.ChurnJoin, Mu: ev.a, Step: ev.s})
+	}
+
+	g, err := gtlb.NewLoadGenerator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Graceful shutdown: a signal ends the stream at an estimate
+	// boundary (the consumer sees clean EOF, never a torn line).
+	sigCh, stopSig := cliutil.ShutdownSignal()
+	defer stopSig()
+
+	w := bufio.NewWriter(os.Stdout)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-sigCh:
+			stopSig()
+			if err := w.Flush(); err != nil {
+				fatal(err)
+			}
+			return
+		default:
+		}
+		e, ok := g.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(e); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lbgen: %v\n", err)
+	os.Exit(1)
+}
+
+// eventList parses repeatable a:step flags (computer:step or mu:step).
+type eventList []struct {
+	a float64
+	s int
+}
+
+func (l *eventList) String() string {
+	var parts []string
+	for _, ev := range *l {
+		parts = append(parts, fmt.Sprintf("%g:%d", ev.a, ev.s))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *eventList) Set(v string) error {
+	aStr, sStr, ok := strings.Cut(v, ":")
+	if !ok {
+		return fmt.Errorf("want value:step, got %q", v)
+	}
+	a, err := strconv.ParseFloat(aStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", v, err)
+	}
+	s, err := strconv.Atoi(sStr)
+	if err != nil || s < 0 {
+		return fmt.Errorf("bad step in %q: want a non-negative integer", v)
+	}
+	*l = append(*l, struct {
+		a float64
+		s int
+	}{a, s})
+	return nil
+}

@@ -26,9 +26,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gtlb"
+	"gtlb/internal/cliutil"
 )
 
 func main() {
@@ -49,9 +51,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
 		os.Exit(1)
 	}
-	//lint:ignore errcheck broker teardown as the process exits
-	defer closeFn()
+	// teardown runs exactly once: on normal exit via the defers below,
+	// or early from the signal handler before its exit(0).
+	var teardownOnce sync.Once
+	teardown := func() {
+		teardownOnce.Do(func() {
+			//lint:ignore errcheck broker teardown as the process exits
+			closeFn()
+		})
+	}
+	defer teardown()
 	fmt.Printf("broker listening on %s\n\n", brokerAddr)
+
+	// Graceful shutdown: the first SIGINT/SIGTERM tears the broker down
+	// cleanly and exits 0; a second signal kills the process as usual.
+	sigCh, stopSig := cliutil.ShutdownSignal()
+	defer stopSig()
+	go func() {
+		s := <-sigCh
+		stopSig()
+		fmt.Fprintf(os.Stderr, "\nlbnode: caught %v, shutting down\n", s)
+		teardown()
+		os.Exit(0)
+	}()
 
 	chaosOn := *drop > 0 || *delay > 0 || *crash != "" || *chaosSeed != 0
 	reg := gtlb.NewRegistry()
@@ -91,7 +113,9 @@ func main() {
 
 	report := func() {
 		if chaosOn || *showMetrics {
-			fmt.Printf("\nrun metrics:\n%s\n", reg)
+			fmt.Println()
+			//lint:ignore errcheck stdout exposition as the run exits
+			cliutil.WriteRegistry(os.Stdout, reg)
 		}
 	}
 	switch *proto {

@@ -1,9 +1,10 @@
-// Analyzer leakcheck: internal/dist is the one subtree that spawns
-// goroutines (brokers, protocol nodes, chaos wrappers), and a goroutine
-// with no join path outlives its owner — in tests it trips the race
-// detector long after the cause, in the future lbd daemon it is a slow
-// leak. Every `go` statement must therefore exhibit one of three join
-// disciplines:
+// Analyzer leakcheck: internal/dist, internal/ctrl and internal/cliutil
+// are the subtrees that spawn goroutines (brokers, protocol nodes,
+// chaos wrappers, the lbd ingest loop, exposition tickers), and a
+// goroutine with no join path outlives its owner — in tests it trips
+// the race detector long after the cause, in the resident lbd daemon it
+// is a slow leak. Every `go` statement must therefore exhibit one of
+// three join disciplines:
 //
 //  1. a join primitive travels with the spawn: a channel, a
 //     context.Context, or a *sync.WaitGroup appears among the spawned
@@ -26,12 +27,13 @@ import (
 	"go/types"
 )
 
-// LeakCheck flags goroutines in internal/dist without a join path.
+// LeakCheck flags goroutines spawned without a join path in the
+// goroutine-bearing subtrees.
 var LeakCheck = &Analyzer{
 	Name:  "leakcheck",
-	Doc:   "flags goroutines launched in internal/dist without a WaitGroup/channel/context join path",
+	Doc:   "flags goroutines launched in internal/dist, internal/ctrl or internal/cliutil without a WaitGroup/channel/context join path",
 	Files: FilesNonTest,
-	Match: func(u *Unit) bool { return inModulePackage(u, "internal/dist") },
+	Match: func(u *Unit) bool { return inModulePackage(u, "internal/dist", "internal/ctrl", "internal/cliutil") },
 	Run:   runLeakCheck,
 }
 

@@ -28,6 +28,7 @@ import (
 var detPackages = []string{
 	"internal/des",
 	"internal/core",
+	"internal/ctrl",
 	"internal/experiments",
 	"internal/queueing",
 	"internal/schemes",

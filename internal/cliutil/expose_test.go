@@ -1,0 +1,160 @@
+package cliutil
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gtlb/internal/ctrl"
+	"gtlb/internal/dist"
+	"gtlb/internal/obs"
+)
+
+// table51Values is the Table 5.1 computer speed vector (1/μ).
+func table51Values() []float64 {
+	mus := []float64{
+		0.13, 0.13,
+		0.065, 0.065, 0.065,
+		0.026, 0.026, 0.026, 0.026, 0.026,
+		0.013, 0.013, 0.013, 0.013, 0.013, 0.013,
+	}
+	t := make([]float64, len(mus))
+	for i, m := range mus {
+		t[i] = 1 / m
+	}
+	return t
+}
+
+// syncWriter is a mutex-guarded buffer for the exposition goroutine.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestExposeLBM(t *testing.T) {
+	t.Parallel()
+	svc, err := dist.NewLBMService(dist.NewMemNetwork, table51Values(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	svc.SetOptions(dist.LBMOptions{Observer: reg})
+
+	var before strings.Builder
+	if err := ExposeLBM(&before, svc, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(before.String(), "no completed rounds") {
+		t.Errorf("pre-round exposition = %q", before.String())
+	}
+
+	if _, err := svc.Start(0.3 * 0.663); err != nil {
+		t.Fatal(err)
+	}
+	var after strings.Builder
+	if err := ExposeLBM(&after, svc, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := after.String()
+	if !strings.Contains(out, "rounds=1") {
+		t.Errorf("exposition lacks the round count: %q", out)
+	}
+	// The registry block rides along in the shared format, the
+	// protocol's bid counter among its metrics.
+	if !strings.Contains(out, "run metrics:") || !strings.Contains(out, "lbm.bid=") {
+		t.Errorf("exposition lacks the registry metrics: %q", out)
+	}
+
+	// Periodic mode: at least one tick lands, and stop is idempotent.
+	w := &syncWriter{}
+	stop := StartExposition(w, time.Millisecond, func(out io.Writer) error {
+		return ExposeLBM(out, svc, reg)
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for w.String() == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop()
+	if !strings.Contains(w.String(), "rounds=1") {
+		t.Errorf("periodic exposition wrote %q", w.String())
+	}
+}
+
+func TestExposeCtrl(t *testing.T) {
+	t.Parallel()
+	net := dist.NewMemNetwork()
+	conn, err := net.Join("lbd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.Join("lbgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	d, err := ctrl.NewDaemon(conn, ctrl.DaemonConfig{
+		Controller:  ctrl.Config{Observer: reg},
+		PollTimeout: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var before strings.Builder
+	if err := ExposeCtrl(&before, d, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(before.String(), "no committed epochs") {
+		t.Errorf("pre-epoch exposition = %q", before.String())
+	}
+
+	d.Start()
+	m, err := ctrl.EncodeMessage("lbd", ctrl.Estimate{Seq: 1, Time: 0, Phi: []float64{10}, Mu: []float64{40, 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	var after strings.Builder
+	if err := ExposeCtrl(&after, d, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := after.String()
+	if !strings.Contains(out, "epochs=1") {
+		t.Errorf("exposition lacks the epoch count: %q", out)
+	}
+	if !strings.Contains(out, "run metrics:") || !strings.Contains(out, "ctrl.realloc=") {
+		t.Errorf("exposition lacks the registry metrics: %q", out)
+	}
+}
+
+func TestWriteRegistryNil(t *testing.T) {
+	t.Parallel()
+	var b strings.Builder
+	if err := WriteRegistry(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("nil registry wrote %q", b.String())
+	}
+}

@@ -46,10 +46,13 @@ func (o *ObsFlags) Options() ([]gtlb.Option, error) {
 	return opts, nil
 }
 
-// Report prints the metrics registry to stdout when -metrics was set.
+// Report prints the metrics registry to stdout when -metrics was set,
+// in the shared exposition format.
 func (o *ObsFlags) Report() {
 	if o.reg != nil && *o.metrics {
-		fmt.Printf("\nrun metrics:\n%s\n", o.reg)
+		fmt.Println()
+		//lint:ignore errcheck stdout exposition as the run exits
+		WriteRegistry(os.Stdout, o.reg)
 	}
 }
 

@@ -1,0 +1,18 @@
+package cliutil
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ShutdownSignal returns a channel that delivers the first SIGINT or
+// SIGTERM, so long-running commands can drain in-flight work and exit 0
+// instead of dying mid-epoch. The returned stop function releases the
+// signal registration (a second signal then kills the process the
+// default way — the operator's escape hatch from a wedged drain).
+func ShutdownSignal() (<-chan os.Signal, func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch, func() { signal.Stop(ch) }
+}

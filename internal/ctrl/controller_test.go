@@ -1,0 +1,518 @@
+package ctrl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gtlb/internal/numeric"
+	"gtlb/internal/obs"
+)
+
+// checkFeasible asserts the Φ-feasibility invariant on a committed
+// decision: every computer's load stays strictly below its rate and the
+// admitted total matches the allocation.
+func checkFeasible(t *testing.T, c *Controller, e Estimate, dec Decision) {
+	t.Helper()
+	if dec.Action != ActionRealloc {
+		return
+	}
+	alloc, ok := c.Allocation()
+	if !ok {
+		t.Fatalf("seq %d: committed epoch but no allocation", e.Seq)
+	}
+	if len(alloc.Lambda) != len(e.Mu) {
+		t.Fatalf("seq %d: allocation width %d for %d computers", e.Seq, len(alloc.Lambda), len(e.Mu))
+	}
+	var sum float64
+	for i, l := range alloc.Lambda {
+		if l < 0 {
+			t.Fatalf("seq %d: negative load %g on computer %d", e.Seq, l, i)
+		}
+		if e.Mu[i] <= 0 && l != 0 {
+			t.Fatalf("seq %d: down computer %d carries load %g", e.Seq, i, l)
+		}
+		if l > 0 && l >= e.Mu[i] {
+			t.Fatalf("seq %d: computer %d overloaded: lambda %g >= mu %g", e.Seq, i, l, e.Mu[i])
+		}
+		sum += l
+	}
+	if !numeric.AlmostEqual(sum, dec.Admitted, 1e-6) && math.Abs(sum-dec.Admitted) > 1e-9 {
+		t.Fatalf("seq %d: allocation sum %g != admitted %g", e.Seq, sum, dec.Admitted)
+	}
+	capSum, _ := e.UpCapacity()
+	if sum >= capSum && sum > 0 {
+		t.Fatalf("seq %d: admitted %g >= capacity %g", e.Seq, sum, capSum)
+	}
+}
+
+func mustController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControllerFirstEstimateCommits(t *testing.T) {
+	t.Parallel()
+	c := mustController(t, Config{})
+	e := Estimate{Seq: 1, Time: 0, Phi: []float64{30, 20}, Mu: []float64{40, 40, 10}}
+	dec, err := c.Ingest(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Action != ActionRealloc || dec.Epoch != 1 {
+		t.Fatalf("first estimate: %+v", dec)
+	}
+	if dec.Offered != 50 || dec.Admitted != 50 {
+		t.Fatalf("offered/admitted = %g/%g", dec.Offered, dec.Admitted)
+	}
+	checkFeasible(t, c, e, dec)
+}
+
+// TestHysteresisHoldsSubDeadbandWiggles is the satellite's hysteresis
+// proof: rate wiggles below the deadband produce zero reassignments —
+// the epoch counter, the allocation and the moved-load metric all stay
+// put — while a super-deadband change re-solves.
+func TestHysteresisHoldsSubDeadbandWiggles(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	c := mustController(t, Config{Deadband: 0.05, Observer: reg})
+	base := Estimate{Seq: 1, Time: 0, Phi: []float64{30, 20}, Mu: []float64{40, 40, 20}}
+	if _, err := c.Ingest(base); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.Allocation()
+
+	for k := 1; k <= 20; k++ {
+		wiggle := 1 + 0.04*math.Sin(float64(k)) // at most ±4% < 5% deadband
+		e := Estimate{
+			Seq:  1 + k,
+			Time: float64(k),
+			Phi:  []float64{30 * wiggle, 20 * wiggle},
+			Mu:   []float64{40, 40, 20 * (2 - wiggle)},
+		}
+		dec, err := c.Ingest(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Action != ActionHold {
+			t.Fatalf("step %d: action %s (drift %g), want hold", k, dec.Action, dec.Drift)
+		}
+		if dec.Moved != 0 || dec.MovedN != 0 {
+			t.Fatalf("step %d: hold moved %g load across %d computers", k, dec.Moved, dec.MovedN)
+		}
+	}
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch advanced to %d on sub-deadband wiggles", c.Epoch())
+	}
+	after, _ := c.Allocation()
+	for i := range before.Lambda {
+		if before.Lambda[i] != after.Lambda[i] {
+			t.Fatalf("allocation changed on hold: computer %d %g -> %g", i, before.Lambda[i], after.Lambda[i])
+		}
+	}
+	if got := reg.Get("ctrl.hold"); got != 20 {
+		t.Errorf("ctrl.hold counter = %d, want 20", got)
+	}
+
+	// A 10% load jump trips the band and re-solves.
+	dec, err := c.Ingest(Estimate{Seq: 100, Time: 30, Phi: []float64{33, 22}, Mu: []float64{40, 40, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Action != ActionRealloc || dec.Epoch != 2 {
+		t.Fatalf("super-deadband estimate: %+v", dec)
+	}
+	if !dec.Warm.Warm {
+		t.Error("re-solve should warm-start from the previous fixed point")
+	}
+}
+
+// TestHysteresisCreepEventuallyTrips pins the baseline semantics: drift
+// is measured against the last *committed* estimate, so sub-deadband
+// steps that creep in one direction accumulate and eventually re-solve.
+func TestHysteresisCreepEventuallyTrips(t *testing.T) {
+	t.Parallel()
+	c := mustController(t, Config{Deadband: 0.05})
+	phi := 30.0
+	if _, err := c.Ingest(Estimate{Seq: 1, Time: 0, Phi: []float64{phi}, Mu: []float64{40, 40}}); err != nil {
+		t.Fatal(err)
+	}
+	tripped := false
+	for k := 1; k <= 10; k++ {
+		phi *= 1.02 // 2% per step, under the 5% band per-step
+		dec, err := c.Ingest(Estimate{Seq: 1 + k, Time: float64(k), Phi: []float64{phi}, Mu: []float64{40, 40}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Action == ActionRealloc {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("10 compounding 2% steps (>22% total) never tripped a 5% deadband")
+	}
+}
+
+func TestAdmissionShedNeverErrors(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	c := mustController(t, Config{Headroom: 0.9, Observer: reg})
+	// Offered 100 against capacity 50: infeasible, must shed, not fail.
+	e := Estimate{Seq: 1, Time: 0, Phi: []float64{60, 40}, Mu: []float64{25, 25}}
+	dec, err := c.Ingest(e)
+	if err != nil {
+		t.Fatalf("overload must shed, not error: %v", err)
+	}
+	if dec.Action != ActionRealloc {
+		t.Fatalf("action = %s", dec.Action)
+	}
+	if want := 100 - 0.9*50; !numeric.AlmostEqual(dec.Shed, want, 1e-9) {
+		t.Fatalf("shed = %g, want %g", dec.Shed, want)
+	}
+	if !numeric.AlmostEqual(dec.Admitted, 45, 1e-9) {
+		t.Fatalf("admitted = %g, want 45", dec.Admitted)
+	}
+	checkFeasible(t, c, e, dec)
+	if reg.Get("ctrl.shed") == 0 {
+		t.Error("shed event not counted")
+	}
+
+	// Total capacity loss: everything sheds, still no error.
+	e2 := Estimate{Seq: 2, Time: 1, Phi: []float64{60, 40}, Mu: []float64{0, 0}}
+	dec, err = c.Ingest(e2)
+	if err != nil {
+		t.Fatalf("zero capacity must shed everything, not error: %v", err)
+	}
+	if dec.Admitted != 0 || !numeric.AlmostEqual(dec.Shed, 100, 1e-9) {
+		t.Fatalf("zero capacity: admitted %g shed %g", dec.Admitted, dec.Shed)
+	}
+	alloc, _ := c.Allocation()
+	for i, l := range alloc.Lambda {
+		if l != 0 {
+			t.Fatalf("computer %d loaded %g with zero capacity", i, l)
+		}
+	}
+}
+
+func TestAdmissionQueueBacklogDrainsDamped(t *testing.T) {
+	t.Parallel()
+	c := mustController(t, Config{Policy: Queue, Headroom: 0.9, DrainGain: 0.5, Deadband: 0.01})
+	// Healthy epoch.
+	if _, err := c.Ingest(Estimate{Seq: 1, Time: 0, Phi: []float64{40}, Mu: []float64{40, 40}}); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity crash: offered 40 > 0.9·40 = 36 ⇒ overflow 4 jobs/s
+	// accumulates into the backlog over the next epochs.
+	for k := 1; k <= 3; k++ {
+		dec, err := c.Ingest(Estimate{Seq: 1 + k, Time: float64(k), Phi: []float64{40}, Mu: []float64{40, 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Shed != 0 {
+			t.Fatalf("queue policy shed %g", dec.Shed)
+		}
+		if want := 4 * float64(k); !numeric.AlmostEqual(dec.Backlog, want, 1e-9) {
+			t.Fatalf("step %d: backlog %g, want %g", k, dec.Backlog, want)
+		}
+	}
+	// Capacity returns: the backlog drains, damped by the gain — never
+	// more than γ·(capacity − offered) extra admission per epoch — and
+	// reaches zero without oscillating.
+	prev := c.Backlog()
+	drained := false
+	for k := 4; k <= 40; k++ {
+		dec, err := c.Ingest(Estimate{Seq: 1 + k, Time: float64(k), Phi: []float64{40}, Mu: []float64{40, 40}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Backlog > prev {
+			t.Fatalf("step %d: backlog grew %g -> %g after recovery", k, prev, dec.Backlog)
+		}
+		maxExtra := 0.5 * (0.9*80 - 40)
+		if dec.Admitted > 40+maxExtra+1e-9 {
+			t.Fatalf("step %d: drain admitted %g exceeds damped bound %g", k, dec.Admitted, 40+maxExtra)
+		}
+		prev = dec.Backlog
+		if dec.Backlog == 0 {
+			drained = true
+			break
+		}
+	}
+	if !drained {
+		t.Fatalf("backlog never drained: %g left", prev)
+	}
+}
+
+func TestChurnCrashMidEpochEjectsAndWarmResolves(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	c := mustController(t, Config{Observer: reg})
+	if _, err := c.Ingest(Estimate{Seq: 1, Time: 0, Phi: []float64{50}, Mu: []float64{40, 30, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	// Computer 1 crashes: even with unchanged rates elsewhere the
+	// change is structural and bypasses the deadband.
+	e := Estimate{Seq: 2, Time: 1, Phi: []float64{50}, Mu: []float64{40, 0, 20}}
+	dec, err := c.Ingest(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Action != ActionRealloc {
+		t.Fatalf("crash held instead of re-solving: %+v", dec)
+	}
+	if len(dec.Ejected) != 1 || dec.Ejected[0] != 1 {
+		t.Fatalf("ejected = %v, want [1]", dec.Ejected)
+	}
+	if !dec.Warm.Warm {
+		t.Error("crash re-solve should warm-start from the survivor set")
+	}
+	checkFeasible(t, c, e, dec)
+	if reg.Get("ctrl.eject") != 1 {
+		t.Errorf("ctrl.eject = %d", reg.Get("ctrl.eject"))
+	}
+
+	// The crashed computer rejoins, plus a brand-new one appends.
+	e = Estimate{Seq: 3, Time: 2, Phi: []float64{50}, Mu: []float64{40, 30, 20, 25}}
+	dec, err = c.Ingest(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Joined) != 2 {
+		t.Fatalf("joined = %v, want rejoin of 1 and join of 3", dec.Joined)
+	}
+	checkFeasible(t, c, e, dec)
+	if reg.Get("ctrl.join") != 2 {
+		t.Errorf("ctrl.join = %d", reg.Get("ctrl.join"))
+	}
+}
+
+func TestEpochFencingDiscardsStale(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	c := mustController(t, Config{MaxAge: 10, Observer: reg})
+	if _, err := c.Ingest(Estimate{Seq: 5, Time: 100, Phi: []float64{10}, Mu: []float64{40}}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.Allocation()
+
+	// Duplicate and reordered deliveries: Seq does not advance.
+	for _, seq := range []int{5, 4, 1} {
+		dec, err := c.Ingest(Estimate{Seq: seq, Time: 101, Phi: []float64{99}, Mu: []float64{40}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Action != ActionStale {
+			t.Fatalf("seq %d after 5: action %s", seq, dec.Action)
+		}
+	}
+	// Fresh Seq but expired Time: 100 − 10 > 85.
+	dec, err := c.Ingest(Estimate{Seq: 6, Time: 85, Phi: []float64{99}, Mu: []float64{40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Action != ActionStale {
+		t.Fatalf("aged estimate applied: %+v", dec)
+	}
+	after, _ := c.Allocation()
+	for i := range before.Lambda {
+		if before.Lambda[i] != after.Lambda[i] {
+			t.Fatal("stale estimate mutated the allocation")
+		}
+	}
+	if got := reg.Get("ctrl.stale"); got != 4 {
+		t.Errorf("ctrl.stale = %d, want 4", got)
+	}
+	if c.Epoch() != 1 {
+		t.Errorf("epoch = %d", c.Epoch())
+	}
+}
+
+func TestControllerRejectsInvalidEstimates(t *testing.T) {
+	t.Parallel()
+	c := mustController(t, Config{})
+	bad := []Estimate{
+		{Seq: 1, Phi: []float64{1}, Mu: nil},
+		{Seq: 1, Phi: nil, Mu: []float64{1}},
+		{Seq: 1, Phi: []float64{math.NaN()}, Mu: []float64{1}},
+		{Seq: 1, Phi: []float64{-1}, Mu: []float64{1}},
+		{Seq: 1, Phi: []float64{1}, Mu: []float64{math.Inf(1)}},
+		{Seq: 1, Time: -1, Phi: []float64{1}, Mu: []float64{1}},
+	}
+	for i, e := range bad {
+		if _, err := c.Ingest(e); err == nil {
+			t.Errorf("estimate %d accepted: %+v", i, e)
+		}
+	}
+	if c.Epoch() != 0 {
+		t.Errorf("invalid estimates committed epochs: %d", c.Epoch())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+	bad := []Config{
+		{Deadband: -1},
+		{Headroom: 1.5},
+		{Headroom: -0.1},
+		{DrainGain: 2},
+		{DrainGain: -1},
+		{MaxAge: -3},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// runStream feeds a generator through a controller, collecting the
+// epoch log and asserting feasibility at every committed epoch.
+func runStream(t *testing.T, c *Controller, g *Generator) []string {
+	t.Helper()
+	var log []string
+	for {
+		e, ok := g.Next()
+		if !ok {
+			return log
+		}
+		dec, err := c.Ingest(e)
+		if err != nil {
+			t.Fatalf("seq %d: %v", e.Seq, err)
+		}
+		checkFeasible(t, c, e, dec)
+		log = append(log, dec.String())
+	}
+}
+
+func soakGenConfig() GenConfig {
+	return GenConfig{
+		Seed:        7,
+		Mu:          []float64{40, 40, 25, 15},
+		Users:       []float64{20, 15, 10, 8, 5},
+		Steps:       120,
+		DT:          1,
+		Multipliers: []float64{0.6, 1.0, 1.5, 1.1, 0.7},
+		Segment:     25,
+		Jitter:      0.08,
+		Events: []ChurnEvent{
+			{Step: 30, Kind: ChurnCrash, Computer: 1},
+			{Step: 60, Kind: ChurnRestore, Computer: 1},
+			{Step: 80, Kind: ChurnJoin, Mu: 30},
+			{Step: 100, Kind: ChurnCrash, Computer: 2},
+		},
+	}
+}
+
+// TestClosedLoopDeterministic is the acceptance criterion's replay
+// check: with a fixed seed the closed loop produces a byte-identical
+// epoch log across runs, chaos events included.
+func TestClosedLoopDeterministic(t *testing.T) {
+	t.Parallel()
+	logs := make([][]string, 2)
+	for run := range logs {
+		g, err := NewGenerator(soakGenConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := mustController(t, Config{Policy: Queue, Deadband: 0.1})
+		logs[run] = runStream(t, c, g)
+	}
+	if len(logs[0]) != len(logs[1]) {
+		t.Fatalf("log lengths differ: %d vs %d", len(logs[0]), len(logs[1]))
+	}
+	for i := range logs[0] {
+		if logs[0][i] != logs[1][i] {
+			t.Fatalf("epoch log line %d differs:\n  %s\n  %s", i, logs[0][i], logs[1][i])
+		}
+	}
+	// The scripted churn must actually have exercised eject and join.
+	joined := strings.Join(logs[0], "\n")
+	if !strings.Contains(joined, "ejected=[1]") || !strings.Contains(joined, "joined=[4]") {
+		t.Fatalf("scripted churn missing from the log:\n%s", joined)
+	}
+}
+
+// TestCheckpointRestartResumes is the crash-recovery acceptance check:
+// kill the controller after any prefix of the stream, restore from its
+// checkpoint, and the remaining decisions are identical to the
+// uninterrupted run's.
+func TestCheckpointRestartResumes(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Policy: Queue, Deadband: 0.1}
+
+	// Uninterrupted reference run.
+	g, err := NewGenerator(soakGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := runStream(t, mustController(t, cfg), g)
+
+	for _, cut := range []int{1, 17, 59, 100} {
+		// Run the prefix, checkpoint, discard the controller.
+		g, err := NewGenerator(soakGenConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := mustController(t, cfg)
+		var log []string
+		for i := 0; i < cut; i++ {
+			e, ok := g.Next()
+			if !ok {
+				t.Fatalf("stream ended before cut %d", cut)
+			}
+			dec, err := c.Ingest(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			log = append(log, dec.String())
+		}
+		ck := c.Checkpoint()
+
+		// "Restart": a fresh controller restored from the checkpoint
+		// finishes the stream.
+		c2, err := Restore(cfg, ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.Epoch() != ck.Epoch {
+			t.Fatalf("cut %d: restored epoch %d != checkpoint %d", cut, c2.Epoch(), ck.Epoch)
+		}
+		log = append(log, runStream(t, c2, g)...)
+
+		if len(log) != len(ref) {
+			t.Fatalf("cut %d: log length %d != %d", cut, len(log), len(ref))
+		}
+		for i := range ref {
+			if log[i] != ref[i] {
+				t.Fatalf("cut %d: line %d differs after restart:\n  got  %s\n  want %s", cut, i, log[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Restore(Config{}, Checkpoint{Version: 99}); err == nil {
+		t.Error("future checkpoint version accepted")
+	}
+	if _, err := Restore(Config{}, Checkpoint{Version: checkpointVersion, Epoch: 2}); err == nil {
+		t.Error("committed checkpoint without a baseline accepted")
+	}
+	if _, err := Restore(Config{}, Checkpoint{Version: checkpointVersion, Epoch: 1,
+		BaseMu: []float64{1}, BasePhi: []float64{1}, Lambda: []float64{-1}, Used: []bool{true}}); err == nil {
+		t.Error("negative checkpoint load accepted")
+	}
+	// A fresh (epoch 0) checkpoint restores to a fresh controller.
+	c, err := Restore(Config{}, Checkpoint{Version: checkpointVersion, SeenSeq: math.MinInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Allocation(); ok {
+		t.Error("fresh restore has an allocation")
+	}
+}

@@ -1,0 +1,65 @@
+package ctrl
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLoadEstimate hammers the wire-decoding surface: arbitrary bytes
+// must never panic, and whatever decodes successfully must satisfy the
+// Estimate validity contract (so a malicious or corrupted peer cannot
+// smuggle NaN rates into the controller). Valid estimates round-trip.
+func FuzzLoadEstimate(f *testing.F) {
+	// Seed with a well-formed encoding and a few mutations of it.
+	seed := Estimate{Seq: 3, Time: 1.5, Phi: []float64{10, 5}, Mu: []float64{40, 0, 25}, Source: "lbgen"}
+	m, err := EncodeMessage("lbd", seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(m.Data)
+	f.Add([]byte{})
+	f.Add([]byte("not gob at all"))
+	if len(m.Data) > 4 {
+		trunc := append([]byte(nil), m.Data[:len(m.Data)/2]...)
+		f.Add(trunc)
+		flipped := append([]byte(nil), m.Data...)
+		flipped[len(flipped)-3] ^= 0xff
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEstimateBytes(data)
+		if err != nil {
+			return
+		}
+		// Decoded successfully: the validity contract must hold.
+		if len(e.Phi) == 0 || len(e.Mu) == 0 {
+			t.Fatalf("decoder accepted an empty estimate: %+v", e)
+		}
+		for _, p := range e.Phi {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatalf("decoder accepted invalid user rate %g", p)
+			}
+		}
+		for _, mu := range e.Mu {
+			if math.IsNaN(mu) || math.IsInf(mu, 0) {
+				t.Fatalf("decoder accepted invalid computer rate %g", mu)
+			}
+		}
+		if e.Time < 0 || math.IsNaN(e.Time) {
+			t.Fatalf("decoder accepted invalid time %g", e.Time)
+		}
+		// And a valid estimate survives a re-encode round trip.
+		m, err := EncodeMessage("x", e)
+		if err != nil {
+			t.Fatalf("re-encoding a valid estimate failed: %v", err)
+		}
+		e2, err := DecodeEstimate(m)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if e2.Seq != e.Seq || e2.Time != e.Time || len(e2.Phi) != len(e.Phi) || len(e2.Mu) != len(e.Mu) {
+			t.Fatalf("round trip changed the estimate: %+v -> %+v", e, e2)
+		}
+	})
+}

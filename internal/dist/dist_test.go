@@ -2,14 +2,11 @@ package dist
 
 import (
 	"math"
-	"strings"
 	"sync"
 	"testing"
-	"time"
 
 	"gtlb/internal/metrics"
 	"gtlb/internal/noncoop"
-	"gtlb/internal/obs"
 )
 
 func TestMemNetworkBasic(t *testing.T) {
@@ -425,71 +422,8 @@ func TestLBMService(t *testing.T) {
 	}
 }
 
-// syncWriter is a mutex-guarded buffer for the exposition goroutine.
-type syncWriter struct {
-	mu  sync.Mutex
-	buf strings.Builder
-}
-
-func (w *syncWriter) Write(p []byte) (int, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.buf.Write(p)
-}
-
-func (w *syncWriter) String() string {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.buf.String()
-}
-
-func TestLBMServiceExposition(t *testing.T) {
-	t.Parallel()
-	svc, err := NewLBMService(NewMemNetwork, table51Values(), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	reg := obs.NewRegistry()
-	svc.SetOptions(LBMOptions{Observer: reg})
-
-	var before strings.Builder
-	if err := svc.Expose(&before); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(before.String(), "no completed rounds") {
-		t.Errorf("pre-round exposition = %q", before.String())
-	}
-
-	if _, err := svc.Start(0.3 * 0.663); err != nil {
-		t.Fatal(err)
-	}
-	var after strings.Builder
-	if err := svc.Expose(&after); err != nil {
-		t.Fatal(err)
-	}
-	out := after.String()
-	if !strings.Contains(out, "rounds=1") {
-		t.Errorf("exposition lacks the round count: %q", out)
-	}
-	// The installed observer is a registry, so the exposition includes
-	// its metrics — the protocol's bid counter among them.
-	if !strings.Contains(out, "lbm.bid=") {
-		t.Errorf("exposition lacks the registry metrics: %q", out)
-	}
-
-	// Periodic mode: at least one tick lands, and stop is idempotent.
-	w := &syncWriter{}
-	stop := svc.StartExposition(w, time.Millisecond)
-	deadline := time.Now().Add(5 * time.Second)
-	for w.String() == "" && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	stop()
-	stop()
-	if !strings.Contains(w.String(), "rounds=1") {
-		t.Errorf("periodic exposition wrote %q", w.String())
-	}
-}
+// The exposition tests moved to internal/cliutil with the Expose
+// helpers themselves (see cliutil/expose_test.go).
 
 func TestLBMServiceValidation(t *testing.T) {
 	t.Parallel()

@@ -3,11 +3,7 @@ package dist
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sync"
-	"time"
-
-	"gtlb/internal/obs"
 )
 
 // LBMService is the long-running form of the §5.4 protocol: "this
@@ -104,64 +100,7 @@ func (s *LBMService) Stop() {
 	s.stopped = true
 }
 
-// Expose writes a one-shot text exposition of the service's state: the
-// allocation in force, the round count, and — when the installed
-// options carry an *obs.Registry observer — the registry's metrics.
-func (s *LBMService) Expose(w io.Writer) error {
-	s.mu.Lock()
-	res, phi, rounds := s.current, s.phi, s.rounds
-	o := s.opts.Observer
-	s.mu.Unlock()
-
-	if rounds == 0 {
-		if _, err := fmt.Fprintf(w, "lbm: no completed rounds\n"); err != nil {
-			return err
-		}
-	} else {
-		if _, err := fmt.Fprintf(w, "lbm: rounds=%d phi=%g loads=%.6g excluded=%d\n",
-			rounds, phi, res.Outcome.Loads, len(res.Excluded)); err != nil {
-			return err
-		}
-	}
-	if reg, ok := o.(*obs.Registry); ok && reg != nil {
-		if _, err := fmt.Fprintf(w, "%s\n", reg); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// StartExposition writes the Expose dump to w every interval until the
-// returned stop function is called. Write errors end the loop early
-// (the service itself is unaffected). Intervals at or below zero
-// default to 10 seconds.
-func (s *LBMService) StartExposition(w io.Writer, every time.Duration) (stop func()) {
-	if every <= 0 {
-		every = 10 * time.Second
-	}
-	done := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		tick := time.NewTicker(every)
-		defer tick.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-tick.C:
-				if err := s.Expose(w); err != nil {
-					return
-				}
-			}
-		}
-	}()
-	var once sync.Once
-	return func() {
-		once.Do(func() {
-			close(done)
-			wg.Wait()
-		})
-	}
-}
+// Exposition of the service's state lives in internal/cliutil
+// (ExposeLBM / StartExposition): one shared render format for every
+// CLI, and no import cycle — cliutil sits above both this package and
+// the facade.

@@ -39,7 +39,7 @@ func TestRegistryComplete(t *testing.T) {
 		"T4.1", "F4.2", "F4.3", "F4.4", "F4.5", "F4.6", "F4.7", "F4.8",
 		"T5.1", "F5.2", "F5.3", "F5.4", "F5.5", "F5.6", "F5.7",
 		"T6.1", "T6.2", "F6.1", "F6.2", "F6.3", "F6.4", "F6.5", "F6.6",
-		"X1", "X2", "X3", "X4", "X5", "X6", // extensions
+		"X1", "X2", "X3", "X4", "X5", "X6", "X7", // extensions
 	}
 	ids := IDs()
 	got := map[string]bool{}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gtlb/internal/bayes"
+	"gtlb/internal/ctrl"
 
 	"gtlb/internal/des"
 	"gtlb/internal/dynamic"
@@ -468,6 +469,156 @@ func FigX6() (Figure, error) {
 		ID:     "X6",
 		Title:  "Extension: NBS-fairness drift under heavy-tailed service",
 		Panels: []Panel{fair, mean},
+		Notes:  notes,
+	}, nil
+}
+
+// FigX7 exercises the live control plane (internal/ctrl) in a pure
+// closed loop: the deterministic diurnal generator drives the
+// reconciliation controller through a scripted capacity crash — the
+// fastest computer goes down mid-day and returns forty epochs later.
+// Three questions, one per panel: how much load the hysteresis deadband
+// keeps from sloshing between computers at steady state, how admission
+// control bridges the infeasible window (offered vs admitted vs queued
+// backlog), and how the drain gain trades recovery latency against
+// re-admission burst after the capacity returns.
+func FigX7() (Figure, error) {
+	const steps = 160
+	gen := ctrl.GenConfig{
+		Seed:        11,
+		Mu:          []float64{40, 40, 25, 15},
+		Users:       []float64{20, 15, 10, 8, 5},
+		Steps:       steps,
+		DT:          1,
+		Multipliers: []float64{0.6, 1.0, 1.5, 1.1, 0.7},
+		Segment:     32,
+		Jitter:      0.06,
+		Events: []ctrl.ChurnEvent{
+			{Step: 40, Kind: ctrl.ChurnCrash, Computer: 0},
+			{Step: 80, Kind: ctrl.ChurnRestore, Computer: 0},
+		},
+	}
+	run := func(deadband, gain float64) ([]ctrl.Decision, error) {
+		g, err := ctrl.NewGenerator(gen)
+		if err != nil {
+			return nil, err
+		}
+		c, err := ctrl.New(ctrl.Config{Deadband: deadband, Policy: ctrl.Queue, DrainGain: gain})
+		if err != nil {
+			return nil, err
+		}
+		var decs []ctrl.Decision
+		for {
+			e, ok := g.Next()
+			if !ok {
+				return decs, nil
+			}
+			dec, err := c.Ingest(e)
+			if err != nil {
+				return nil, err
+			}
+			decs = append(decs, dec)
+		}
+	}
+
+	// Panel 1: reallocation cost per epoch across deadbands. The tiny
+	// deadband re-solves on every estimate — jitter keeps moving load;
+	// the wider bands only move it when the diurnal profile or the
+	// churn makes it worth moving.
+	moved := Panel{Title: "Load moved per epoch vs hysteresis deadband (crash t=40, restore t=80)",
+		XLabel: "logical time (s)", YLabel: "moved load (jobs/s)"}
+	type bandRes struct {
+		total    float64
+		reallocs int
+	}
+	bands := []float64{1e-12, 0.1, 0.2}
+	bandStats := make([]bandRes, len(bands))
+	for bi, db := range bands {
+		decs, err := run(db, 0.5)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Name: fmt.Sprintf("deadband %g", db)}
+		for _, d := range decs {
+			s.X = append(s.X, d.Time)
+			s.Y = append(s.Y, d.Moved)
+			bandStats[bi].total += d.Moved
+			if d.Action == ctrl.ActionRealloc {
+				bandStats[bi].reallocs++
+			}
+		}
+		moved.Series = append(moved.Series, s)
+	}
+
+	// Panel 2: admission control across the infeasible window at the
+	// default deadband and gain.
+	adm := Panel{Title: "Admission control across the capacity crash (queue policy)",
+		XLabel: "logical time (s)", YLabel: "jobs/s (backlog: jobs)"}
+	decs, err := run(0.1, 0.5)
+	if err != nil {
+		return Figure{}, err
+	}
+	offered := Series{Name: "offered"}
+	admitted := Series{Name: "admitted"}
+	backlog := Series{Name: "backlog (jobs)"}
+	for _, d := range decs {
+		offered.X = append(offered.X, d.Time)
+		offered.Y = append(offered.Y, d.Offered)
+		admitted.X = append(admitted.X, d.Time)
+		admitted.Y = append(admitted.Y, d.Admitted)
+		backlog.X = append(backlog.X, d.Time)
+		backlog.Y = append(backlog.Y, d.Backlog)
+	}
+	adm.Series = append(adm.Series, offered, admitted, backlog)
+
+	// Panel 3: recovery latency vs drain gain — epochs from the restore
+	// until the queued backlog fully re-admits.
+	drain := Panel{Title: "Backlog drain after the capacity returns, by drain gain",
+		XLabel: "logical time (s)", YLabel: "backlog (jobs)"}
+	gains := []float64{0.25, 0.5, 1.0}
+	recovery := make([]float64, len(gains))
+	for gi, gamma := range gains {
+		decs, err := run(0.1, gamma)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Name: fmt.Sprintf("gain %g", gamma)}
+		const restoreT = 80
+		recovery[gi] = -1
+		peak := 0.0
+		for _, d := range decs {
+			if d.Time < restoreT-1 {
+				continue
+			}
+			s.X = append(s.X, d.Time)
+			s.Y = append(s.Y, d.Backlog)
+			peak = max(peak, d.Backlog)
+			if recovery[gi] < 0 && d.Time >= restoreT && d.Backlog == 0 && peak > 0 {
+				recovery[gi] = d.Time - restoreT
+			}
+		}
+		drain.Series = append(drain.Series, s)
+	}
+
+	notes := []string{
+		"extension (not in the paper): closed-loop control-plane churn recovery — lbgen-style diurnal estimates through the incremental NBS controller",
+		"crash ejects the mu=40 computer at t=40; restore rejoins it at t=80; queue policy, headroom 0.95",
+	}
+	for bi, db := range bands {
+		notes = append(notes, fmt.Sprintf("deadband %g: %d/%d epochs re-solved, total load moved %.4g jobs/s",
+			db, bandStats[bi].reallocs, steps, bandStats[bi].total))
+	}
+	for gi, gamma := range gains {
+		if recovery[gi] >= 0 {
+			notes = append(notes, fmt.Sprintf("drain gain %g: backlog fully re-admitted %.0f epochs after the restore", gamma, recovery[gi]))
+		} else {
+			notes = append(notes, fmt.Sprintf("drain gain %g: backlog still draining at the horizon", gamma))
+		}
+	}
+	return Figure{
+		ID:     "X7",
+		Title:  "Extension: control-plane reallocation under churn",
+		Panels: []Panel{moved, adm, drain},
 		Notes:  notes,
 	}, nil
 }

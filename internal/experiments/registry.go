@@ -46,6 +46,7 @@ var registry = map[string]Generator{
 	"X4": FigX4,
 	"X5": FigX5,
 	"X6": FigX6,
+	"X7": FigX7,
 }
 
 // IDs returns the registered experiment ids in a stable order.

@@ -1,0 +1,129 @@
+package game
+
+import (
+	"gtlb/internal/core"
+)
+
+// WarmStats reports how a WarmCOOP call reached its fixed point; the
+// control plane exports them so reallocation cost is observable.
+type WarmStats struct {
+	// Warm is true when the solve started from the previous bargaining
+	// set; false means it fell back to a cold COOP solve (no usable
+	// previous allocation, or the iteration failed to settle).
+	Warm bool
+	// Sweeps is the number of full membership-adjustment sweeps the
+	// warm iteration needed (0 when the previous set was already the
+	// fixed point's membership).
+	Sweeps int
+	// Dropped and Added count bargaining-set membership changes
+	// relative to the starting set.
+	Dropped, Added int
+}
+
+// WarmCOOP solves the §2.2.1/§3.3 cooperative game like core.COOP but
+// warm-started from a previous allocation's bargaining set. Instead of
+// sorting all computers and water-filling from scratch, it starts from
+// prev's used set and repairs it: members whose rate has fallen to or
+// below the common spare capacity d are dropped, non-members whose rate
+// now exceeds d are added, and d is recomputed after every change.
+//
+// Both kinds of repair strictly raise the water level d (dropping
+// μ_i ≤ d gives d' = d + (d−μ_i)/(c−1) ≥ d; adding μ_i > d gives
+// d' = d + (μ_i−d)/(c+1) > d), so a computer dropped during the
+// iteration can never re-qualify and each computer changes membership
+// at most twice — the iteration terminates in O(n) membership changes,
+// and for a small perturbation of the system it touches only the
+// computers near the water line. The converged set satisfies the same
+// characterization as COOP's (members strictly above d, non-members at
+// or below it), and the water level solving Σ max(μ_i − d, 0) = Φ is
+// unique, so the warm fixed point equals the cold one.
+//
+// A previous allocation of the wrong width or with an empty used set
+// triggers a cold core.COOP solve; the returned stats say which path
+// ran. The returned allocation is always in the caller's computer
+// order, exactly like core.COOP.
+func WarmCOOP(sys core.System, prev core.Allocation) (core.Allocation, WarmStats, error) {
+	if err := sys.Validate(); err != nil {
+		return core.Allocation{}, WarmStats{}, err
+	}
+	n := len(sys.Mu)
+	if len(prev.Used) != n || prev.NumUsed() == 0 {
+		alloc, err := core.COOP(sys)
+		return alloc, WarmStats{}, err
+	}
+
+	member := make([]bool, n)
+	copy(member, prev.Used)
+	c := prev.NumUsed()
+	var sum float64
+	for i, in := range member {
+		if in {
+			sum += sys.Mu[i]
+		}
+	}
+
+	stats := WarmStats{Warm: true}
+	d := (sum - sys.Phi) / float64(c)
+	// Each computer can be added at most once and dropped at most once
+	// (the level only rises), so 2n+1 sweeps is a safe bound; hitting
+	// it means a numeric pathology and we fall back to the cold solve.
+	settled := false
+	for sweep := 0; sweep < 2*n+1; sweep++ {
+		changed := false
+		// Repair pass 1: evict members at or below the water line. The
+		// c > 1 guard mirrors COOP's (the bargaining set never empties).
+		for i := 0; i < n && c > 1; i++ {
+			if member[i] && sys.Mu[i] <= d {
+				member[i] = false
+				sum -= sys.Mu[i]
+				c--
+				d = (sum - sys.Phi) / float64(c)
+				stats.Dropped++
+				changed = true
+			}
+		}
+		// Repair pass 2: admit non-members strictly above the water
+		// line (capacity growth, or an over-shrunk previous set).
+		for i := 0; i < n; i++ {
+			if !member[i] && sys.Mu[i] > d {
+				member[i] = true
+				sum += sys.Mu[i]
+				c++
+				d = (sum - sys.Phi) / float64(c)
+				stats.Added++
+				changed = true
+			}
+		}
+		if !changed {
+			settled = true
+			break
+		}
+		stats.Sweeps++
+	}
+	if !settled {
+		alloc, err := core.COOP(sys)
+		return alloc, WarmStats{}, err
+	}
+
+	alloc := core.Allocation{
+		Lambda: make([]float64, n),
+		Spare:  d,
+		Used:   make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		if !member[i] {
+			continue
+		}
+		lam := sys.Mu[i] - d
+		if lam <= 0 {
+			// Φ = 0 (or underflow at the drop boundary): the computer
+			// stays in the bargaining set but carries no load — same
+			// clamp as core.COOP.
+			lam = 0
+		} else {
+			alloc.Used[i] = true
+		}
+		alloc.Lambda[i] = lam
+	}
+	return alloc, stats, nil
+}

@@ -1,0 +1,220 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gtlb/internal/core"
+	"gtlb/internal/numeric"
+	"gtlb/internal/queueing"
+)
+
+// allocationsAgree compares a warm and a cold solve of the same system.
+func allocationsAgree(t *testing.T, warm, cold core.Allocation) {
+	t.Helper()
+	if !numeric.AlmostEqual(warm.Spare, cold.Spare, 1e-9) {
+		t.Fatalf("spare: warm %.17g, cold %.17g", warm.Spare, cold.Spare)
+	}
+	if len(warm.Lambda) != len(cold.Lambda) {
+		t.Fatalf("lambda width: warm %d, cold %d", len(warm.Lambda), len(cold.Lambda))
+	}
+	for i := range warm.Lambda {
+		if !numeric.AlmostEqual(warm.Lambda[i], cold.Lambda[i], 1e-9) {
+			t.Fatalf("lambda[%d]: warm %.17g, cold %.17g", i, warm.Lambda[i], cold.Lambda[i])
+		}
+	}
+}
+
+func TestWarmCOOPMatchesColdFromColdStart(t *testing.T) {
+	t.Parallel()
+	sys, err := core.NewSystem([]float64{100, 50, 50, 20, 20, 10, 5, 1}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := core.COOP(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, stats, err := WarmCOOP(sys, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Warm {
+		t.Error("warm start from the exact previous fixed point should take the warm path")
+	}
+	if stats.Dropped != 0 || stats.Added != 0 {
+		t.Errorf("restarting from the fixed point moved membership: %+v", stats)
+	}
+	allocationsAgree(t, warm, cold)
+}
+
+// TestWarmCOOPPerturbedProperty is the warm-start correctness property:
+// from any perturbed previous allocation (random rate drift, random
+// membership noise) the warm solve converges to the same fixed point as
+// a cold solve of the perturbed system.
+func TestWarmCOOPPerturbedProperty(t *testing.T) {
+	t.Parallel()
+	rng := queueing.NewRNG(41)
+	prop := func(seed uint64) bool {
+		r := rng.Split(seed)
+		n := 2 + r.Intn(12)
+		mu := make([]float64, n)
+		var sum float64
+		for i := range mu {
+			mu[i] = 0.5 + 99.5*r.Float64()
+			sum += mu[i]
+		}
+		phi := r.Float64() * 0.95 * sum
+		sys := core.System{Mu: mu, Phi: phi}
+		prev, err := core.COOP(sys)
+		if err != nil {
+			t.Logf("seed %d: cold solve of base system: %v", seed, err)
+			return false
+		}
+
+		// Drift every rate by up to ±30% and renormalize Φ to stay
+		// feasible; flip some membership bits so the starting set is
+		// wrong, not merely stale.
+		mu2 := make([]float64, n)
+		var sum2 float64
+		for i := range mu {
+			mu2[i] = mu[i] * (0.7 + 0.6*r.Float64())
+			sum2 += mu2[i]
+		}
+		phi2 := phi
+		if phi2 >= 0.95*sum2 {
+			phi2 = 0.9 * sum2
+		}
+		start := prev
+		start.Used = append([]bool(nil), prev.Used...)
+		for i := range start.Used {
+			if r.Float64() < 0.2 {
+				start.Used[i] = !start.Used[i]
+			}
+		}
+
+		sys2 := core.System{Mu: mu2, Phi: phi2}
+		cold, err := core.COOP(sys2)
+		if err != nil {
+			t.Logf("seed %d: cold solve of perturbed system: %v", seed, err)
+			return false
+		}
+		warm, _, err := WarmCOOP(sys2, start)
+		if err != nil {
+			t.Logf("seed %d: warm solve: %v", seed, err)
+			return false
+		}
+		if !numeric.AlmostEqual(warm.Spare, cold.Spare, 1e-9) {
+			t.Logf("seed %d: spare warm %.17g cold %.17g", seed, warm.Spare, cold.Spare)
+			return false
+		}
+		var lamSum float64
+		for i := range warm.Lambda {
+			if !numeric.AlmostEqual(warm.Lambda[i], cold.Lambda[i], 1e-9) {
+				t.Logf("seed %d: lambda[%d] warm %.17g cold %.17g", seed, i, warm.Lambda[i], cold.Lambda[i])
+				return false
+			}
+			lamSum += warm.Lambda[i]
+		}
+		if !numeric.AlmostEqual(lamSum, phi2, 1e-6) {
+			t.Logf("seed %d: sum lambda %.17g != phi %.17g", seed, lamSum, phi2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmCOOPColdFallbacks(t *testing.T) {
+	t.Parallel()
+	sys, err := core.NewSystem([]float64{10, 8, 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := core.COOP(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong width (churn changed the computer count) → cold path.
+	warm, stats, err := WarmCOOP(sys, core.Allocation{Used: []bool{true, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warm {
+		t.Error("wrong-width previous allocation must fall back to the cold solve")
+	}
+	allocationsAgree(t, warm, cold)
+
+	// Empty previous allocation → cold path.
+	warm, stats, err = WarmCOOP(sys, core.Allocation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warm {
+		t.Error("empty previous allocation must fall back to the cold solve")
+	}
+	allocationsAgree(t, warm, cold)
+
+	// Invalid system → same error as cold.
+	if _, _, err := WarmCOOP(core.System{Mu: []float64{1}, Phi: 2}, cold); err == nil {
+		t.Error("overloaded system must fail validation")
+	}
+}
+
+func TestWarmCOOPZeroPhi(t *testing.T) {
+	t.Parallel()
+	sys := core.System{Mu: []float64{10, 4, 4}, Phi: 0}
+	cold, err := core.COOP(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := core.Allocation{Used: []bool{true, true, true}}
+	warm, _, err := WarmCOOP(sys, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocationsAgree(t, warm, cold)
+	for i, l := range warm.Lambda {
+		if l != 0 || warm.Used[i] {
+			t.Errorf("phi=0 computer %d: lambda %g used %v", i, l, warm.Used[i])
+		}
+	}
+	if math.IsInf(warm.ResponseTime(), 1) {
+		t.Error("phi=0 keeps positive spare on the retained computer")
+	}
+}
+
+// TestWarmCOOPMembershipShrinks pins the incremental behavior the
+// control plane relies on: a capacity crash warm-starts from the
+// survivor superset and only drops the computers the new water level
+// excludes.
+func TestWarmCOOPMembershipShrinks(t *testing.T) {
+	t.Parallel()
+	sys := core.System{Mu: []float64{100, 50, 20, 6, 5}, Phi: 60}
+	prev, err := core.COOP(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load collapses: the spare capacity rises and squeezes the slow
+	// computers out of the bargaining set.
+	sys.Phi = 5
+	cold, err := core.COOP(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, stats, err := WarmCOOP(sys, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Warm {
+		t.Fatal("expected the warm path")
+	}
+	if stats.Added != 0 {
+		t.Errorf("shrinking load should only drop members, stats %+v", stats)
+	}
+	allocationsAgree(t, warm, cold)
+}

@@ -76,6 +76,20 @@ const (
 	LBMBadMsg     // malformed protocol message discarded
 	LBMAgentError // a computer agent reported an error
 
+	// Live control plane (internal/ctrl). Time is the estimate's
+	// logical timestamp; the epoch counter rides in B.
+	CtrlEstimate   // a load estimate was ingested: Time = estimate time
+	CtrlHold       // drift below the hysteresis deadband; V = observed drift
+	CtrlRealloc    // an epoch committed: B = epoch, V = load moved (jobs/s), N = computers moved
+	CtrlShed       // admission control shed demand; V = shed rate (jobs/s)
+	CtrlBacklog    // queue policy backlog level after the epoch; V = queued jobs
+	CtrlEject      // computer A left the active set (crash/leave)
+	CtrlJoin       // computer A entered the active set
+	CtrlStale      // a stale/duplicate/expired estimate was discarded
+	CtrlInvalid    // a malformed estimate was rejected
+	CtrlCheckpoint // control state checkpointed; B = epoch
+	CtrlResume     // controller restored from a checkpoint; B = epoch
+
 	kindCount // sentinel; keep last
 )
 
@@ -121,6 +135,18 @@ var kindNames = [kindCount]string{
 	LBMExcluded:   "lbm.excluded",
 	LBMBadMsg:     "lbm.badmsg",
 	LBMAgentError: "lbm.agent.error",
+
+	CtrlEstimate:   "ctrl.estimate",
+	CtrlHold:       "ctrl.hold",
+	CtrlRealloc:    "ctrl.realloc",
+	CtrlShed:       "ctrl.shed",
+	CtrlBacklog:    "ctrl.backlog",
+	CtrlEject:      "ctrl.eject",
+	CtrlJoin:       "ctrl.join",
+	CtrlStale:      "ctrl.stale",
+	CtrlInvalid:    "ctrl.invalid",
+	CtrlCheckpoint: "ctrl.checkpoint",
+	CtrlResume:     "ctrl.resume",
 }
 
 // Name returns the kind's stable dotted name (e.g. "des.arrival").

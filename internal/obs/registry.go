@@ -54,6 +54,9 @@ var gaugeNames = map[Kind]string{
 	FWIter:       "fw.gap",
 	WardropStep:  "wardrop.level",
 	WardropSolve: "wardrop.level",
+	CtrlRealloc:  "ctrl.moved",
+	CtrlBacklog:  "ctrl.backlog.level",
+	CtrlShed:     "ctrl.shed.rate",
 }
 
 // respTimeHist is the histogram fed by DESDeparture events.
