@@ -1,0 +1,63 @@
+package dist
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CountingNetwork decorates a Network with wire accounting: every
+// message sent through any of its endpoints is tallied (count and
+// payload bytes), so benchmarks can report bytes-on-the-wire per sweep
+// without touching the protocols. The decorator is transparent to
+// batching — a wrapped endpoint forwards SendBatch when the inner
+// endpoint supports it, counting each message in the burst.
+type CountingNetwork struct {
+	inner Network
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewCountingNetwork wraps inner with wire accounting.
+func NewCountingNetwork(inner Network) *CountingNetwork {
+	return &CountingNetwork{inner: inner}
+}
+
+// Totals returns the number of messages sent and the payload bytes
+// they carried since construction. Safe for concurrent use.
+func (n *CountingNetwork) Totals() (msgs, bytes int64) {
+	return n.msgs.Load(), n.bytes.Load()
+}
+
+func (n *CountingNetwork) Join(name string) (Conn, error) {
+	c, err := n.inner.Join(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingConn{Conn: c, n: n}, nil
+}
+
+type countingConn struct {
+	Conn
+	n *CountingNetwork
+}
+
+func (c *countingConn) tally(m *Message) {
+	c.n.msgs.Add(1)
+	c.n.bytes.Add(int64(len(m.Data)))
+}
+
+func (c *countingConn) Send(m Message) error {
+	c.tally(&m)
+	return c.Conn.Send(m)
+}
+
+func (c *countingConn) SendBatch(ms []Message) error {
+	for i := range ms {
+		c.tally(&ms[i])
+	}
+	return SendAll(c.Conn, ms)
+}
+
+func (c *countingConn) RecvTimeout(d time.Duration) (Message, error) {
+	return c.Conn.RecvTimeout(d)
+}

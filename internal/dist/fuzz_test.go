@@ -22,6 +22,7 @@ func FuzzMessageRoundTrip(f *testing.F) {
 		bidPayload{Computer: 4, Bid: 7.7},
 		awardPayload{Load: 0.3, Payment: 2.5},
 	}
+	seedPayloads = append(seedPayloads, hierCodecSamples()...)
 	for _, p := range seedPayloads {
 		m := Message{Kind: "seed"}
 		if err := m.Encode(p); err != nil {
@@ -55,6 +56,16 @@ func FuzzMessageRoundTrip(f *testing.F) {
 		_ = m.Decode(&b)
 		var aw awardPayload
 		_ = m.Decode(&aw)
+		var ht hierTokenPayload
+		_ = m.Decode(&ht)
+		var hp hierPartialPayload
+		_ = m.Decode(&hp)
+		var hd hierDownPayload
+		_ = m.Decode(&hd)
+		var hr hierRowsPayload
+		_ = m.Decode(&hr)
+		var hj hierJoinOKPayload
+		_ = m.Decode(&hj)
 
 		// A payload that decodes as a token must survive a re-encode
 		// round trip unchanged in the fields the protocol fences on.

@@ -269,6 +269,7 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 			obs.CountN(o, obs.LBMRetry, int64(remaining))
 			time.Sleep(backoffDelay(opts.Backoff, opts.BackoffCap, attempt-1, rng))
 		}
+		reqs := make([]Message, 0, remaining)
 		for i := 0; i < n; i++ {
 			if got[i] {
 				continue
@@ -277,9 +278,12 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 			if err := req.Encode(reqBidPayload{Computer: i, Attempt: attempt}); err != nil {
 				return LBMResult{}, err
 			}
-			if err := disp.Send(req); err != nil {
-				return LBMResult{}, err
-			}
+			reqs = append(reqs, req)
+		}
+		// One coalesced burst: the TCP transport writes a single frame
+		// batch, the mem transport amortizes recipient lookups.
+		if err := SendAll(disp, reqs); err != nil {
+			return LBMResult{}, err
 		}
 		for remaining > 0 {
 			m, err := disp.RecvTimeout(opts.BidDeadline)
@@ -363,15 +367,17 @@ func RunLBMWith(netw Network, trueValues []float64, policies []BidPolicy, phi fl
 		outcome.Costs[i] = subOut.Costs[k]
 		outcome.Profits[i] = subOut.Profits[k]
 	}
+	awards := make([]Message, 0, len(included))
 	for _, i := range included {
 		award := Message{To: computerName(i), Kind: kindAward}
 		if err := award.Encode(awardPayload{Load: outcome.Loads[i], Payment: outcome.Payments[i]}); err != nil {
 			return LBMResult{}, err
 		}
-		if err := disp.Send(award); err != nil {
-			return LBMResult{}, err
-		}
+		awards = append(awards, award)
 		obs.Emit(o, obs.Event{Kind: obs.LBMAward, A: int32(i), V: outcome.Loads[i], Node: computerName(i)})
+	}
+	if err := SendAll(disp, awards); err != nil {
+		return LBMResult{}, err
 	}
 	for _, i := range excluded {
 		rel := Message{To: computerName(i), Kind: kindRelease}

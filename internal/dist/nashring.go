@@ -317,7 +317,7 @@ func (u *userNode) run() {
 			tok.Hops++
 			tok.Ejected = u.ejected
 			fwd := Message{To: u.next(), Kind: kindToken}
-			if err := fwd.Encode(tok); err != nil {
+			if err := fwd.Encode(&tok); err != nil {
 				u.fail(err)
 				return
 			}
@@ -469,7 +469,7 @@ func (u *userNode) regenerate() bool {
 		Ejected:   u.ejected,
 	}
 	fwd := Message{To: userName(u.id), Kind: kindToken}
-	if err := fwd.Encode(tok); err != nil {
+	if err := fwd.Encode(&tok); err != nil {
 		u.fail(err)
 		return false
 	}

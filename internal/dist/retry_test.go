@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"gtlb/internal/queueing"
+)
+
+// TestBackoffDeterministicJitter pins the retry schedule's determinism:
+// the jitter is drawn from the caller's seeded per-link stream, so a
+// replayed run (same seed, same link) backs off at bit-identical
+// instants, while distinct links desynchronize instead of retrying in
+// lockstep.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	t.Parallel()
+	const base, limit = 10 * time.Millisecond, 160 * time.Millisecond
+
+	schedule := func(seed uint64, from, to string) []time.Duration {
+		rng := queueing.NewRNG(linkStreamSeed(seed, from, to))
+		out := make([]time.Duration, 8)
+		for a := range out {
+			out[a] = backoffDelay(base, limit, a, rng)
+		}
+		return out
+	}
+
+	// Same seed, same link: bit-identical schedule on replay.
+	a := schedule(42, "user-3", "shard-1")
+	b := schedule(42, "user-3", "shard-1")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+
+	// Different link (or different seed): the jitter streams diverge, so
+	// the two links do not retry in lockstep.
+	same := 0
+	for _, other := range [][]time.Duration{
+		schedule(42, "user-4", "shard-1"),
+		schedule(43, "user-3", "shard-1"),
+	} {
+		for i := range a {
+			if a[i] == other[i] {
+				same++
+			}
+		}
+	}
+	if same == 2*len(a) {
+		t.Error("distinct links/seeds produced identical backoff schedules")
+	}
+
+	// The deterministic envelope: delay grows exponentially from base,
+	// caps at limit, and jitter adds at most base/2.
+	for i, d := range a {
+		floor := base << i
+		if floor > limit {
+			floor = limit
+		}
+		if d < floor || d > floor+base/2 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", i, d, floor, floor+base/2)
+		}
+	}
+
+	// nil rng: pure bounded exponential backoff, no draw, no jitter.
+	for i := 0; i < 8; i++ {
+		want := base << i
+		if want > limit {
+			want = limit
+		}
+		if got := backoffDelay(base, limit, i, nil); got != want {
+			t.Errorf("nil rng attempt %d: got %v, want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,2188 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"gtlb/internal/game"
+	"gtlb/internal/noncoop"
+	"gtlb/internal/obs"
+	"gtlb/internal/queueing"
+)
+
+// The hierarchical sharded NASH protocol scales the §4.3 scheme past a
+// few dozen users by replacing the single m-node ring with a two-level
+// hierarchy:
+//
+//   - m users are partitioned into G shards (game.PlanShards). Each
+//     shard has a leader node that drives best-reply sweeps over its
+//     members in a star: the leader sends the working token (the global
+//     per-computer load vector plus fencing metadata) to each member in
+//     turn, the member plays its best reply against the token loads,
+//     updates them in place and returns the token. A member step is one
+//     message round trip with no timers and one allocation on the
+//     member (the encoded return), versus the flat ring's five-message,
+//     O(m·n) state-node exchange.
+//   - A root node owns the cross-shard iteration. It is down-driven:
+//     every activation is a hier.down message carrying the reconciled
+//     global load vector and the set of shards that must sweep against
+//     it; each activated shard answers with a hier.partial carrying its
+//     new aggregate load. In the default sequential mode (block
+//     Gauss–Seidel, the provably convergent scheme — see
+//     game.ShardedOpts) the root activates one shard at a time, so the
+//     data plane is a star and a member step costs two messages and no
+//     timers, versus the flat ring's five-message, O(m·n) state-node
+//     exchange. In parallel mode (Jacobi across shards, damped by θ)
+//     the root broadcasts one down to all shards and the partials are
+//     merged through a binary tree of the leaders (parent(g) =
+//     (g-1)/2), so a round's reduction costs O(log G) sequential
+//     messages; parallel mode only converges for a handful of shards
+//     (EXPERIMENTS.md X8) but is the shape wide networks parallelize.
+//
+// The math is exactly game.ShardedBestReply's, and a fault-free
+// distributed run performs the identical float operations in the
+// identical order, so the resulting profile is bit-identical to that
+// oracle (tests pin this).
+//
+// Fault tolerance generalizes the PR 3 epoch fencing to both levels:
+//
+//   - Shard level: the token carries an (Epoch, Hop) pair and the live
+//     member set. A member that misses its return is retried (members
+//     answer exact-duplicate tokens with their cached return), then
+//     ejected; the leader bumps the epoch, re-syncs the surviving rows
+//     (hier.sync / hier.row — the sync's new epoch fences any zombie
+//     token still in flight), rebuilds its local loads and restarts the
+//     sweep.
+//   - Root level: partials are re-requested (hier.partreq) with bounded
+//     attempts — the request doubles as a liveness probe — after which
+//     the shard is ejected, the membership epoch bumps, and the
+//     reduction degrades permanently from the tree to a star so the
+//     remaining leaders report directly. Leaders that miss the downward
+//     broadcast re-request it (hier.downreq) forever; the driver
+//     deadline is the backstop.
+//
+// Users can also join a running computation (hier.join to the root):
+// the root checks feasibility, assigns the joiner to the smallest live
+// shard, and announces it in the next downward broadcast; the joiner's
+// strategy row starts at zero and it participates from the next sweep.
+
+// Message kinds used by the hierarchical protocol.
+const (
+	hierKindToken   = "hier.token"   // leader ↔ member: working token
+	hierKindPartial = "hier.partial" // leader → parent/root: shard entries
+	hierKindDown    = "hier.down"    // root → leaders: reconciled loads
+	hierKindPartReq = "hier.partreq" // root → leader: partial re-request/probe
+	hierKindDownReq = "hier.downreq" // leader → root: down re-request
+	hierKindSync    = "hier.sync"    // leader → member: row sync (epoch fence)
+	hierKindRow     = "hier.row"     // member → leader: sync answer
+	hierKindRows    = "hier.rows"    // leader → root: final strategy rows
+	hierKindRowsReq = "hier.rowsreq" // root → leader: rows re-request
+	hierKindJoin    = "hier.join"    // joiner → root: admission request
+	hierKindJoinOK  = "hier.join.ok" // root → joiner: assignment / rejection
+	hierKindStop    = "hier.stop"    // root → leaders → members: run over
+)
+
+// hierTokenPayload is the shard-internal working token: the global
+// per-computer load vector the member plays against plus the fencing
+// metadata. The token deliberately carries no membership list: it is
+// unicast to live members only, the epoch/hop fence kills zombie
+// duplicates for every member that answered the last resync, and a
+// member ejected while a token was in flight may play it harmlessly —
+// its row is excluded from the leader's resync rebuild and zeroed in
+// the final profile, so a stale play never reaches the global state.
+type hierTokenPayload struct {
+	Epoch int
+	Hop   int
+	Round int
+	Sweep int
+	Norm  float64
+	Loads []float64
+}
+
+// hierPartialPayload carries one or more per-shard reduction entries:
+// entry i is (Shards[i], Norms[i], Sweeps[i], Loads[i]). Parents merge
+// children's entries by concatenation; the root sums them in ascending
+// shard order so the reduction is bit-deterministic however the tree
+// delivers them. Ejected lists user ids ejected by the reporting
+// shard(s) since the last report.
+type hierPartialPayload struct {
+	Round   int
+	MEpoch  int
+	Shards  []int32
+	Norms   []float64
+	Sweeps  []int32
+	Loads   [][]float64
+	Ejected []int32
+	Seq     int
+}
+
+// hierDownPayload is the root's downward broadcast closing a round:
+// the reconciled global loads, the round norm, membership changes
+// (ejected shards, admitted joiners) and the Stop/Star mode switches.
+type hierDownPayload struct {
+	Round         int
+	MEpoch        int
+	Stop          bool
+	Star          bool
+	Norm          float64
+	Active        []int32
+	Loads         []float64
+	EjectedShards []int32
+	JoinUsers     []int32
+	JoinShards    []int32
+	JoinNames     []string
+	JoinPhis      []float64
+	Seq           int
+}
+
+// hierReqPayload re-requests a lost partial (root → leader), downward
+// broadcast (leader → root) or rows report (root → leader).
+type hierReqPayload struct {
+	Round int
+	Seq   int
+}
+
+// hierSyncPayload asks a member for its current strategy row and
+// advances the member to Epoch, fencing off any older token still in
+// flight — answering the sync is the member's linearization point.
+type hierSyncPayload struct {
+	Epoch int
+	Seq   int
+}
+
+// hierRowPayload is a member's sync answer.
+type hierRowPayload struct {
+	User     int
+	Epoch    int
+	Seq      int
+	PrevTime float64
+	S        []float64
+}
+
+// hierRowsPayload is a leader's final gather report: the surviving
+// members' strategy rows.
+type hierRowsPayload struct {
+	Shard   int
+	Seq     int
+	Users   []int32
+	Ejected []int32
+	Rows    [][]float64
+}
+
+// hierJoinPayload asks the root to admit a new user to the running
+// computation.
+type hierJoinPayload struct {
+	Name string
+	Phi  float64
+	Seq  int
+}
+
+// hierJoinOKPayload is the root's (idempotent) admission answer.
+type hierJoinOKPayload struct {
+	Name   string
+	User   int
+	Shard  int
+	Reject bool
+	Reason string
+	Seq    int
+}
+
+// errMemberLost aborts a member exchange after the retry budget; the
+// leader ejects the member and resyncs the shard.
+var errMemberLost = errors.New("dist: shard member silent")
+
+const rootName = "root"
+
+func shardName(g int) string { return fmt.Sprintf("shard-%d", g) }
+
+// satNorm accumulates a norm contribution, saturating at MaxFloat64 so
+// several divergent users cannot overflow the sum to +Inf. Identical to
+// the flat ring's and the in-process oracle's arithmetic.
+func satNorm(norm, d float64) float64 {
+	if sum := norm + d; !math.IsInf(sum, 1) {
+		return sum
+	}
+	return math.MaxFloat64
+}
+
+// ShardOptions tunes the hierarchical runtime. The zero value gets
+// production-safe defaults.
+type ShardOptions struct {
+	// Shards is the shard count G; 0 selects
+	// game.DefaultShardCount(m). Clamped to [1, m].
+	Shards int
+	// LocalSweeps is the number of best-reply sweeps each shard runs
+	// per reconciliation round (default 4). Shards early-exit their
+	// sweep budget once the local norm falls below the shard's eps
+	// share. Higher values let each activation extract more progress
+	// from one round trip to the root: at m=1000 moving from 1 to 4
+	// cuts total sweeps ~12× (40k → 3.2k) at identical equilibrium
+	// quality; 1 reproduces the flat ring's user visit order exactly.
+	LocalSweeps int
+	// Parallel switches the cross-shard iteration from sequential
+	// activation (block Gauss–Seidel, the default: one shard sweeps at
+	// a time against the freshest reconciled view) to simultaneous
+	// rounds (Jacobi: all shards sweep against the same frozen view,
+	// partials reduced through the leader tree, reconciliation damped
+	// by Damping). Mirrors game.ShardedOpts.Parallel, including its
+	// convergence caveat.
+	Parallel bool
+	// Damping is parallel mode's reconciliation relaxation θ ∈ (0, 1];
+	// ≤ 0 selects game.DefaultDamping. Ignored (pinned to 1) in
+	// sequential mode.
+	Damping float64
+	// Watchdog is the root's per-wait partial/rows collection timeout
+	// and the leaders' down wait (default 2s). It must comfortably
+	// exceed one shard sweep.
+	Watchdog time.Duration
+	// ProbeTimeout is the per-attempt wait for a member's token return
+	// or sync answer (default 150ms).
+	ProbeTimeout time.Duration
+	// MaxAttempts bounds retries per request (default 3); exhausting it
+	// ejects the silent member or shard.
+	MaxAttempts int
+	// Deadline bounds the whole run; past it the driver returns
+	// ErrStalled (default 60s).
+	Deadline time.Duration
+	// Seed drives the retry-jitter streams (one split per node).
+	Seed uint64
+	// Observer, when non-nil, receives hier.* events (one HierRound per
+	// reconciliation round carrying the norm, HierShardEjected,
+	// HierJoin, HierSync) plus the nash.* token/retry/ejection kinds
+	// for shard-internal traffic.
+	Observer obs.Observer
+}
+
+func (o ShardOptions) withDefaults() ShardOptions {
+	if o.LocalSweeps <= 0 {
+		o.LocalSweeps = 4
+	}
+	if o.Watchdog <= 0 {
+		o.Watchdog = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 150 * time.Millisecond
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 60 * time.Second
+	}
+	return o
+}
+
+// JoinedUser describes a user admitted to a running sharded
+// computation.
+type JoinedUser struct {
+	Name  string
+	User  int
+	Shard int
+	Phi   float64
+	// S is the user's strategy row at the end of the run (nil until
+	// then).
+	S []float64
+}
+
+// NashShardedResult is the outcome of a hierarchical run.
+type NashShardedResult struct {
+	// Profile holds one row per user id: the initial m users first,
+	// then any admitted joiners in assignment order. Ejected users'
+	// rows are zero.
+	Profile noncoop.Profile
+	// Rounds is the number of completed reconciliation rounds.
+	Rounds int
+	// Sweeps is the total number of shard-local sweeps, summed over
+	// shards and rounds.
+	Sweeps int
+	// Norm is the final round's global convergence norm.
+	Norm float64
+	// Ejected lists ejected user ids (ascending), Ejectedshards the
+	// ejected shard ids (ascending).
+	Ejected       []int
+	EjectedShards []int
+	// Joined lists admitted joiners in assignment order.
+	Joined []JoinedUser
+}
+
+// --- member ----------------------------------------------------------
+
+// shardUser is one selfish user served by a shard leader. Its receive
+// loop is the protocol's hot path: no timers, one best reply and one
+// allocation (the encoded token return) per step.
+type shardUser struct {
+	conn Conn
+	id   int
+	phi  float64
+	mu   []float64
+	mDiv float64 // norm-fallback divisor (the initial m)
+
+	row      []float64
+	prevTime float64
+	played   bool
+
+	lastEpoch int // fencing; starts at -1
+	lastHop   int
+
+	avail   []float64
+	newRow  []float64
+	ord     []int
+	tok     hierTokenPayload // decode-reuse
+	ret     Message          // cached return, re-sent on exact-duplicate tokens
+	haveRet bool
+
+	deadline time.Time // zero: block forever (driver-owned users)
+
+	obs   obs.Observer
+	errCh chan<- error
+}
+
+func memberOf(members []int32, id int) bool {
+	for _, m := range members {
+		if int(m) == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (u *shardUser) run() {
+	if err := u.serve(); err != nil {
+		// A node whose own endpoint crashed or closed dies silently,
+		// like the dead process it models; the leader's failure
+		// detector handles the fallout.
+		if errors.Is(err, ErrCrashed) || errors.Is(err, ErrClosed) {
+			return
+		}
+		u.errCh <- err
+	}
+}
+
+// serve processes tokens, syncs and stops until the run ends. It
+// returns nil on a clean stop.
+func (u *shardUser) serve() error {
+	for {
+		var m Message
+		var err error
+		if u.deadline.IsZero() {
+			m, err = u.conn.Recv()
+		} else {
+			left := time.Until(u.deadline)
+			if left <= 0 {
+				return fmt.Errorf("dist: user %s: no stop within deadline: %w", u.conn.Name(), ErrStalled)
+			}
+			m, err = u.conn.RecvTimeout(left)
+			if err != nil && errors.Is(err, ErrTimeout) {
+				return fmt.Errorf("dist: user %s: no stop within deadline: %w", u.conn.Name(), ErrStalled)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		switch m.Kind {
+		case hierKindStop:
+			return nil
+		case hierKindSync:
+			var p hierSyncPayload
+			if m.Decode(&p) != nil {
+				continue
+			}
+			if p.Epoch > u.lastEpoch {
+				// The sync is the linearization point: fencing off
+				// older epochs here is what keeps a chaos-delayed
+				// zombie token from desynchronizing the leader's
+				// rebuilt loads.
+				u.lastEpoch, u.lastHop = p.Epoch, -1
+				u.haveRet = false
+			}
+			reply := Message{To: m.From, Kind: hierKindRow}
+			if reply.Encode(hierRowPayload{User: u.id, Epoch: p.Epoch, Seq: p.Seq, PrevTime: u.prevTime, S: u.row}) != nil {
+				continue
+			}
+			_ = u.conn.Send(reply) // best-effort: the leader retries the sync
+			obs.Count(u.obs, obs.HierSync)
+		case hierKindToken:
+			if err := m.Decode(&u.tok); err != nil {
+				continue // malformed token; the leader retries
+			}
+			tok := &u.tok
+			if tok.Epoch == u.lastEpoch && tok.Hop == u.lastHop && u.haveRet {
+				// Exact duplicate: our return was lost and the leader
+				// retried. Replay the cached return instead of playing
+				// twice.
+				_ = u.conn.Send(u.ret) // best-effort: the leader retries again on loss
+				continue
+			}
+			if tok.Epoch < u.lastEpoch || (tok.Epoch == u.lastEpoch && tok.Hop <= u.lastHop) {
+				obs.Count(u.obs, obs.NashTokenStale)
+				continue
+			}
+			u.lastEpoch, u.lastHop = tok.Epoch, tok.Hop
+			// No membership check: a member ejected while this token was
+			// in flight plays harmlessly — its row is excluded from the
+			// leader's resync rebuild and zeroed in the final profile.
+			if len(tok.Loads) != len(u.mu) {
+				continue // malformed token; the leader retries
+			}
+			if err := u.step(tok); err != nil {
+				return err
+			}
+			ret := Message{To: m.From, Kind: hierKindToken}
+			if err := ret.Encode(tok); err != nil {
+				return err
+			}
+			u.ret, u.haveRet = ret, true
+			if err := u.conn.Send(ret); err != nil {
+				return err
+			}
+			obs.Emit(u.obs, obs.Event{Kind: obs.NashSend, A: int32(u.id), Node: u.conn.Name()})
+		default:
+			// Stale protocol traffic; drop.
+		}
+	}
+}
+
+// step plays one best reply against the token loads, mirroring
+// game.ShardedBestReply's arithmetic exactly (same operations, same
+// order) so fault-free runs are bit-identical to the oracle.
+func (u *shardUser) step(tok *hierTokenPayload) error {
+	for i := range u.avail {
+		u.avail[i] = u.mu[i] - tok.Loads[i] + u.row[i]*u.phi
+	}
+	if !u.played {
+		u.prevTime = noncoop.BestReplyTime(u.avail, u.row, u.phi)
+		u.played = true
+	}
+	if err := noncoop.BestReplyInto(u.avail, u.phi, u.newRow, u.ord); err != nil {
+		return fmt.Errorf("dist: user %d best reply: %w", u.id, err)
+	}
+	t := noncoop.BestReplyTime(u.avail, u.newRow, u.phi)
+	d := math.Abs(t - u.prevTime)
+	if math.IsInf(d, 1) || math.IsNaN(d) {
+		d = math.MaxFloat64 / u.mDiv
+	}
+	tok.Norm = satNorm(tok.Norm, d)
+	for i := range u.row {
+		tok.Loads[i] += (u.newRow[i] - u.row[i]) * u.phi
+	}
+	copy(u.row, u.newRow)
+	u.prevTime = t
+	return nil
+}
+
+// --- leader ----------------------------------------------------------
+
+// partialAccum merges reduction entries (own + children's) for one
+// round, deduplicating by shard id.
+type partialAccum struct {
+	shards  []int32
+	norms   []float64
+	sweeps  []int32
+	loads   [][]float64
+	ejected []int32
+}
+
+func (a *partialAccum) reset() {
+	a.shards = a.shards[:0]
+	a.norms = a.norms[:0]
+	a.sweeps = a.sweeps[:0]
+	a.loads = a.loads[:0]
+	a.ejected = a.ejected[:0]
+}
+
+func (a *partialAccum) has(g int32) bool {
+	for _, s := range a.shards {
+		if s == g {
+			return true
+		}
+	}
+	return false
+}
+
+// add merges p's entries, skipping shards already present. It returns
+// how many new entries were merged.
+func (a *partialAccum) add(p *hierPartialPayload) int {
+	k := len(p.Shards)
+	if len(p.Norms) != k || len(p.Sweeps) != k || len(p.Loads) != k {
+		return 0 // malformed; the root re-requests
+	}
+	added := 0
+	for i := 0; i < k; i++ {
+		if a.has(p.Shards[i]) {
+			continue
+		}
+		a.shards = append(a.shards, p.Shards[i])
+		a.norms = append(a.norms, p.Norms[i])
+		a.sweeps = append(a.sweeps, p.Sweeps[i])
+		a.loads = append(a.loads, p.Loads[i])
+		added++
+	}
+	a.ejected = append(a.ejected, p.Ejected...)
+	return added
+}
+
+func (a *partialAccum) payload(round, mEpoch, seq int) hierPartialPayload {
+	return hierPartialPayload{
+		Round: round, MEpoch: mEpoch,
+		Shards: a.shards, Norms: a.norms, Sweeps: a.sweeps,
+		Loads: a.loads, Ejected: a.ejected, Seq: seq,
+	}
+}
+
+// shardLeader drives one shard's sweeps and participates in the tree
+// reduction.
+type shardLeader struct {
+	conn      Conn
+	g         int
+	numShards int
+	n         int
+	mInit     int
+	eps       float64
+	sweepsMax int
+
+	ids          []int // live members, token order
+	names        []string
+	phis         []float64
+	rows         [][]float64 // member rows, valid after a resync
+	ejected      []int32     // cumulative ejected member ids
+	ejectedNames []string
+
+	local []float64
+	ext   []float64
+
+	tok   hierTokenPayload // working token (Loads reused across sweeps)
+	ret   hierTokenPayload // return decode scratch
+	down  hierDownPayload  // down decode scratch
+	epoch int
+	hop   int
+
+	curRound      int // wire round of the down being served
+	lastDownRound int // newest down round seen (dedup fence)
+	mEpoch        int
+	star          bool
+
+	accum       partialAccum
+	ownSent     bool   // this round's merged partial already sent up
+	cachedUp    []byte // last encoded partial, replayed on re-requests
+	cachedUpRnd int
+
+	watchdog time.Duration
+	probeTO  time.Duration
+	attempts int
+	seq      int
+	rng      *queueing.RNG
+	obs      obs.Observer
+	errCh    chan<- error
+}
+
+func (l *shardLeader) run() {
+	err := l.protocol()
+	if err == nil || errors.Is(err, errStopped) {
+		l.stopMembers()
+		return
+	}
+	if errors.Is(err, ErrCrashed) || errors.Is(err, ErrClosed) {
+		return // silent death; the root's failure detector reacts
+	}
+	l.errCh <- err
+}
+
+// stopMembers forwards the shutdown to every member, including ejected
+// ones (an ejected-but-alive member is merely partitioned and may still
+// be reachable).
+func (l *shardLeader) stopMembers() {
+	for _, name := range l.names {
+		_ = l.conn.Send(Message{To: name, Kind: hierKindStop}) // best-effort shutdown signal
+	}
+	for _, name := range l.ejectedNames {
+		_ = l.conn.Send(Message{To: name, Kind: hierKindStop}) // best-effort shutdown signal
+	}
+}
+
+// protocol is the leader's down-driven main loop: wait for the root's
+// next activation, sweep if this shard is in its Active set, report the
+// partial, repeat. The root owns all cross-shard control flow.
+func (l *shardLeader) protocol() error {
+	for {
+		down, err := l.awaitDown()
+		if err != nil {
+			return err
+		}
+		if down.Stop {
+			return l.finalGather()
+		}
+		if !activeHas(down.Active, l.g) {
+			continue // another shard's activation (sequential mode)
+		}
+		if len(down.Loads) != l.n {
+			return fmt.Errorf("dist: shard %d: malformed down loads (len %d, want %d)", l.g, len(down.Loads), l.n)
+		}
+		// This activation's frozen external view: the reconciled global
+		// loads minus our own contribution (same operation and order as
+		// the oracle).
+		for i := 0; i < l.n; i++ {
+			l.ext[i] = down.Loads[i] - l.local[i]
+		}
+		norm, sweeps, err := l.sweepRound()
+		if err != nil {
+			return err
+		}
+		if err := l.sendUp(norm, sweeps); err != nil {
+			return err
+		}
+	}
+}
+
+func activeHas(active []int32, g int) bool {
+	for _, a := range active {
+		if int(a) == g {
+			return true
+		}
+	}
+	return false
+}
+
+// resendUp replays the cached partial (direct to the root) if round
+// matches the last one reported — the root re-asking for a round we
+// already answered means the answer was lost.
+func (l *shardLeader) resendUp(round int) {
+	if l.cachedUp == nil || round != l.cachedUpRnd {
+		return
+	}
+	_ = l.conn.Send(Message{To: rootName, Kind: hierKindPartial, Data: l.cachedUp}) // best-effort replay; the root re-asks
+}
+
+// sweepRound runs up to sweepsMax best-reply sweeps over the members,
+// restarting after an ejection-triggered resync. It returns the last
+// sweep's norm and the number of completed sweeps.
+func (l *shardLeader) sweepRound() (float64, int, error) {
+restart:
+	for {
+		if len(l.ids) == 0 {
+			return 0, 0, nil // fully ejected shard: zero contribution
+		}
+		locEps := l.eps * float64(len(l.ids)) / float64(l.mInit)
+		if cap(l.tok.Loads) < l.n {
+			l.tok.Loads = make([]float64, l.n)
+		}
+		l.tok.Loads = l.tok.Loads[:l.n]
+		for i := 0; i < l.n; i++ {
+			l.tok.Loads[i] = l.ext[i] + l.local[i]
+		}
+		var norm float64
+		sweeps := 0
+		for s := 1; s <= l.sweepsMax; s++ {
+			norm = 0
+			for idx := 0; idx < len(l.ids); idx++ {
+				ret, err := l.memberStep(idx, s, norm)
+				if err != nil {
+					if errors.Is(err, errMemberLost) {
+						l.ejectMember(idx)
+						if err := l.resync(); err != nil {
+							return 0, 0, err
+						}
+						continue restart
+					}
+					return 0, 0, err
+				}
+				norm = ret
+			}
+			sweeps++
+			if norm <= locEps {
+				break
+			}
+		}
+		for i := 0; i < l.n; i++ {
+			l.local[i] = l.tok.Loads[i] - l.ext[i]
+		}
+		return norm, sweeps, nil
+	}
+}
+
+// memberStep sends the working token to member idx and waits for its
+// return, retrying with backoff; exhausted attempts report
+// errMemberLost.
+func (l *shardLeader) memberStep(idx, sweep int, norm float64) (float64, error) {
+	l.hop++
+	l.tok.Epoch, l.tok.Hop = l.epoch, l.hop
+	l.tok.Round, l.tok.Sweep, l.tok.Norm = l.curRound, sweep, norm
+	m := Message{To: l.names[idx], Kind: hierKindToken}
+	if err := m.Encode(&l.tok); err != nil {
+		return 0, err
+	}
+	for a := 0; a < l.attempts; a++ {
+		if err := l.conn.Send(m); err != nil {
+			return 0, err
+		}
+		obs.Emit(l.obs, obs.Event{Kind: obs.NashSend, A: int32(l.g), Node: l.conn.Name()})
+		wait := backoffDelay(l.probeTO, 4*l.probeTO, a, l.rng)
+		for {
+			r, err := l.conn.RecvTimeout(wait)
+			if err != nil {
+				if errors.Is(err, ErrTimeout) {
+					obs.Count(l.obs, obs.NashTimeout)
+					if a < l.attempts-1 {
+						obs.Count(l.obs, obs.NashRetry)
+					}
+					break
+				}
+				return 0, err
+			}
+			switch r.Kind {
+			case hierKindToken:
+				if r.Decode(&l.ret) != nil {
+					continue // malformed return; keep waiting
+				}
+				if l.ret.Epoch == l.epoch && l.ret.Hop == l.hop {
+					if len(l.ret.Loads) != l.n {
+						return 0, fmt.Errorf("dist: shard %d: malformed token return from %s", l.g, r.From)
+					}
+					copy(l.tok.Loads, l.ret.Loads)
+					return l.ret.Norm, nil
+				}
+				obs.Count(l.obs, obs.NashTokenStale)
+			case hierKindStop:
+				return 0, errStopped
+			default:
+				l.handleOOB(r)
+			}
+		}
+	}
+	return 0, fmt.Errorf("dist: shard %d: member %s: %w", l.g, l.names[idx], errMemberLost)
+}
+
+func (l *shardLeader) ejectMember(idx int) {
+	l.ejected = append(l.ejected, int32(l.ids[idx]))
+	l.ejectedNames = append(l.ejectedNames, l.names[idx])
+	l.ids = append(l.ids[:idx], l.ids[idx+1:]...)
+	l.names = append(l.names[:idx], l.names[idx+1:]...)
+	l.phis = append(l.phis[:idx], l.phis[idx+1:]...)
+	l.rows = append(l.rows[:idx], l.rows[idx+1:]...)
+	obs.Count(l.obs, obs.NashEjected)
+}
+
+// resync opens a new epoch, gathers every surviving member's strategy
+// row (ejecting further silent members) and rebuilds the shard's local
+// loads from them. Members answering the sync advance their epoch
+// fence, so any token from the old epoch still in flight is dead on
+// arrival — the rebuilt loads stay consistent.
+func (l *shardLeader) resync() error {
+	l.epoch++
+	l.hop = 0
+	for idx := 0; idx < len(l.ids); {
+		row, err := l.syncMember(idx)
+		if err != nil {
+			if errors.Is(err, errMemberLost) {
+				l.ejectMember(idx)
+				continue
+			}
+			return err
+		}
+		if cap(l.rows[idx]) < l.n {
+			l.rows[idx] = make([]float64, l.n)
+		}
+		l.rows[idx] = l.rows[idx][:l.n]
+		copy(l.rows[idx], row)
+		idx++
+	}
+	for i := range l.local {
+		l.local[i] = 0
+	}
+	for idx := range l.ids {
+		for i, f := range l.rows[idx] {
+			l.local[i] += f * l.phis[idx]
+		}
+	}
+	return nil
+}
+
+// syncMember requests member idx's row under the current epoch.
+func (l *shardLeader) syncMember(idx int) ([]float64, error) {
+	for a := 0; a < l.attempts; a++ {
+		l.seq++
+		m := Message{To: l.names[idx], Kind: hierKindSync}
+		if err := m.Encode(hierSyncPayload{Epoch: l.epoch, Seq: l.seq}); err != nil {
+			return nil, err
+		}
+		if err := l.conn.Send(m); err != nil {
+			return nil, err
+		}
+		wait := backoffDelay(l.probeTO, 4*l.probeTO, a, l.rng)
+		for {
+			r, err := l.conn.RecvTimeout(wait)
+			if err != nil {
+				if errors.Is(err, ErrTimeout) {
+					obs.Count(l.obs, obs.NashTimeout)
+					if a < l.attempts-1 {
+						obs.Count(l.obs, obs.NashRetry)
+					}
+					break
+				}
+				return nil, err
+			}
+			switch r.Kind {
+			case hierKindRow:
+				var p hierRowPayload
+				if r.Decode(&p) != nil {
+					continue
+				}
+				if p.Epoch == l.epoch && p.User == l.ids[idx] && len(p.S) == l.n {
+					return p.S, nil
+				}
+			case hierKindStop:
+				return nil, errStopped
+			case hierKindToken:
+				obs.Count(l.obs, obs.NashTokenStale) // dead old-epoch return
+			default:
+				l.handleOOB(r)
+			}
+		}
+	}
+	return nil, fmt.Errorf("dist: shard %d: member %s: %w", l.g, l.names[idx], errMemberLost)
+}
+
+// treeChildren returns the leader's children in the reduction tree.
+func (l *shardLeader) treeChildren() []int {
+	var cs []int
+	for _, c := range [2]int{2*l.g + 1, 2*l.g + 2} {
+		if c < l.numShards {
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+func subtreeSize(g, numShards int) int {
+	if g >= numShards {
+		return 0
+	}
+	return 1 + subtreeSize(2*g+1, numShards) + subtreeSize(2*g+2, numShards)
+}
+
+// sendUp reports this activation's entries toward the root: in tree
+// mode (parallel, undegraded) the leader merges its subtree's entries
+// (waiting boundedly for children) and forwards to its parent; in star
+// mode — always in sequential mode — it reports its own entry directly
+// to the root. The encoded report is cached for replay on re-requests.
+func (l *shardLeader) sendUp(norm float64, sweeps int) error {
+	own := hierPartialPayload{
+		Round: l.curRound, MEpoch: l.mEpoch,
+		Shards:  []int32{int32(l.g)},
+		Norms:   []float64{norm},
+		Sweeps:  []int32{int32(sweeps)},
+		Loads:   [][]float64{append([]float64(nil), l.local...)},
+		Ejected: append([]int32(nil), l.ejected...),
+	}
+	l.accum.add(&own)
+	to := rootName
+	if !l.star {
+		want := 1
+		for _, c := range l.treeChildren() {
+			want += subtreeSize(c, l.numShards)
+		}
+		dl := time.Now().Add(l.watchdog)
+		for len(l.accum.shards) < want {
+			left := time.Until(dl)
+			if left <= 0 {
+				break // report what we have; the root re-requests the rest
+			}
+			r, err := l.conn.RecvTimeout(left)
+			if err != nil {
+				if errors.Is(err, ErrTimeout) {
+					break
+				}
+				return err
+			}
+			switch r.Kind {
+			case hierKindPartial:
+				var p hierPartialPayload
+				if r.Decode(&p) != nil {
+					continue
+				}
+				if p.Round == l.curRound {
+					l.accum.add(&p)
+				}
+			case hierKindStop:
+				return errStopped
+			default:
+				l.handleOOB(r)
+			}
+		}
+		if l.g > 0 {
+			to = shardName((l.g - 1) / 2)
+		}
+	}
+	l.seq++
+	up := Message{To: to, Kind: hierKindPartial}
+	part := l.accum.payload(l.curRound, l.mEpoch, l.seq)
+	if err := up.Encode(&part); err != nil {
+		return err
+	}
+	l.cachedUp, l.cachedUpRnd = up.Data, l.curRound
+	if err := l.conn.Send(up); err != nil {
+		return err
+	}
+	l.ownSent = true
+	return nil
+}
+
+// awaitDown waits for the root's next activation, re-requesting on
+// every timeout (unbounded; the driver deadline is the backstop). A
+// duplicate of an already-served round means the root lost our partial:
+// the cached report is replayed. In tree mode a fresh down is forwarded
+// to the leader's children before it is served.
+func (l *shardLeader) awaitDown() (*hierDownPayload, error) {
+	for a := 0; ; a++ {
+		wait := backoffDelay(l.watchdog, 2*l.watchdog, a, l.rng)
+		r, err := l.conn.RecvTimeout(wait)
+		if err != nil {
+			if errors.Is(err, ErrTimeout) {
+				obs.Count(l.obs, obs.NashTimeout)
+				l.seq++
+				req := Message{To: rootName, Kind: hierKindDownReq}
+				if err := req.Encode(hierReqPayload{Round: l.lastDownRound, Seq: l.seq}); err != nil {
+					return nil, err
+				}
+				_ = l.conn.Send(req) // best-effort re-request; the next timeout retries
+				continue
+			}
+			return nil, err
+		}
+		switch r.Kind {
+		case hierKindDown:
+			if r.Decode(&l.down) != nil {
+				continue
+			}
+			if l.down.Round <= l.lastDownRound {
+				l.resendUp(l.down.Round) // dup of a served round: replay the report
+				continue
+			}
+			l.lastDownRound = l.down.Round
+			l.curRound = l.down.Round
+			l.applyDown(&l.down)
+			if !l.down.Stop && !l.star {
+				for _, c := range l.treeChildren() {
+					fwd := Message{To: shardName(c), Kind: hierKindDown, Data: r.Data}
+					_ = l.conn.Send(fwd) // best-effort: children re-request from the root on loss
+				}
+			}
+			l.accum.reset()
+			l.ownSent = false
+			return &l.down, nil
+		case hierKindStop:
+			return nil, errStopped
+		default:
+			l.handleOOB(r)
+		}
+	}
+}
+
+// applyDown ingests a round-closing broadcast: mode switches and
+// membership changes (joiners assigned to this shard).
+func (l *shardLeader) applyDown(p *hierDownPayload) {
+	l.mEpoch = p.MEpoch
+	if p.Star {
+		l.star = true
+	}
+	k := len(p.JoinUsers)
+	if len(p.JoinShards) != k || len(p.JoinNames) != k || len(p.JoinPhis) != k {
+		return // malformed join block; ignore
+	}
+	for i := 0; i < k; i++ {
+		if int(p.JoinShards[i]) != l.g {
+			continue
+		}
+		id := int(p.JoinUsers[i])
+		if memberOfInts(l.ids, id) || memberOf(l.ejected, id) {
+			continue // duplicate announcement
+		}
+		l.ids = append(l.ids, id)
+		l.names = append(l.names, p.JoinNames[i])
+		l.phis = append(l.phis, p.JoinPhis[i])
+		l.rows = append(l.rows, make([]float64, l.n))
+		obs.Count(l.obs, obs.HierJoin)
+	}
+}
+
+func memberOfInts(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// finalGather resyncs the surviving members' rows under a fresh epoch,
+// reports them to the root, and waits for the shutdown broadcast
+// (re-reporting on every timeout).
+func (l *shardLeader) finalGather() error {
+	if err := l.resync(); err != nil {
+		return err
+	}
+	l.seq++
+	users := make([]int32, len(l.ids))
+	for i, id := range l.ids {
+		users[i] = int32(id)
+	}
+	rows := Message{To: rootName, Kind: hierKindRows}
+	if err := rows.Encode(hierRowsPayload{
+		Shard: l.g, Seq: l.seq,
+		Users:   users,
+		Ejected: append([]int32(nil), l.ejected...),
+		Rows:    l.rows,
+	}); err != nil {
+		return err
+	}
+	if err := l.conn.Send(rows); err != nil {
+		return err
+	}
+	for a := 0; ; a++ {
+		wait := backoffDelay(l.watchdog, 2*l.watchdog, a, l.rng)
+		r, err := l.conn.RecvTimeout(wait)
+		if err != nil {
+			if errors.Is(err, ErrTimeout) {
+				_ = l.conn.Send(rows) // best-effort re-report; the root also re-requests
+				continue
+			}
+			return err
+		}
+		switch r.Kind {
+		case hierKindRowsReq, hierKindDown:
+			_ = l.conn.Send(rows) // the root missed our report; re-send
+		case hierKindStop:
+			return nil
+		default:
+			l.handleOOB(r)
+		}
+	}
+}
+
+// handleOOB processes out-of-band traffic arriving while the leader
+// waits for something else: children's partials (merge or relay), the
+// root's partial re-request (switch to star reporting, replay the
+// cached report), and stale broadcasts.
+func (l *shardLeader) handleOOB(r Message) {
+	switch r.Kind {
+	case hierKindPartial:
+		var p hierPartialPayload
+		if r.Decode(&p) != nil {
+			return
+		}
+		if p.Round == l.curRound && !l.ownSent {
+			l.accum.add(&p)
+			return
+		}
+		// Straggler from a child after we reported up: relay it to the
+		// root verbatim so the root need not probe the child.
+		fwd := Message{To: rootName, Kind: hierKindPartial, Data: r.Data}
+		_ = l.conn.Send(fwd) // best-effort relay; the root re-requests on loss
+	case hierKindPartReq:
+		var p hierReqPayload
+		if r.Decode(&p) != nil {
+			return
+		}
+		// The root probing us directly means the tree path failed:
+		// report directly from now on. (No-op in sequential mode, which
+		// is always a star.)
+		l.star = true
+		l.resendUp(p.Round)
+	default:
+		// Stale downs, rows, rows re-requests outside the gather phase:
+		// drop.
+	}
+}
+
+// --- root ------------------------------------------------------------
+
+type pendingJoin struct {
+	name  string
+	user  int
+	shard int
+	phi   float64
+	// sentRound is the wire round of the last down that both announced
+	// this join and activated its shard; a partial from that shard for
+	// that round confirms the leader applied the announcement.
+	sentRound int
+}
+
+// rootNode reconciles shard partials, detects shard failures, admits
+// joiners, and assembles the final profile.
+type rootNode struct {
+	conn      Conn
+	numShards int
+	n         int
+	mInit     int
+	eps       float64
+	maxRounds int
+	totalMu   float64
+
+	phis        []float64 // per user id, grows with joins
+	userEjected []bool
+	livePhi     float64
+
+	live     []bool
+	members  [][]int // root's view of shard membership
+	leaderG  map[string]int
+	have     []bool
+	norms    []float64
+	sweeps   []int32
+	locals   [][]float64
+	attempts []int
+
+	global   []float64
+	round    int // completed reconciliation cycles
+	downSeq  int // monotone wire round of downs
+	mEpoch   int
+	parallel bool
+	theta    float64 // parallel reconciliation damping; 1 in sequential mode
+	star     bool
+	changed  bool // membership changed this cycle; forces another cycle
+
+	// Active-set skipping state, mirroring the oracle (game.shard.go):
+	// a shard whose last activation met its eps share is not activated
+	// again until the global view drifts past that share. shardView[g]
+	// is the reconciled global shard g last swept into; shardNorm[g] its
+	// last activation norm (+Inf until the first); act[g] whether g is
+	// activated in the in-flight parallel round.
+	shardView [][]float64
+	shardNorm []float64
+	act       []bool
+
+	cachedDown []byte
+
+	pendingJoins []pendingJoin
+	joinAnswers  map[string]hierJoinOKPayload
+	joined       []JoinedUser
+
+	rowsHave  []bool
+	rowsUsers [][]int32
+	rowsRows  [][][]float64
+
+	sweepsTotal int
+	lastNorm    float64
+	runErr      error
+
+	watchdog  time.Duration
+	probeTO   time.Duration
+	attemptsN int
+	seq       int
+	rng       *queueing.RNG
+	obs       obs.Observer
+	errCh     chan<- error
+	result    *NashShardedResult
+	resMu     *sync.Mutex
+}
+
+func (rt *rootNode) run() {
+	err := rt.protocol()
+	if err != nil {
+		if errors.Is(err, ErrCrashed) || errors.Is(err, ErrClosed) {
+			return // silent; the driver deadline reports ErrStalled
+		}
+		rt.errCh <- err
+		return
+	}
+	rt.errCh <- rt.runErr
+}
+
+func (rt *rootNode) liveCount() int {
+	c := 0
+	for _, v := range rt.live {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
+// protocol runs reconciliation cycles until the global norm reaches eps
+// on a cycle with stable membership, then gathers the final rows. One
+// cycle activates every live shard once: sequentially (one targeted
+// down per shard, the global view refreshed between activations — block
+// Gauss–Seidel) or, in parallel mode, all at once (one broadcast down,
+// partials tree-reduced, reconciliation damped by θ — Jacobi).
+func (rt *rootNode) protocol() error {
+	for cycle := 1; ; cycle++ {
+		rt.changed = false
+		var cycleNorm float64
+		var err error
+		if rt.parallel {
+			cycleNorm, err = rt.parallelRound()
+		} else {
+			cycleNorm, err = rt.sequentialCycle()
+		}
+		if err != nil {
+			return err
+		}
+		if rt.liveCount() == 0 {
+			return fmt.Errorf("dist: all %d shards ejected: %w", rt.numShards, ErrStalled)
+		}
+		rt.round = cycle
+		rt.lastNorm = cycleNorm
+		obs.Emit(rt.obs, obs.Event{Kind: obs.HierRound, Time: float64(cycle), V: cycleNorm, Node: rootName})
+		// A cycle that ejected or admitted someone must not be the last:
+		// the survivors' replies to the changed system are still unseen.
+		stop := cycleNorm <= rt.eps && !rt.changed
+		if !stop && cycle >= rt.maxRounds {
+			stop = true
+			rt.runErr = fmt.Errorf("dist: sharded NASH exceeded %d rounds (norm=%g)", rt.maxRounds, cycleNorm)
+		}
+		if stop {
+			if err := rt.broadcastStop(cycleNorm); err != nil {
+				return err
+			}
+			if err := rt.gatherRows(); err != nil {
+				return err
+			}
+			rt.assemble()
+			rt.shutdown()
+			return nil
+		}
+	}
+}
+
+// shouldSkipShard reports whether shard g can sit this cycle out: its
+// last activation was already within its eps share, and the global view
+// has drifted by less than that share since (re-sweeping could displace
+// at most ~2·locEps, so the slack summed over shards stays within
+// ~2·eps). Pending joins force activation — the join rides a down
+// addressed to its shard. The float logic is identical to the oracle's
+// shouldSkip, keeping fault-free runs bit-exact.
+func (rt *rootNode) shouldSkipShard(g int) bool {
+	for i := range rt.pendingJoins {
+		if rt.pendingJoins[i].shard == g {
+			return false
+		}
+	}
+	locEps := rt.eps * float64(len(rt.members[g])) / float64(rt.mInit)
+	if rt.shardNorm[g] > locEps {
+		return false
+	}
+	var delta float64
+	for i := 0; i < rt.n; i++ {
+		delta = satNorm(delta, math.Abs(rt.global[i]-rt.shardView[g][i]))
+	}
+	return delta <= locEps
+}
+
+// sequentialCycle activates each live shard in turn: targeted down,
+// await its partial (probing and ultimately ejecting a silent shard),
+// refresh the global view. Mirrors the oracle's sequential round
+// exactly: reconcile after every shard, norm accumulated in ascending
+// shard order, quiescent shards skipped. A skipped shard's leader sits
+// parked in awaitDown; its watchdog downreqs are answered with the
+// cached down, whose Active set tells it to keep waiting.
+func (rt *rootNode) sequentialCycle() (float64, error) {
+	var norm float64
+	for g := 0; g < rt.numShards; g++ {
+		if !rt.live[g] || rt.shouldSkipShard(g) {
+			continue
+		}
+		if err := rt.sendDown(g); err != nil {
+			return 0, err
+		}
+		if err := rt.awaitPartial(g); err != nil {
+			return 0, err
+		}
+		rt.recomputeGlobal()
+		if !rt.live[g] {
+			continue // ejected while waiting; its load is gone from the view
+		}
+		rt.shardNorm[g] = rt.norms[g]
+		copy(rt.shardView[g], rt.global)
+		norm = satNorm(norm, rt.norms[g])
+		rt.sweepsTotal += int(rt.sweeps[g])
+	}
+	return norm, nil
+}
+
+// parallelRound broadcasts one down to every live shard, collects all
+// partials, and reconciles the global view once, damped by θ — the
+// oracle's parallel round.
+func (rt *rootNode) parallelRound() (float64, error) {
+	if err := rt.broadcastRound(); err != nil {
+		return 0, err
+	}
+	if err := rt.collectRound(); err != nil {
+		return 0, err
+	}
+	for i := range rt.global {
+		var sum float64
+		for g := 0; g < rt.numShards; g++ {
+			if rt.live[g] {
+				sum += rt.locals[g][i]
+			}
+		}
+		//lint:ignore floatcmp theta is pinned to exactly 1 in sequential mode; the direct assignment (not +=θ·Δ) is what keeps the oracle bit-identical
+		if rt.theta == 1 {
+			rt.global[i] = sum
+		} else {
+			rt.global[i] += rt.theta * (sum - rt.global[i])
+		}
+	}
+	var norm float64
+	for g := 0; g < rt.numShards; g++ {
+		if !rt.live[g] || !rt.act[g] || !rt.have[g] {
+			continue
+		}
+		rt.shardNorm[g] = rt.norms[g]
+		copy(rt.shardView[g], rt.global)
+		norm = satNorm(norm, rt.norms[g])
+		rt.sweepsTotal += int(rt.sweeps[g])
+	}
+	return norm, nil
+}
+
+// recomputeGlobal rebuilds the global view as the sum of the live
+// shards' loads in ascending shard order — the oracle's θ==1 reconcile
+// (direct assignment; sequential bit-exactness depends on it).
+func (rt *rootNode) recomputeGlobal() {
+	for i := range rt.global {
+		var sum float64
+		for g := 0; g < rt.numShards; g++ {
+			if rt.live[g] {
+				sum += rt.locals[g][i]
+			}
+		}
+		rt.global[i] = sum
+	}
+}
+
+func (rt *rootNode) ejectedShardIDs() []int32 {
+	var ids []int32
+	for g := 0; g < rt.numShards; g++ {
+		if !rt.live[g] {
+			ids = append(ids, int32(g))
+		}
+	}
+	return ids
+}
+
+// flushJoins announces every pending join in the down (leaders filter
+// by shard and deduplicate), recording which joins the activated
+// shard(s) will see so their partials can confirm them.
+func (rt *rootNode) flushJoins(p *hierDownPayload) {
+	for i := range rt.pendingJoins {
+		j := &rt.pendingJoins[i]
+		p.JoinUsers = append(p.JoinUsers, int32(j.user))
+		p.JoinShards = append(p.JoinShards, int32(j.shard))
+		p.JoinNames = append(p.JoinNames, j.name)
+		p.JoinPhis = append(p.JoinPhis, j.phi)
+		if activeHas(p.Active, j.shard) {
+			j.sentRound = p.Round
+		}
+	}
+}
+
+// retireJoins confirms pending joins assigned to shard g: a partial
+// from g for round means g applied the down that announced them.
+func (rt *rootNode) retireJoins(g, round int) {
+	kept := rt.pendingJoins[:0]
+	for _, j := range rt.pendingJoins {
+		if j.shard == g && j.sentRound == round && round != 0 {
+			rt.joined = append(rt.joined, JoinedUser{Name: j.name, User: j.user, Shard: j.shard, Phi: j.phi})
+			rt.changed = true
+			continue
+		}
+		kept = append(kept, j)
+	}
+	rt.pendingJoins = kept
+}
+
+// sendDown activates shard g for the next wire round with the current
+// global view. The encoded down is cached for replays.
+func (rt *rootNode) sendDown(g int) error {
+	rt.downSeq++
+	rt.have[g] = false
+	p := hierDownPayload{
+		Round: rt.downSeq, MEpoch: rt.mEpoch,
+		Star: rt.star, Norm: rt.lastNorm,
+		Active:        []int32{int32(g)},
+		Loads:         rt.global,
+		EjectedShards: rt.ejectedShardIDs(),
+	}
+	rt.flushJoins(&p)
+	rt.seq++
+	p.Seq = rt.seq
+	m := Message{To: shardName(g), Kind: hierKindDown}
+	if err := m.Encode(&p); err != nil {
+		return err
+	}
+	rt.cachedDown = m.Data
+	_ = rt.conn.Send(m) // best-effort: awaitPartial re-sends on timeout
+	return nil
+}
+
+// awaitPartial waits for shard g's report for the current wire round,
+// re-sending the down and probing on timeouts, and ejecting g once the
+// probe budget is exhausted.
+func (rt *rootNode) awaitPartial(g int) error {
+	attempts := 0
+	for rt.live[g] && !rt.have[g] {
+		wait := backoffDelay(rt.watchdog, 2*rt.watchdog, 0, rt.rng)
+		m, err := rt.conn.RecvTimeout(wait)
+		if err != nil {
+			if !errors.Is(err, ErrTimeout) {
+				return err
+			}
+			obs.Count(rt.obs, obs.NashTimeout)
+			attempts++
+			if attempts > rt.attemptsN {
+				rt.ejectShard(g)
+				return nil
+			}
+			obs.Count(rt.obs, obs.NashRetry)
+			_ = rt.conn.Send(Message{To: shardName(g), Kind: hierKindDown, Data: rt.cachedDown}) // best-effort re-activation
+			rt.seq++
+			req := Message{To: shardName(g), Kind: hierKindPartReq}
+			if req.Encode(hierReqPayload{Round: rt.downSeq, Seq: rt.seq}) == nil {
+				_ = rt.conn.Send(req) // best-effort probe; the next timeout retries
+			}
+			continue
+		}
+		switch m.Kind {
+		case hierKindPartial:
+			rt.onPartial(m)
+		case hierKindJoin:
+			rt.onJoin(m, false)
+		case hierKindDownReq:
+			rt.onDownReq(m)
+		default:
+			// Stale rows/acks from an earlier phase; drop.
+		}
+	}
+	return nil
+}
+
+// broadcastRound opens a parallel round: one down to every live,
+// non-quiescent shard, sent down the tree (or to each leader directly
+// in star mode). Skipped shards are pre-marked collected so the
+// reduction neither waits on nor probes them.
+func (rt *rootNode) broadcastRound() error {
+	rt.downSeq++
+	var active []int32
+	for g := 0; g < rt.numShards; g++ {
+		rt.act[g] = false
+		if !rt.live[g] {
+			continue
+		}
+		if rt.shouldSkipShard(g) {
+			rt.have[g] = true
+			continue
+		}
+		rt.act[g] = true
+		active = append(active, int32(g))
+		rt.have[g] = false
+		rt.attempts[g] = 0
+	}
+	p := hierDownPayload{
+		Round: rt.downSeq, MEpoch: rt.mEpoch,
+		Star: rt.star, Norm: rt.lastNorm,
+		Active:        active,
+		Loads:         rt.global,
+		EjectedShards: rt.ejectedShardIDs(),
+	}
+	rt.flushJoins(&p)
+	rt.seq++
+	p.Seq = rt.seq
+	m := Message{Kind: hierKindDown}
+	if err := m.Encode(&p); err != nil {
+		return err
+	}
+	rt.cachedDown = m.Data
+	if rt.star {
+		for g := 0; g < rt.numShards; g++ {
+			if rt.act[g] {
+				_ = rt.conn.Send(Message{To: shardName(g), Kind: hierKindDown, Data: rt.cachedDown}) // best-effort; leaders re-request
+			}
+		}
+		return nil
+	}
+	_ = rt.conn.Send(Message{To: shardName(0), Kind: hierKindDown, Data: rt.cachedDown}) // best-effort; leaders re-request
+	return nil
+}
+
+// collectRound gathers one reduction entry per live shard for the
+// current wire round, probing (and ultimately ejecting) silent shards.
+func (rt *rootNode) collectRound() error {
+	for {
+		if rt.liveCount() == 0 {
+			return fmt.Errorf("dist: all %d shards ejected: %w", rt.numShards, ErrStalled)
+		}
+		if rt.allHave() {
+			return nil
+		}
+		wait := backoffDelay(rt.watchdog, 2*rt.watchdog, 0, rt.rng)
+		m, err := rt.conn.RecvTimeout(wait)
+		if err != nil {
+			if errors.Is(err, ErrTimeout) {
+				rt.recoverRound()
+				continue
+			}
+			return err
+		}
+		switch m.Kind {
+		case hierKindPartial:
+			rt.onPartial(m)
+		case hierKindJoin:
+			rt.onJoin(m, false)
+		case hierKindDownReq:
+			rt.onDownReq(m)
+		default:
+			// Stale rows/acks from the previous phase; drop.
+		}
+	}
+}
+
+func (rt *rootNode) allHave() bool {
+	for g := range rt.have {
+		if rt.live[g] && !rt.have[g] {
+			return false
+		}
+	}
+	return true
+}
+
+func (rt *rootNode) onPartial(m Message) {
+	var p hierPartialPayload
+	if m.Decode(&p) != nil {
+		return
+	}
+	if p.Round != rt.downSeq {
+		return // stale round
+	}
+	k := len(p.Shards)
+	if len(p.Norms) != k || len(p.Sweeps) != k || len(p.Loads) != k {
+		return // malformed; the probe path re-requests
+	}
+	for i := 0; i < k; i++ {
+		g := int(p.Shards[i])
+		if g < 0 || g >= rt.numShards || !rt.live[g] || rt.have[g] {
+			continue
+		}
+		if len(p.Loads[i]) != rt.n {
+			continue
+		}
+		copy(rt.locals[g], p.Loads[i])
+		rt.norms[g] = p.Norms[i]
+		rt.sweeps[g] = p.Sweeps[i]
+		rt.have[g] = true
+		rt.attempts[g] = 0
+		rt.retireJoins(g, p.Round)
+	}
+	for _, id := range p.Ejected {
+		rt.ejectUser(int(id))
+	}
+}
+
+// ejectUser marks a user id ejected (idempotently), updating the
+// feasibility budget and the shard membership view.
+func (rt *rootNode) ejectUser(id int) {
+	if id < 0 || id >= len(rt.userEjected) || rt.userEjected[id] {
+		return
+	}
+	rt.userEjected[id] = true
+	rt.changed = true
+	rt.livePhi -= rt.phis[id]
+	for g := range rt.members {
+		for i, v := range rt.members[g] {
+			if v == id {
+				rt.members[g] = append(rt.members[g][:i], rt.members[g][i+1:]...)
+				break
+			}
+		}
+	}
+	obs.Count(rt.obs, obs.NashEjected)
+}
+
+// recoverRound reacts to a parallel-collection timeout: switch to star
+// reporting, re-send the round's down (in case the leader missed it),
+// probe missing shards, and eject those exhausting the probe budget.
+func (rt *rootNode) recoverRound() {
+	obs.Count(rt.obs, obs.NashTimeout)
+	rt.star = true
+	for g := 0; g < rt.numShards; g++ {
+		if !rt.live[g] || rt.have[g] {
+			continue
+		}
+		rt.attempts[g]++
+		if rt.attempts[g] > rt.attemptsN {
+			rt.ejectShard(g)
+			continue
+		}
+		obs.Count(rt.obs, obs.NashRetry)
+		if rt.cachedDown != nil {
+			_ = rt.conn.Send(Message{To: shardName(g), Kind: hierKindDown, Data: rt.cachedDown}) // best-effort re-broadcast
+		}
+		rt.seq++
+		req := Message{To: shardName(g), Kind: hierKindPartReq}
+		if req.Encode(hierReqPayload{Round: rt.downSeq, Seq: rt.seq}) != nil {
+			continue
+		}
+		_ = rt.conn.Send(req) // best-effort probe; the next timeout retries
+	}
+}
+
+// ejectShard removes a silent shard: its members are ejected and the
+// membership epoch bumps.
+func (rt *rootNode) ejectShard(g int) {
+	rt.live[g] = false
+	rt.changed = true
+	rt.mEpoch++
+	for _, id := range append([]int(nil), rt.members[g]...) {
+		rt.ejectUser(id)
+	}
+	obs.Emit(rt.obs, obs.Event{Kind: obs.HierShardEjected, A: int32(g), Node: rootName})
+}
+
+// onJoin admits (or rejects) a joiner. Answers are cached so retries
+// are idempotent; stopping rejects new joiners.
+func (rt *rootNode) onJoin(m Message, stopping bool) {
+	var p hierJoinPayload
+	if m.Decode(&p) != nil {
+		return
+	}
+	ans, seen := rt.joinAnswers[p.Name]
+	if !seen {
+		switch {
+		case stopping:
+			ans = hierJoinOKPayload{Name: p.Name, Reject: true, Reason: "run stopping"}
+		case p.Phi <= 0 || math.IsNaN(p.Phi) || rt.livePhi+p.Phi >= rt.totalMu:
+			ans = hierJoinOKPayload{Name: p.Name, Reject: true, Reason: "infeasible arrival rate"}
+		case rt.liveCount() == 0:
+			ans = hierJoinOKPayload{Name: p.Name, Reject: true, Reason: "no live shards"}
+		default:
+			// Assign to the smallest live shard (lowest id breaks ties).
+			best := -1
+			for g := 0; g < rt.numShards; g++ {
+				if !rt.live[g] {
+					continue
+				}
+				if best < 0 || len(rt.members[g]) < len(rt.members[best]) {
+					best = g
+				}
+			}
+			id := len(rt.phis)
+			rt.phis = append(rt.phis, p.Phi)
+			rt.userEjected = append(rt.userEjected, false)
+			rt.livePhi += p.Phi
+			rt.members[best] = append(rt.members[best], id)
+			rt.pendingJoins = append(rt.pendingJoins, pendingJoin{name: p.Name, user: id, shard: best, phi: p.Phi})
+			ans = hierJoinOKPayload{Name: p.Name, User: id, Shard: best}
+			obs.Emit(rt.obs, obs.Event{Kind: obs.HierJoin, A: int32(id), B: int32(best), Node: rootName})
+		}
+		rt.joinAnswers[p.Name] = ans
+	}
+	ans.Seq = p.Seq
+	reply := Message{To: m.From, Kind: hierKindJoinOK}
+	if reply.Encode(ans) != nil {
+		return
+	}
+	_ = rt.conn.Send(reply) // best-effort: the joiner retries
+}
+
+// onDownReq re-sends the latest down to a lagging leader (the leader's
+// round fence drops it if stale), or a stop to an ejected one.
+func (rt *rootNode) onDownReq(m Message) {
+	var p hierReqPayload
+	if m.Decode(&p) != nil {
+		return
+	}
+	g, known := rt.leaderG[m.From]
+	if known && !rt.live[g] {
+		_ = rt.conn.Send(Message{To: m.From, Kind: hierKindStop}) // ejected shard: tell it to quit
+		return
+	}
+	if rt.cachedDown != nil {
+		_ = rt.conn.Send(Message{To: m.From, Kind: hierKindDown, Data: rt.cachedDown}) // best-effort resend
+	}
+}
+
+// broadcastStop announces the end of the run directly to every live
+// leader (the tree is skipped: a stop must not depend on relaying).
+// Unconfirmed pending joins are deliberately excluded — their joiners
+// are released by shutdown instead.
+func (rt *rootNode) broadcastStop(norm float64) error {
+	rt.downSeq++
+	p := hierDownPayload{
+		Round: rt.downSeq, MEpoch: rt.mEpoch,
+		Stop: true, Star: true, Norm: norm,
+		EjectedShards: rt.ejectedShardIDs(),
+	}
+	rt.seq++
+	p.Seq = rt.seq
+	m := Message{Kind: hierKindDown}
+	if err := m.Encode(p); err != nil {
+		return err
+	}
+	rt.cachedDown = m.Data
+	for g := 0; g < rt.numShards; g++ {
+		if rt.live[g] {
+			_ = rt.conn.Send(Message{To: shardName(g), Kind: hierKindDown, Data: rt.cachedDown}) // best-effort; leaders re-request
+		}
+	}
+	return nil
+}
+
+// gatherRows collects every live shard's final strategy rows, probing
+// and ultimately ejecting silent shards.
+func (rt *rootNode) gatherRows() error {
+	for g := range rt.rowsHave {
+		rt.rowsHave[g] = false
+		rt.attempts[g] = 0
+	}
+	done := func() bool {
+		for g := range rt.rowsHave {
+			if rt.live[g] && !rt.rowsHave[g] {
+				return false
+			}
+		}
+		return true
+	}
+	for !done() {
+		wait := backoffDelay(rt.watchdog, 2*rt.watchdog, 0, rt.rng)
+		m, err := rt.conn.RecvTimeout(wait)
+		if err != nil {
+			if errors.Is(err, ErrTimeout) {
+				for g := 0; g < rt.numShards; g++ {
+					if !rt.live[g] || rt.rowsHave[g] {
+						continue
+					}
+					rt.attempts[g]++
+					if rt.attempts[g] > rt.attemptsN {
+						rt.ejectShard(g)
+						continue
+					}
+					_ = rt.conn.Send(Message{To: shardName(g), Kind: hierKindDown, Data: rt.cachedDown}) // re-send the stop down
+					rt.seq++
+					req := Message{To: shardName(g), Kind: hierKindRowsReq}
+					if req.Encode(hierReqPayload{Round: rt.downSeq, Seq: rt.seq}) != nil {
+						continue
+					}
+					_ = rt.conn.Send(req) // best-effort probe; the next timeout retries
+				}
+				continue
+			}
+			return err
+		}
+		switch m.Kind {
+		case hierKindRows:
+			var p hierRowsPayload
+			if m.Decode(&p) != nil {
+				continue
+			}
+			g := p.Shard
+			if g < 0 || g >= rt.numShards || !rt.live[g] || rt.rowsHave[g] {
+				continue
+			}
+			if len(p.Rows) != len(p.Users) {
+				continue
+			}
+			rt.rowsUsers[g] = append([]int32(nil), p.Users...)
+			rt.rowsRows[g] = make([][]float64, len(p.Rows))
+			for i, row := range p.Rows {
+				rt.rowsRows[g][i] = append([]float64(nil), row...)
+			}
+			rt.rowsHave[g] = true
+			for _, id := range p.Ejected {
+				rt.ejectUser(int(id))
+			}
+		case hierKindJoin:
+			rt.onJoin(m, true)
+		case hierKindDownReq:
+			rt.onDownReq(m)
+		default:
+			// Stale partials from the final round; drop.
+		}
+	}
+	return nil
+}
+
+// assemble publishes the final result: one profile row per user id,
+// zero for ejected users.
+func (rt *rootNode) assemble() {
+	mFinal := len(rt.phis)
+	prof := noncoop.NewProfile(mFinal, rt.n)
+	for g := 0; g < rt.numShards; g++ {
+		if !rt.live[g] || !rt.rowsHave[g] {
+			continue
+		}
+		for i, id := range rt.rowsUsers[g] {
+			if int(id) < 0 || int(id) >= mFinal || len(rt.rowsRows[g][i]) != rt.n {
+				continue
+			}
+			copy(prof.S[int(id)], rt.rowsRows[g][i])
+		}
+	}
+	var ejected []int
+	for id, e := range rt.userEjected {
+		if e {
+			ejected = append(ejected, id)
+		}
+	}
+	sort.Ints(ejected)
+	var ejectedShards []int
+	for g := 0; g < rt.numShards; g++ {
+		if !rt.live[g] {
+			ejectedShards = append(ejectedShards, g)
+		}
+	}
+	joined := make([]JoinedUser, len(rt.joined))
+	copy(joined, rt.joined)
+	for i := range joined {
+		joined[i].S = prof.S[joined[i].User]
+	}
+	rt.resMu.Lock()
+	rt.result.Profile = prof
+	rt.result.Rounds = rt.round
+	rt.result.Sweeps = rt.sweepsTotal
+	rt.result.Norm = rt.lastNorm
+	rt.result.Ejected = ejected
+	rt.result.EjectedShards = ejectedShards
+	rt.result.Joined = joined
+	rt.resMu.Unlock()
+}
+
+// shutdown broadcasts the stop: every leader (ejected ones included —
+// they may be alive behind a partition), every confirmed joiner (its
+// leader may have died before relaying the stop), and any joiner whose
+// admission was never confirmed.
+func (rt *rootNode) shutdown() {
+	for g := 0; g < rt.numShards; g++ {
+		_ = rt.conn.Send(Message{To: shardName(g), Kind: hierKindStop}) // best-effort shutdown signal
+	}
+	for _, j := range rt.joined {
+		_ = rt.conn.Send(Message{To: j.Name, Kind: hierKindStop}) // best-effort; the leader usually got there first
+	}
+	for _, j := range rt.pendingJoins {
+		_ = rt.conn.Send(Message{To: j.name, Kind: hierKindStop}) // admission never confirmed; release the joiner
+	}
+}
+
+// --- driver ----------------------------------------------------------
+
+// RunNashSharded executes the hierarchical sharded NASH protocol over
+// the given network with default options. Each user starts from the
+// NASH_P proportional initialization; eps is the acceptance tolerance
+// on the per-round global norm and maxRounds bounds the reconciliation
+// rounds. A fault-free run returns a profile bit-identical to
+// game.ShardedBestReply on the same system and shard plan.
+func RunNashSharded(netw Network, sys noncoop.System, eps float64, maxRounds int) (NashShardedResult, error) {
+	return RunNashShardedWith(netw, sys, eps, maxRounds, ShardOptions{})
+}
+
+// RunNashShardedWith is RunNashSharded with explicit options.
+func RunNashShardedWith(netw Network, sys noncoop.System, eps float64, maxRounds int, opts ShardOptions) (NashShardedResult, error) {
+	if err := sys.Validate(); err != nil {
+		return NashShardedResult{}, err
+	}
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10_000
+	}
+	opts = opts.withDefaults()
+	m, n := sys.NumUsers(), sys.NumComputers()
+	numShards := opts.Shards
+	if numShards <= 0 {
+		numShards = game.DefaultShardCount(m)
+	}
+	plan := game.PlanShards(m, numShards)
+	numShards = len(plan)
+
+	// NASH_P proportional initialization, identical to the oracle.
+	prof := noncoop.NewProfile(m, n)
+	total := sys.TotalMu()
+	for j := 0; j < m; j++ {
+		for i, mu := range sys.Mu {
+			prof.S[j][i] = mu / total
+		}
+	}
+	// Per-shard initial locals and the initial global view, accumulated
+	// in the oracle's order (members ascending within a shard, shards
+	// ascending) so round 1 starts from bit-identical state.
+	locals := make([][]float64, numShards)
+	for g, members := range plan {
+		locals[g] = make([]float64, n)
+		for _, j := range members {
+			for i, f := range prof.S[j] {
+				locals[g][i] += f * sys.Phi[j]
+			}
+		}
+	}
+	initGlobal := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for g := range plan {
+			initGlobal[i] += locals[g][i]
+		}
+	}
+
+	rootConn, err := netw.Join(rootName)
+	if err != nil {
+		return NashShardedResult{}, err
+	}
+	leaderConns := make([]Conn, numShards)
+	userConns := make([]Conn, m)
+	result := &NashShardedResult{}
+	var resMu sync.Mutex
+	errCh := make(chan error, 1+numShards+m)
+	var wg sync.WaitGroup
+	var stopOnce sync.Once
+	teardown := func() {
+		stopOnce.Do(func() {
+			_ = rootConn.Close() // teardown; unblocks the root
+			for _, c := range leaderConns {
+				if c != nil {
+					_ = c.Close() // teardown; unblocks the leader
+				}
+			}
+			for _, c := range userConns {
+				if c != nil {
+					_ = c.Close() // teardown; unblocks the user
+				}
+			}
+			wg.Wait()
+		})
+	}
+	defer teardown()
+	for g := 0; g < numShards; g++ {
+		c, err := netw.Join(shardName(g))
+		if err != nil {
+			return NashShardedResult{}, err
+		}
+		leaderConns[g] = c
+	}
+	for j := 0; j < m; j++ {
+		c, err := netw.Join(userName(j))
+		if err != nil {
+			return NashShardedResult{}, err
+		}
+		userConns[j] = c
+	}
+
+	leaderG := make(map[string]int, numShards)
+	for g := 0; g < numShards; g++ {
+		leaderG[shardName(g)] = g
+	}
+	rootMembers := make([][]int, numShards)
+	for g, members := range plan {
+		rootMembers[g] = append([]int(nil), members...)
+	}
+	// The root starts from the same per-shard locals and global view as
+	// the oracle: round 1's first activation must see the initial
+	// proportional loads.
+	rootLocals := make([][]float64, numShards)
+	for g := range rootLocals {
+		rootLocals[g] = append([]float64(nil), locals[g]...)
+	}
+	theta := opts.Damping
+	if theta <= 0 || theta > 1 {
+		theta = game.DefaultDamping
+	}
+	if !opts.Parallel || numShards <= 1 {
+		theta = 1
+	}
+	rt := &rootNode{
+		conn: rootConn, numShards: numShards, n: n, mInit: m,
+		eps: eps, maxRounds: maxRounds, totalMu: total,
+		phis:        append([]float64(nil), sys.Phi...),
+		userEjected: make([]bool, m),
+		livePhi:     sumFloats(sys.Phi),
+		live:        make([]bool, numShards),
+		members:     rootMembers,
+		leaderG:     leaderG,
+		have:        make([]bool, numShards),
+		norms:       make([]float64, numShards),
+		sweeps:      make([]int32, numShards),
+		locals:      rootLocals,
+		attempts:    make([]int, numShards),
+		global:      append([]float64(nil), initGlobal...),
+		shardView:   make([][]float64, numShards),
+		shardNorm:   make([]float64, numShards),
+		act:         make([]bool, numShards),
+		parallel:    opts.Parallel,
+		theta:       theta,
+		star:        !opts.Parallel,
+		joinAnswers: make(map[string]hierJoinOKPayload),
+		rowsHave:    make([]bool, numShards),
+		rowsUsers:   make([][]int32, numShards),
+		rowsRows:    make([][][]float64, numShards),
+		watchdog:    opts.Watchdog, probeTO: opts.ProbeTimeout,
+		attemptsN: opts.MaxAttempts,
+		rng:       queueing.NewRNG(opts.Seed).Split(1),
+		obs:       opts.Observer,
+		errCh:     errCh, result: result, resMu: &resMu,
+	}
+	for g := range rt.live {
+		rt.live[g] = true
+		rt.shardView[g] = make([]float64, n)
+		rt.shardNorm[g] = math.Inf(1)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rt.run()
+	}()
+
+	for g := 0; g < numShards; g++ {
+		members := plan[g]
+		names := make([]string, len(members))
+		phis := make([]float64, len(members))
+		rows := make([][]float64, len(members))
+		for i, j := range members {
+			names[i] = userName(j)
+			phis[i] = sys.Phi[j]
+			rows[i] = make([]float64, n)
+		}
+		l := &shardLeader{
+			conn: leaderConns[g], g: g, numShards: numShards, n: n, mInit: m,
+			eps: eps, sweepsMax: opts.LocalSweeps,
+			ids: append([]int(nil), members...), names: names, phis: phis, rows: rows,
+			local: append([]float64(nil), locals[g]...), ext: make([]float64, n),
+			star:     !opts.Parallel,
+			watchdog: opts.Watchdog, probeTO: opts.ProbeTimeout,
+			attempts: opts.MaxAttempts,
+			rng:      queueing.NewRNG(opts.Seed).Split(uint64(g) + 2),
+			obs:      opts.Observer,
+			errCh:    errCh,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.run()
+		}()
+	}
+	for j := 0; j < m; j++ {
+		u := &shardUser{
+			conn: userConns[j], id: j, phi: sys.Phi[j],
+			mu: sys.Mu, mDiv: float64(m),
+			row:       prof.S[j],
+			lastEpoch: -1, lastHop: -1,
+			avail: make([]float64, n), newRow: make([]float64, n), ord: make([]int, n),
+			obs:   opts.Observer,
+			errCh: errCh,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u.run()
+		}()
+	}
+
+	var runErr error
+	deadline := time.NewTimer(opts.Deadline)
+	defer deadline.Stop()
+	select {
+	case runErr = <-errCh:
+	case <-deadline.C:
+		runErr = fmt.Errorf("dist: no progress within %v: %w", opts.Deadline, ErrStalled)
+	}
+	teardown()
+	resMu.Lock()
+	defer resMu.Unlock()
+	if result.Profile.S == nil {
+		// The root never assembled (stall or protocol error): hand back
+		// the driver-side profile as a checkpoint. The wg.Wait above is
+		// the happens-before edge making the user-mutated rows safe to
+		// read.
+		result.Profile = prof
+	}
+	return *result, runErr
+}
+
+func sumFloats(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// RunShardJoiner joins a running sharded computation as a new user
+// named name with arrival rate phi, participates until the run stops,
+// and returns the assignment plus the user's final strategy row. mu is
+// the system's processing-rate vector (the joiner must agree with the
+// running system). A joiner admitted under a rejected or stopped run
+// returns an error; a joiner orphaned by teardown returns its last
+// state with a nil error.
+func RunShardJoiner(netw Network, name string, phi float64, mu []float64, opts ShardOptions) (JoinedUser, error) {
+	opts = opts.withDefaults()
+	conn, err := netw.Join(name)
+	if err != nil {
+		return JoinedUser{}, err
+	}
+	defer func() {
+		_ = conn.Close() // teardown; release the endpoint
+	}()
+	rng := queueing.NewRNG(linkStreamSeed(opts.Seed, name, rootName))
+	dl := time.Now().Add(opts.Deadline)
+	var ok hierJoinOKPayload
+	seq := 0
+	admitted := false
+	for a := 0; !admitted; a++ {
+		if time.Now().After(dl) {
+			return JoinedUser{}, fmt.Errorf("dist: joiner %s: no admission within %v: %w", name, opts.Deadline, ErrStalled)
+		}
+		seq++
+		req := Message{To: rootName, Kind: hierKindJoin}
+		if err := req.Encode(hierJoinPayload{Name: name, Phi: phi, Seq: seq}); err != nil {
+			return JoinedUser{}, err
+		}
+		if err := conn.Send(req); err != nil {
+			return JoinedUser{}, err
+		}
+		wait := backoffDelay(opts.ProbeTimeout, 8*opts.ProbeTimeout, a, rng)
+		for !admitted {
+			r, err := conn.RecvTimeout(wait)
+			if err != nil {
+				if errors.Is(err, ErrTimeout) {
+					break
+				}
+				return JoinedUser{}, err
+			}
+			switch r.Kind {
+			case hierKindJoinOK:
+				var p hierJoinOKPayload
+				if r.Decode(&p) != nil {
+					continue
+				}
+				if p.Name != name {
+					continue
+				}
+				if p.Reject {
+					return JoinedUser{}, fmt.Errorf("dist: joiner %s rejected: %s", name, p.Reason)
+				}
+				ok = p
+				admitted = true
+			case hierKindStop:
+				return JoinedUser{}, fmt.Errorf("dist: joiner %s: run ended before admission", name)
+			default:
+				// Not ours; drop.
+			}
+		}
+	}
+	ju := JoinedUser{Name: name, User: ok.User, Shard: ok.Shard, Phi: phi}
+	u := &shardUser{
+		conn: conn, id: ok.User, phi: phi,
+		mu: mu, mDiv: 1,
+		row:       make([]float64, len(mu)),
+		lastEpoch: -1, lastHop: -1,
+		avail: make([]float64, len(mu)), newRow: make([]float64, len(mu)), ord: make([]int, len(mu)),
+		deadline: dl,
+		obs:      opts.Observer,
+	}
+	err = u.serve()
+	ju.S = u.row
+	if err == nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrCrashed) {
+		// Clean stop, or the run tore down around us: report what we
+		// have.
+		return ju, nil
+	}
+	return ju, err
+}

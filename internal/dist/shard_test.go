@@ -1,0 +1,433 @@
+package dist
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"gtlb/internal/game"
+	"gtlb/internal/noncoop"
+	"gtlb/internal/obs"
+)
+
+// shardTestSystem builds an m-user, 4-computer system with distinct
+// arrival rates (so strategies differ per user) and ample headroom.
+func shardTestSystem(t *testing.T, m int) noncoop.System {
+	t.Helper()
+	mu := []float64{30, 20, 15, 10}
+	phi := make([]float64, m)
+	var sum float64
+	for j := range phi {
+		phi[j] = 1.0 + 0.3*float64(j%7)
+		sum += phi[j]
+	}
+	if sum >= 70 {
+		t.Fatalf("test system infeasible: sum phi %v", sum)
+	}
+	sys, err := noncoop.NewSystem(mu, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func fastShardOptions(seed uint64) ShardOptions {
+	return ShardOptions{
+		Watchdog:     300 * time.Millisecond,
+		ProbeTimeout: 15 * time.Millisecond,
+		MaxAttempts:  3,
+		Deadline:     20 * time.Second,
+		Seed:         seed,
+	}
+}
+
+// shardedAtEquilibrium checks every surviving user's strategy is
+// (within tol, in expected-time terms) a best reply to the published
+// profile, and that ejected users carry zero load.
+func shardedAtEquilibrium(t *testing.T, sys noncoop.System, res NashShardedResult, tol float64) {
+	t.Helper()
+	ejected := make(map[int]bool, len(res.Ejected))
+	for _, j := range res.Ejected {
+		ejected[j] = true
+	}
+	for j := range sys.Phi {
+		if ejected[j] {
+			for i, s := range res.Profile.S[j] {
+				if s != 0 {
+					t.Errorf("ejected user %d keeps load fraction %v on computer %d", j, s, i)
+				}
+			}
+			continue
+		}
+		avail := sys.Available(res.Profile, j)
+		br, err := noncoop.BestReply(avail, sys.Phi[j])
+		if err != nil {
+			t.Fatalf("user %d best reply: %v", j, err)
+		}
+		have := noncoop.BestReplyTime(avail, res.Profile.S[j], sys.Phi[j])
+		want := noncoop.BestReplyTime(avail, br, sys.Phi[j])
+		if math.Abs(have-want) > tol {
+			t.Errorf("user %d is %v from its best reply (tol %v)", j, have-want, tol)
+		}
+	}
+}
+
+// TestNashShardedMatchesOracle: a fault-free distributed run performs
+// the identical float operations in the identical order as the
+// in-process game.ShardedBestReply, so profile, rounds, sweeps and norm
+// are all bit-identical.
+func TestNashShardedMatchesOracle(t *testing.T) {
+	t.Parallel()
+	const m, shards, localSweeps = 12, 3, 2
+	sys := shardTestSystem(t, m)
+
+	want, err := game.ShardedBestReply(sys, game.PlanShards(m, shards), 1e-9, 0, game.ShardedOpts{LocalSweeps: localSweeps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := fastShardOptions(1)
+	opts.Shards = shards
+	opts.LocalSweeps = localSweeps
+	got, err := RunNashShardedWith(NewMemNetwork(), sys, 1e-9, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Rounds != want.Rounds || got.Sweeps != want.Sweeps || got.Norm != want.Norm {
+		t.Errorf("rounds/sweeps/norm = %d/%d/%g, oracle %d/%d/%g",
+			got.Rounds, got.Sweeps, got.Norm, want.Rounds, want.Sweeps, want.Norm)
+	}
+	for j := range want.Profile.S {
+		for i := range want.Profile.S[j] {
+			if got.Profile.S[j][i] != want.Profile.S[j][i] {
+				t.Fatalf("profile[%d][%d] = %v, oracle %v (not bit-identical)",
+					j, i, got.Profile.S[j][i], want.Profile.S[j][i])
+			}
+		}
+	}
+}
+
+// TestNashShardedMatchesOracleParallel: parallel (Jacobi) mode with
+// damped tree reduction is also bit-identical to its oracle at a shard
+// count where damped Jacobi converges.
+func TestNashShardedMatchesOracleParallel(t *testing.T) {
+	t.Parallel()
+	const m, shards = 12, 3
+	sys := shardTestSystem(t, m)
+
+	want, err := game.ShardedBestReply(sys, game.PlanShards(m, shards), 1e-9, 0,
+		game.ShardedOpts{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := fastShardOptions(23)
+	opts.Shards = shards
+	opts.Parallel = true
+	got, err := RunNashShardedWith(NewMemNetwork(), sys, 1e-9, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Rounds != want.Rounds || got.Sweeps != want.Sweeps || got.Norm != want.Norm {
+		t.Errorf("rounds/sweeps/norm = %d/%d/%g, oracle %d/%d/%g",
+			got.Rounds, got.Sweeps, got.Norm, want.Rounds, want.Sweeps, want.Norm)
+	}
+	for j := range want.Profile.S {
+		for i := range want.Profile.S[j] {
+			if got.Profile.S[j][i] != want.Profile.S[j][i] {
+				t.Fatalf("profile[%d][%d] = %v, oracle %v (not bit-identical)",
+					j, i, got.Profile.S[j][i], want.Profile.S[j][i])
+			}
+		}
+	}
+}
+
+// TestNashShardedMatchesFlat: the sharded fixed point is the flat
+// ring's equilibrium — both profiles are best replies to themselves and
+// they agree within a loose elementwise tolerance (the equilibrium is
+// unique).
+func TestNashShardedMatchesFlat(t *testing.T) {
+	t.Parallel()
+	const m = 10
+	sys := shardTestSystem(t, m)
+
+	flat, err := RunNashRingWith(NewMemNetwork(), sys, 1e-9, 0, NashOptions{
+		Watchdog:     time.Second,
+		ProbeTimeout: 50 * time.Millisecond,
+		MaxAttempts:  3,
+		Deadline:     20 * time.Second,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := fastShardOptions(7)
+	opts.Shards = 3
+	sharded, err := RunNashShardedWith(NewMemNetwork(), sys, 1e-9, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shardedAtEquilibrium(t, sys, sharded, 1e-6)
+	for j := range sys.Phi {
+		for i := range sys.Mu {
+			if d := math.Abs(sharded.Profile.S[j][i] - flat.Profile.S[j][i]); d > 1e-3 {
+				t.Errorf("user %d computer %d: sharded %v vs flat %v (Δ=%v)",
+					j, i, sharded.Profile.S[j][i], flat.Profile.S[j][i], d)
+			}
+		}
+	}
+}
+
+// TestNashShardedDeterministic: identical seeds reproduce identical
+// results on the chaos transport (drops and delays included), the
+// property the soak harness and the benchmark suite rely on.
+func TestNashShardedDeterministic(t *testing.T) {
+	t.Parallel()
+	const m = 9
+	sys := shardTestSystem(t, m)
+	run := func() NashShardedResult {
+		plan := FaultPlan{Seed: 42, Drop: 0.02, Delay: 0.05, MaxDelay: 2 * time.Millisecond}
+		opts := fastShardOptions(42)
+		opts.Shards = 3
+		res, err := RunNashShardedWith(NewChaosNetwork(NewMemNetwork(), plan, nil), sys, 1e-9, 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.Sweeps != b.Sweeps || a.Norm != b.Norm {
+		t.Errorf("replay diverged: %d/%d/%g vs %d/%d/%g", a.Rounds, a.Sweeps, a.Norm, b.Rounds, b.Sweeps, b.Norm)
+	}
+	for j := range a.Profile.S {
+		for i := range a.Profile.S[j] {
+			if a.Profile.S[j][i] != b.Profile.S[j][i] {
+				t.Fatalf("replay diverged at profile[%d][%d]", j, i)
+			}
+		}
+	}
+}
+
+// TestNashShardedCrashedMemberEjected: a member that crashes mid-run is
+// ejected by its shard leader, the shard resyncs under a new epoch, and
+// the survivors converge to the reduced system's equilibrium.
+func TestNashShardedCrashedMemberEjected(t *testing.T) {
+	t.Parallel()
+	const m = 9
+	sys := shardTestSystem(t, m)
+	ctr := obs.NewRegistry()
+	netw := NewChaosNetwork(NewMemNetwork(), FaultPlan{Crash: map[string]int{userName(4): 2}}, ctr)
+	opts := fastShardOptions(3)
+	opts.Shards = 3
+	opts.Observer = ctr
+	res, err := RunNashShardedWith(netw, sys, 1e-9, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ejected) != 1 || res.Ejected[0] != 4 {
+		t.Fatalf("Ejected = %v, want [4]", res.Ejected)
+	}
+	if len(res.EjectedShards) != 0 {
+		t.Errorf("EjectedShards = %v, want none", res.EjectedShards)
+	}
+	if ctr.Get("nash.ejected") == 0 {
+		t.Error("no nash.ejected count recorded")
+	}
+	shardedAtEquilibrium(t, sys, res, 1e-6)
+}
+
+// TestNashShardedCrashedLeaderEjectsShard: a crashed shard leader takes
+// its whole shard out — the root's failure detector ejects the shard,
+// degrades the reduction to a star, and the surviving shards converge.
+func TestNashShardedCrashedLeaderEjectsShard(t *testing.T) {
+	t.Parallel()
+	const m = 9
+	sys := shardTestSystem(t, m)
+	ctr := obs.NewRegistry()
+	netw := NewChaosNetwork(NewMemNetwork(), FaultPlan{Crash: map[string]int{shardName(1): 5}}, ctr)
+	opts := fastShardOptions(5)
+	opts.Shards = 3
+	opts.Observer = ctr
+	opts.Watchdog = 150 * time.Millisecond
+	res, err := RunNashShardedWith(netw, sys, 1e-9, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EjectedShards) != 1 || res.EjectedShards[0] != 1 {
+		t.Fatalf("EjectedShards = %v, want [1]", res.EjectedShards)
+	}
+	// Shard 1 held users 3..5 (contiguous plan over 9 users in 3 shards).
+	if len(res.Ejected) != 3 || res.Ejected[0] != 3 || res.Ejected[1] != 4 || res.Ejected[2] != 5 {
+		t.Fatalf("Ejected = %v, want [3 4 5]", res.Ejected)
+	}
+	if ctr.Get("hier.shard.ejected") != 1 {
+		t.Errorf("hier.shard.ejected = %d, want 1", ctr.Get("hier.shard.ejected"))
+	}
+	shardedAtEquilibrium(t, sys, res, 1e-6)
+}
+
+// signalObserver closes ch on the first event matching kind.
+type signalObserver struct {
+	kind obs.Kind
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (s *signalObserver) Observe(e obs.Event) {
+	if e.Kind == s.kind {
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// TestNashShardedJoin: a user joining mid-run is admitted by the root,
+// assigned to the smallest shard, announced in the next downward
+// broadcast, and the extended system converges to the extended
+// equilibrium — with the joiner's own returned row matching the root's
+// assembled profile.
+func TestNashShardedJoin(t *testing.T) {
+	t.Parallel()
+	const m = 9
+	sys := shardTestSystem(t, m)
+	// Per-message delays slow the run so the joiner reliably arrives
+	// while it is still iterating (an undelayed in-memory run converges
+	// in well under a millisecond).
+	netw := NewChaosNetwork(NewMemNetwork(), FaultPlan{Seed: 11, Delay: 0.8, MaxDelay: 2 * time.Millisecond}, nil)
+	sig := &signalObserver{kind: obs.HierRound, ch: make(chan struct{})}
+	opts := fastShardOptions(11)
+	opts.Shards = 3
+	opts.Observer = sig
+
+	type joinOut struct {
+		ju  JoinedUser
+		err error
+	}
+	joinCh := make(chan joinOut, 1)
+	go func() {
+		<-sig.ch // first reconciliation round done: the run is live
+		jopts := fastShardOptions(11)
+		ju, err := RunShardJoiner(netw, "late-user", 2.5, sys.Mu, jopts)
+		joinCh <- joinOut{ju, err}
+	}()
+
+	res, err := RunNashShardedWith(netw, sys, 1e-9, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jo := <-joinCh
+	if jo.err != nil {
+		t.Fatalf("joiner: %v", jo.err)
+	}
+	if len(res.Joined) != 1 || res.Joined[0].Name != "late-user" || res.Joined[0].User != m {
+		t.Fatalf("Joined = %+v, want late-user as user %d", res.Joined, m)
+	}
+	if jo.ju.User != m || jo.ju.Shard != res.Joined[0].Shard {
+		t.Errorf("joiner saw assignment %d/%d, root recorded %d/%d",
+			jo.ju.User, jo.ju.Shard, res.Joined[0].User, res.Joined[0].Shard)
+	}
+	if len(res.Profile.S) != m+1 {
+		t.Fatalf("profile has %d rows, want %d", len(res.Profile.S), m+1)
+	}
+	for i := range jo.ju.S {
+		if jo.ju.S[i] != res.Profile.S[m][i] {
+			t.Fatalf("joiner row diverges from assembled profile at computer %d", i)
+		}
+	}
+
+	// The extended system (original users + joiner) is at equilibrium.
+	extPhi := append(append([]float64(nil), sys.Phi...), 2.5)
+	extSys, err := noncoop.NewSystem(sys.Mu, extPhi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedAtEquilibrium(t, extSys, res, 1e-6)
+}
+
+// TestNashShardedJoinInfeasible: a joiner whose arrival rate would
+// overload the system is rejected, and the run converges undisturbed.
+func TestNashShardedJoinInfeasible(t *testing.T) {
+	t.Parallel()
+	const m = 6
+	sys := shardTestSystem(t, m)
+	netw := NewChaosNetwork(NewMemNetwork(), FaultPlan{Seed: 13, Delay: 0.8, MaxDelay: 2 * time.Millisecond}, nil)
+	sig := &signalObserver{kind: obs.HierRound, ch: make(chan struct{})}
+	opts := fastShardOptions(13)
+	opts.Shards = 2
+	opts.Observer = sig
+
+	joinErr := make(chan error, 1)
+	go func() {
+		<-sig.ch
+		_, err := RunShardJoiner(netw, "greedy", 1e6, sys.Mu, fastShardOptions(13))
+		joinErr <- err
+	}()
+
+	res, err := RunNashShardedWith(netw, sys, 1e-9, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-joinErr; err == nil {
+		t.Error("infeasible joiner admitted")
+	}
+	if len(res.Joined) != 0 {
+		t.Errorf("Joined = %+v, want none", res.Joined)
+	}
+	shardedAtEquilibrium(t, sys, res, 1e-6)
+}
+
+// TestNashShardedTCP: the hierarchical protocol runs over the TCP
+// transport end to end.
+func TestNashShardedTCP(t *testing.T) {
+	t.Parallel()
+	const m = 8
+	sys := shardTestSystem(t, m)
+	netw, _, closeFn, err := NewTCPNetwork("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = closeFn() // test teardown
+	}()
+	opts := fastShardOptions(17)
+	opts.Shards = 2
+	res, err := RunNashShardedWith(netw, sys, 1e-9, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedAtEquilibrium(t, sys, res, 1e-6)
+
+	// Same seed in-memory: the TCP run reaches the identical profile.
+	memRes, err := RunNashShardedWith(NewMemNetwork(), sys, 1e-9, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range res.Profile.S {
+		for i := range res.Profile.S[j] {
+			if res.Profile.S[j][i] != memRes.Profile.S[j][i] {
+				t.Fatalf("TCP and mem profiles diverge at [%d][%d]", j, i)
+			}
+		}
+	}
+}
+
+// TestNashShardedStalled: a network that eats everything stalls the run
+// into the driver deadline with ErrStalled.
+func TestNashShardedStalled(t *testing.T) {
+	t.Parallel()
+	const m = 4
+	sys := shardTestSystem(t, m)
+	netw := NewChaosNetwork(NewMemNetwork(), FaultPlan{Drop: 1}, nil)
+	opts := fastShardOptions(19)
+	opts.Shards = 2
+	opts.Watchdog = 30 * time.Millisecond
+	opts.ProbeTimeout = 10 * time.Millisecond
+	opts.Deadline = 700 * time.Millisecond
+	_, err := RunNashShardedWith(netw, sys, 1e-9, 0, opts)
+	if err == nil {
+		t.Fatal("total message loss converged")
+	}
+}

@@ -15,8 +15,6 @@
 package dist
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,25 +26,55 @@ type Message struct {
 	From string // sender node name
 	To   string // recipient node name
 	Kind string // protocol-defined message type
-	Data []byte // gob-encoded payload
+	Data []byte // encoded payload (binary codec or legacy gob; see codec.go)
 }
 
-// Encode gob-encodes a payload value into the message's Data.
+// Encode serializes a payload value into the message's Data. Protocol
+// payload types use the compact binary codec (one allocation); any
+// other type goes through the pooled gob legacy path (codec.go).
 func (m *Message) Encode(v any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return fmt.Errorf("dist: encode %s payload: %w", m.Kind, err)
+	if p, ok := v.(wireEncoder); ok {
+		b := make([]byte, 0, 2+p.wireSize())
+		b = append(b, codecMagic, p.wireID())
+		m.Data = p.appendWire(b)
+		return nil
 	}
-	m.Data = buf.Bytes()
-	return nil
+	return m.encodeGob(v)
 }
 
-// Decode gob-decodes the message's Data into v.
+// wireDecPool recycles decoder states: the *wireDec handed to the
+// payload's decodeWire escapes through the interface call, so a fresh
+// one per message would cost an allocation on every protocol receive.
+var wireDecPool = sync.Pool{New: func() any { return new(wireDec) }}
+
+// Decode deserializes the message's Data into v, reusing v's slice
+// capacity on the binary path. Binary payloads decoded into a target of
+// the wrong wire type — or into a type without a binary encoding — are
+// an error, as is any malformed input (never a panic).
 func (m *Message) Decode(v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(m.Data)).Decode(v); err != nil {
-		return fmt.Errorf("dist: decode %s payload: %w", m.Kind, err)
+	if len(m.Data) >= 2 && m.Data[0] == codecMagic {
+		p, ok := v.(wireDecoder)
+		if !ok {
+			return fmt.Errorf("dist: decode %s payload: binary frame into unsupported target %T", m.Kind, v)
+		}
+		if m.Data[1] != p.wireID() {
+			return fmt.Errorf("dist: decode %s payload: wire type %d does not match target %T", m.Kind, m.Data[1], v)
+		}
+		d := wireDecPool.Get().(*wireDec)
+		*d = wireDec{b: m.Data, off: 2}
+		p.decodeWire(d)
+		if d.err == nil && d.off != len(d.b) {
+			d.fail("trailing bytes")
+		}
+		err := d.err
+		*d = wireDec{}
+		wireDecPool.Put(d)
+		if err != nil {
+			return fmt.Errorf("dist: decode %s payload: %w", m.Kind, err)
+		}
+		return nil
 	}
-	return nil
+	return m.decodeGob(v)
 }
 
 // Conn is one node's endpoint on a transport.
@@ -73,6 +101,31 @@ type Network interface {
 	// Join registers a node and returns its endpoint. Node names must
 	// be unique on a network.
 	Join(name string) (Conn, error)
+}
+
+// BatchSender is implemented by transports that can coalesce several
+// outbound messages into one frame/syscall (the TCP conn writes one
+// buffer, the mem conn amortizes the recipient lookups). Fault-injecting
+// wrappers deliberately do not implement it, so every message still
+// receives its own fault draw.
+type BatchSender interface {
+	// SendBatch delivers the messages in order. It stops at the first
+	// send error.
+	SendBatch(ms []Message) error
+}
+
+// SendAll delivers the messages through the connection's batch path
+// when available, falling back to sequential Sends.
+func SendAll(c Conn, ms []Message) error {
+	if b, ok := c.(BatchSender); ok {
+		return b.SendBatch(ms)
+	}
+	for _, m := range ms {
+		if err := c.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ErrClosed is returned by Recv after Close. Transport-level failures
@@ -138,6 +191,12 @@ type memConn struct {
 	name string
 	box  *mailbox
 
+	// timer is reused across RecvTimeout calls. A Conn is received from
+	// by its owning node goroutine only (the Conn contract), so no lock
+	// is needed; reusing the timer keeps the protocol hot paths free of
+	// per-call timer allocations.
+	timer *time.Timer
+
 	closeOnce sync.Once
 }
 
@@ -155,6 +214,16 @@ func (c *memConn) Send(m Message) error {
 	case <-box.done:
 		return fmt.Errorf("dist: node %q closed", m.To)
 	}
+}
+
+// SendBatch delivers a burst in order, resolving each recipient once.
+func (c *memConn) SendBatch(ms []Message) error {
+	for i := range ms {
+		if err := c.Send(ms[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c *memConn) Recv() (Message, error) {
@@ -188,8 +257,23 @@ func (c *memConn) RecvTimeout(d time.Duration) (Message, error) {
 		return m, nil
 	default:
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
+	t := c.timer
+	if t == nil {
+		t = time.NewTimer(d)
+		c.timer = t
+	} else {
+		t.Reset(d)
+	}
+	// Stop and drain on every exit so the next Reset starts clean (the
+	// module targets the pre-1.23 timer semantics).
+	defer func() {
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+	}()
 	select {
 	case m := <-c.box.ch:
 		return m, nil

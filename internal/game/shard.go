@@ -1,0 +1,356 @@
+// Sharded best-reply: the shard-local solve + reconciliation scheme the
+// hierarchical NASH runtime (internal/dist/shard.go) distributes.
+//
+// Users are partitioned into G shards. Within a round every shard runs
+// best-reply sweeps over its own members against a frozen view of the
+// external load (the other shards' last reported per-computer loads),
+// then the shards' local loads are reconciled into a new global load
+// vector — a Jacobi iteration across shards of Gauss–Seidel sweeps
+// within them. "Approximate Congestion Games for Load Balancing"
+// (PAPERS.md) licenses the scheme: group-local approximate equilibria
+// reconcile to the global Nash point, which is also the fixed point of
+// the flat best-reply ring.
+//
+// ShardedBestReply is the in-process oracle for the distributed
+// runtime: it performs the identical floating-point operations in the
+// identical order as a fault-free distributed run (the shard loads are
+// reconciled in ascending shard order, each user step mirrors the
+// token arithmetic), so the two produce bit-identical profiles — the
+// property the dist tests pin.
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"gtlb/internal/noncoop"
+)
+
+// DefaultShardCount returns the default shard count for m users:
+// shards of ~32 members (one token circulation stays short), capped at
+// 512 shards so the reduction fan-in stays manageable.
+func DefaultShardCount(m int) int {
+	g := (m + 31) / 32
+	if g < 1 {
+		g = 1
+	}
+	if g > 512 {
+		g = 512
+	}
+	return g
+}
+
+// PlanShards partitions users 0..m-1 into g contiguous groups with
+// sizes differing by at most one. g is clamped to [1, m]. The
+// assignment is deterministic: it is membership epoch 0 of the
+// distributed runtime.
+func PlanShards(m, g int) [][]int {
+	if g < 1 {
+		g = 1
+	}
+	if g > m {
+		g = m
+	}
+	shards := make([][]int, g)
+	base, rem := m/g, m%g
+	next := 0
+	for s := range shards {
+		size := base
+		if s < rem {
+			size++
+		}
+		members := make([]int, size)
+		for k := range members {
+			members[k] = next
+			next++
+		}
+		shards[s] = members
+	}
+	return shards
+}
+
+// ShardedResult is the outcome of an in-process sharded solve.
+type ShardedResult struct {
+	Profile noncoop.Profile
+	// Rounds is the number of global reconciliation rounds.
+	Rounds int
+	// Sweeps is the total number of shard-local best-reply sweeps,
+	// summed over shards.
+	Sweeps int
+	// Norm is the final global convergence norm Σ_j |ΔD_j| of the last
+	// round.
+	Norm float64
+}
+
+// satAdd accumulates a norm contribution, saturating at MaxFloat64 so
+// several divergent users cannot overflow the sum to +Inf. Identical to
+// the distributed token arithmetic.
+func satAdd(norm, d float64) float64 {
+	if sum := norm + d; !math.IsInf(sum, 1) {
+		return sum
+	}
+	return math.MaxFloat64
+}
+
+// DefaultDamping is the reconciliation damping factor θ used by
+// parallel-mode ShardedBestReply (and the distributed runtime) when
+// given none. See ShardedOpts.Parallel for why θ < 1 is required once
+// shards move simultaneously.
+const DefaultDamping = 0.5
+
+// ShardedOpts tunes ShardedBestReply. The zero value is the default
+// scheme: sequential shard activation, one sweep per activation.
+type ShardedOpts struct {
+	// LocalSweeps is the number of best-reply sweeps a shard runs per
+	// activation (default 4, matching dist.ShardOptions). Sweeps
+	// early-exit once the shard-local norm falls below the shard's eps
+	// share, so a larger budget costs nothing once a shard quiesces;
+	// spending it while loads are moving extracts far more progress per
+	// reconciliation round (at m=1000, 4 sweeps cut total work ~12×
+	// versus 1). Set 1 to reproduce the flat ring's exact user visit
+	// order in sequential mode.
+	LocalSweeps int
+	// Parallel switches the across-shard iteration from sequential
+	// (block Gauss–Seidel: shard g sweeps against the global loads
+	// already updated by shards 0..g-1 this round) to simultaneous
+	// (Jacobi: every shard sweeps against the same frozen global view,
+	// then the views are reconciled at once).
+	//
+	// Sequential activation inherits the flat ring's convergence — with
+	// LocalSweeps == 1 it visits users in exactly the flat order — and
+	// is the default. Simultaneous activation is the shape a tree
+	// reduction parallelizes, but undamped simultaneous best replies
+	// overshoot and oscillate persistently (every shard chases the same
+	// underloaded computer at once), so parallel mode relaxes the
+	// reconciled view by Damping; even damped it only converges
+	// reliably for a handful of shards (see EXPERIMENTS.md X8).
+	Parallel bool
+	// Damping is parallel mode's relaxation factor θ ∈ (0, 1]: the new
+	// global view is global + θ·(Σ_g local_g − global). At equilibrium
+	// Σ local = global, so damping moves the fixed point nowhere; it
+	// only tempers the overshoot along the way. ≤ 0 selects
+	// DefaultDamping. Ignored in sequential mode (θ is pinned to 1:
+	// there the fresh shard sum is already stable).
+	Damping float64
+}
+
+func (o ShardedOpts) withDefaults(numShards int) ShardedOpts {
+	if o.LocalSweeps <= 0 {
+		o.LocalSweeps = 4
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = DefaultDamping
+	}
+	if !o.Parallel || numShards <= 1 {
+		o.Damping = 1
+	}
+	return o
+}
+
+// ShardedBestReply runs the two-level scheme in process: per global
+// round every (live) shard is activated once — sequentially by default,
+// simultaneously in parallel mode — running up to LocalSweeps
+// best-reply sweeps over its members against the external load view,
+// until the global per-round norm reaches eps or maxRounds is
+// exceeded.
+//
+// This function is the in-process oracle for the distributed runtime
+// (internal/dist.RunNashSharded): it performs the identical
+// floating-point operations in the identical order as a fault-free
+// distributed run with the same shard plan and options, so the two
+// produce bit-identical profiles.
+func ShardedBestReply(sys noncoop.System, shards [][]int, eps float64, maxRounds int, opt ShardedOpts) (ShardedResult, error) {
+	if err := sys.Validate(); err != nil {
+		return ShardedResult{}, err
+	}
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10_000
+	}
+	opt = opt.withDefaults(len(shards))
+	localSweeps, theta := opt.LocalSweeps, opt.Damping
+	m, n := sys.NumUsers(), sys.NumComputers()
+	for _, members := range shards {
+		for _, j := range members {
+			if j < 0 || j >= m {
+				return ShardedResult{}, fmt.Errorf("game: shard member %d out of range [0,%d)", j, m)
+			}
+		}
+	}
+
+	// NASH_P proportional initialization, as in the flat ring.
+	prof := noncoop.NewProfile(m, n)
+	total := sys.TotalMu()
+	for j := 0; j < m; j++ {
+		for i, mu := range sys.Mu {
+			prof.S[j][i] = mu / total
+		}
+	}
+
+	// Per-shard local loads and the reconciled global loads.
+	local := make([][]float64, len(shards))
+	for g, members := range shards {
+		local[g] = make([]float64, n)
+		for _, j := range members {
+			for i, f := range prof.S[j] {
+				local[g][i] += f * sys.Phi[j]
+			}
+		}
+	}
+	global := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for g := range shards {
+			global[i] += local[g][i]
+		}
+	}
+
+	prevTime := make([]float64, m)
+	played := make([]bool, m)
+	avail := make([]float64, n)
+	newRow := make([]float64, n)
+	ord := make([]int, n)
+	ext := make([]float64, n)
+	tok := make([]float64, n) // the "token" load vector: ext + local
+
+	// Active-set skipping state: a shard whose last activation already
+	// met its eps share is skipped while the external view has moved
+	// less than that share since (see shouldSkip below). view[g] is the
+	// reconciled global the shard last swept into; lastNorm[g] is its
+	// last activation norm (+Inf until first activation, forcing it).
+	view := make([][]float64, len(shards))
+	lastNorm := make([]float64, len(shards))
+	activated := make([]bool, len(shards))
+	for g := range shards {
+		view[g] = make([]float64, n)
+		lastNorm[g] = math.Inf(1)
+	}
+
+	// reconcile recomputes the global view from the shard locals: the
+	// sum is accumulated in ascending shard order (the distributed root
+	// reduces in the same order, whatever order partials arrive in),
+	// then relaxed toward the previous view by θ. θ == 1 assigns the
+	// fresh sum directly — global + (sum − global) is not sum in
+	// floating point, and sequential mode's bit-exactness depends on
+	// the direct assignment.
+	reconcile := func() {
+		for i := 0; i < n; i++ {
+			var sum float64
+			for g := range shards {
+				sum += local[g][i]
+			}
+			//lint:ignore floatcmp theta is pinned to exactly 1 in sequential mode; the direct assignment (not +=θ·Δ) is what keeps the dist runtime bit-identical
+			if theta == 1 {
+				global[i] = sum
+			} else {
+				global[i] += theta * (sum - global[i])
+			}
+		}
+	}
+
+	// shouldSkip reports whether shard g can sit this round out: its
+	// last activation was already within its eps share, and the global
+	// view has drifted by less than that share since (so re-sweeping
+	// could displace at most ~2·locEps). Summed over shards the slack is
+	// bounded by ~2·eps, so the scheme converges to the same tolerance
+	// class while the quiescent tail stops burning sweeps. The
+	// distributed root (internal/dist) applies the identical float
+	// logic, keeping oracle runs bit-exact.
+	shouldSkip := func(g int, locEps float64) bool {
+		if lastNorm[g] > locEps {
+			return false
+		}
+		var delta float64
+		for i := 0; i < n; i++ {
+			delta = satAdd(delta, math.Abs(global[i]-view[g][i]))
+		}
+		return delta <= locEps
+	}
+
+	res := ShardedResult{Profile: prof}
+	for round := 1; round <= maxRounds; round++ {
+		var roundNorm float64
+		for g, members := range shards {
+			activated[g] = false
+			k := len(members)
+			if k == 0 {
+				continue
+			}
+			locEps := eps * float64(k) / float64(m)
+			if shouldSkip(g, locEps) {
+				continue
+			}
+			activated[g] = true
+			for i := 0; i < n; i++ {
+				ext[i] = global[i] - local[g][i]
+			}
+			// The token loads are computed once per round and carried
+			// across sweeps (the distributed leader does the same), so
+			// multi-sweep rounds stay bit-identical to the runtime.
+			for i := 0; i < n; i++ {
+				tok[i] = ext[i] + local[g][i]
+			}
+			var norm float64
+			for sweep := 1; sweep <= localSweeps; sweep++ {
+				norm = 0
+				for _, j := range members {
+					row := prof.S[j]
+					phi := sys.Phi[j]
+					for i := 0; i < n; i++ {
+						avail[i] = sys.Mu[i] - tok[i] + row[i]*phi
+					}
+					if !played[j] {
+						prevTime[j] = noncoop.BestReplyTime(avail, row, phi)
+						played[j] = true
+					}
+					if err := noncoop.BestReplyInto(avail, phi, newRow, ord); err != nil {
+						return res, fmt.Errorf("game: user %d best reply: %w", j, err)
+					}
+					t := noncoop.BestReplyTime(avail, newRow, phi)
+					d := math.Abs(t - prevTime[j])
+					if math.IsInf(d, 1) || math.IsNaN(d) {
+						d = math.MaxFloat64 / float64(m)
+					}
+					norm = satAdd(norm, d)
+					for i := 0; i < n; i++ {
+						tok[i] += (newRow[i] - row[i]) * phi
+					}
+					copy(row, newRow)
+					prevTime[j] = t
+				}
+				res.Sweeps++
+				if norm <= locEps {
+					break
+				}
+			}
+			for i := 0; i < n; i++ {
+				local[g][i] = tok[i] - ext[i]
+			}
+			lastNorm[g] = norm
+			if !opt.Parallel {
+				// Sequential activation: the next shard sees this
+				// shard's moves — block Gauss–Seidel.
+				reconcile()
+				copy(view[g], global)
+			}
+			roundNorm = satAdd(roundNorm, norm)
+		}
+		if opt.Parallel {
+			// Simultaneous activation: every shard swept against the
+			// same frozen view; reconcile once, damped.
+			reconcile()
+			for g := range shards {
+				if activated[g] {
+					copy(view[g], global)
+				}
+			}
+		}
+		res.Rounds = round
+		res.Norm = roundNorm
+		if roundNorm <= eps {
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("game: sharded best reply exceeded %d rounds (norm=%g)", maxRounds, res.Norm)
+}

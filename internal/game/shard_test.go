@@ -1,0 +1,175 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"gtlb/internal/noncoop"
+)
+
+// shardOracleSystem builds an m-user, 4-computer system with distinct
+// arrival rates and ample headroom (the same shape the dist tests use).
+func shardOracleSystem(t *testing.T, m int) noncoop.System {
+	t.Helper()
+	mu := []float64{30, 20, 15, 10}
+	phi := make([]float64, m)
+	for j := range phi {
+		phi[j] = (1.0 + 0.3*float64(j%7)) * 30 / float64(m)
+	}
+	sys, err := noncoop.NewSystem(mu, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestDefaultShardCount(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ m, want int }{
+		{1, 1}, {32, 1}, {33, 2}, {100, 4}, {1000, 32}, {10000, 313}, {1 << 20, 512},
+	}
+	for _, c := range cases {
+		if got := DefaultShardCount(c.m); got != c.want {
+			t.Errorf("DefaultShardCount(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+// TestPlanShards: contiguous cover of 0..m-1, sizes within one of each
+// other, g clamped to [1, m].
+func TestPlanShards(t *testing.T) {
+	t.Parallel()
+	for _, c := range []struct{ m, g int }{
+		{10, 3}, {9, 3}, {1, 5}, {7, 0}, {100, 7}, {5, 5},
+	} {
+		shards := PlanShards(c.m, c.g)
+		wantG := c.g
+		if wantG < 1 {
+			wantG = 1
+		}
+		if wantG > c.m {
+			wantG = c.m
+		}
+		if len(shards) != wantG {
+			t.Fatalf("PlanShards(%d,%d): %d shards, want %d", c.m, c.g, len(shards), wantG)
+		}
+		next, minSz, maxSz := 0, c.m, 0
+		for _, members := range shards {
+			if len(members) < minSz {
+				minSz = len(members)
+			}
+			if len(members) > maxSz {
+				maxSz = len(members)
+			}
+			for _, j := range members {
+				if j != next {
+					t.Fatalf("PlanShards(%d,%d): member %d out of order (want %d)", c.m, c.g, j, next)
+				}
+				next++
+			}
+		}
+		if next != c.m {
+			t.Fatalf("PlanShards(%d,%d): covered %d users, want %d", c.m, c.g, next, c.m)
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("PlanShards(%d,%d): shard sizes range %d..%d, want within 1", c.m, c.g, minSz, maxSz)
+		}
+	}
+}
+
+// TestShardedMatchesFlatNash: the sharded fixed point is the flat
+// best-reply iteration's Nash equilibrium, for both sequential and
+// (damped) parallel activation and across local-sweep budgets. The
+// equilibrium is unique, so the profiles must agree elementwise.
+func TestShardedMatchesFlatNash(t *testing.T) {
+	t.Parallel()
+	const m, eps = 24, 1e-10
+	sys := shardOracleSystem(t, m)
+	flat, err := noncoop.Nash(sys, noncoop.NashOptions{Eps: eps, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		name string
+		opt  ShardedOpts
+	}{
+		{"sequential-1sweep", ShardedOpts{LocalSweeps: 1}},
+		{"sequential-default", ShardedOpts{}},
+		{"parallel-damped", ShardedOpts{Parallel: true}},
+	} {
+		res, err := ShardedBestReply(sys, PlanShards(m, 4), eps, 100000, c.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if res.Norm > eps {
+			t.Errorf("%s: final norm %g > eps %g", c.name, res.Norm, eps)
+		}
+		for j := range flat.Profile.S {
+			for i := range flat.Profile.S[j] {
+				if d := math.Abs(res.Profile.S[j][i] - flat.Profile.S[j][i]); d > 1e-6 {
+					t.Errorf("%s: profile[%d][%d] off flat equilibrium by %g", c.name, j, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSkipKeepsEquilibrium: active-set skipping (a quiesced
+// shard whose view of the global loads has barely moved is not
+// activated) must not degrade the fixed point — the skip tolerance is
+// the shard's population share of eps, so the answer stays an
+// eps-class equilibrium. A system whose shards converge at very
+// different rates (heavy users concentrated in shard 0) exercises the
+// skip path: the light shards quiesce rounds before the heavy one.
+func TestShardedSkipKeepsEquilibrium(t *testing.T) {
+	t.Parallel()
+	const m, eps = 24, 1e-9
+	mu := []float64{30, 20, 15, 10}
+	phi := make([]float64, m)
+	for j := range phi {
+		phi[j] = 0.05
+		if j < 6 {
+			phi[j] = 2.0 // shard 0 carries nearly all the load
+		}
+	}
+	sys, err := noncoop.NewSystem(mu, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ShardedBestReply(sys, PlanShards(m, 4), eps, 100000, ShardedOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := noncoop.IsNashEquilibrium(sys, res.Profile, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("sharded profile with skipping is not a Nash equilibrium")
+	}
+}
+
+// TestShardedSweepBudgetTradeoff documents the LocalSweeps=4 default:
+// a larger per-activation budget must not need more total sweeps than
+// budget 1 on a system at this scale (it needs roughly 12× fewer at
+// m=1000), while reaching the same equilibrium class.
+func TestShardedSweepBudgetTradeoff(t *testing.T) {
+	t.Parallel()
+	const m, eps = 64, 1e-9
+	sys := shardOracleSystem(t, m)
+	one, err := ShardedBestReply(sys, PlanShards(m, 4), eps, 100000, ShardedOpts{LocalSweeps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := ShardedBestReply(sys, PlanShards(m, 4), eps, 100000, ShardedOpts{LocalSweeps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Sweeps > one.Sweeps {
+		t.Errorf("LocalSweeps=4 used %d sweeps, more than LocalSweeps=1's %d", four.Sweeps, one.Sweeps)
+	}
+	if four.Rounds >= one.Rounds {
+		t.Errorf("LocalSweeps=4 used %d rounds, want fewer than LocalSweeps=1's %d", four.Rounds, one.Rounds)
+	}
+}

@@ -90,6 +90,13 @@ const (
 	CtrlCheckpoint // control state checkpointed; B = epoch
 	CtrlResume     // controller restored from a checkpoint; B = epoch
 
+	// Hierarchical sharded NASH protocol (internal/dist/shard.go).
+	// Shard-internal token traffic reuses the nash.* kinds above.
+	HierRound        // one global reconciliation round; Time = round, V = norm
+	HierShardEjected // shard A ejected by the root failure detector
+	HierJoin         // a user joined the running computation: A = user id
+	HierSync         // a leader row-sync answered by user A
+
 	kindCount // sentinel; keep last
 )
 
@@ -147,6 +154,11 @@ var kindNames = [kindCount]string{
 	CtrlInvalid:    "ctrl.invalid",
 	CtrlCheckpoint: "ctrl.checkpoint",
 	CtrlResume:     "ctrl.resume",
+
+	HierRound:        "hier.round",
+	HierShardEjected: "hier.shard.ejected",
+	HierJoin:         "hier.join",
+	HierSync:         "hier.sync",
 }
 
 // Name returns the kind's stable dotted name (e.g. "des.arrival").

@@ -51,6 +51,7 @@ type runOptions struct {
 	tracers   []*obs.Tracer
 	plan      *FaultPlan
 	ring      NashRingOptions
+	shard     ShardOptions
 	lbm       LBMOptions
 	eps       float64
 	maxIter   int
@@ -93,6 +94,13 @@ func WithRingOptions(opts NashRingOptions) Option {
 // (bid deadline, retries, backoff, seed).
 func WithLBMOptions(opts LBMOptions) Option {
 	return func(ro *runOptions) { ro.lbm = opts }
+}
+
+// WithShardOptions installs the hierarchical NASH runtime's topology
+// and fault-tolerance options (shard count, local sweep budget,
+// parallel reconciliation, watchdog, retries, deadline, seed).
+func WithShardOptions(opts ShardOptions) Option {
+	return func(ro *runOptions) { ro.shard = opts }
 }
 
 // WithEpsilon sets the convergence tolerance of iterative entry points
