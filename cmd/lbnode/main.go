@@ -16,8 +16,9 @@
 //
 // Observability:
 //
-//	lbnode -proto nash -metrics            # print the metrics registry
-//	lbnode -proto lbm -trace out.jsonl     # record the event trace
+//	lbnode -proto nash -metrics                        # print the metrics registry
+//	lbnode -proto lbm -trace out.jsonl                 # record the event trace
+//	lbnode -proto lbm -trace out.bin -trace-format bin # compact binary trace
 package main
 
 import (
@@ -43,7 +44,7 @@ func main() {
 	delay := flag.Float64("delay", 0, "chaos: per-message delay probability in [0,1] (delays up to 5ms)")
 	crash := flag.String("crash", "", "chaos: crash fault as node:step (e.g. user-2:4, computer-5:0)")
 	showMetrics := flag.Bool("metrics", false, "print the metrics registry after the run")
-	tracePath := flag.String("trace", "", "write the protocol's event trace to this JSONL file")
+	traceFlags := cliutil.RegisterTraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	netw, brokerAddr, closeFn, err := gtlb.NewTCPNetwork(*addr)
@@ -97,18 +98,18 @@ func main() {
 		fmt.Printf("chaos transport enabled (seed %d, drop %.3g, delay %.3g, crash %q)\n\n",
 			*chaosSeed, *drop, *delay, *crash)
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
-			os.Exit(1)
-		}
+	traceOpt, err := traceFlags.Option()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbnode: %v\n", err)
+		os.Exit(2)
+	}
+	if traceOpt != nil {
 		defer func() {
-			if err := f.Close(); err != nil {
+			if err := traceFlags.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "lbnode: closing trace: %v\n", err)
 			}
 		}()
-		opts = append(opts, gtlb.WithTrace(f))
+		opts = append(opts, traceOpt)
 	}
 
 	report := func() {

@@ -1,4 +1,13 @@
-// Command lbtrace generates, inspects and replays workload traces.
+// Command lbtrace generates, inspects and replays workload traces, and
+// decodes binary event traces.
+//
+// The tool handles two unrelated kinds of "trace". Workload traces
+// (-gen, -info, -replay) are arrival-gap recordings that drive the
+// simulator's inter-arrival process. Event traces (-decode) are the
+// structured observation streams the run drivers record with
+// -trace/-trace-format; -decode converts the compact binary encoding
+// back to the JSONL form, byte-identical to what -trace-format jsonl
+// would have written for the same run.
 //
 // Usage:
 //
@@ -7,6 +16,7 @@
 //	lbtrace -gen -rate 100 -dist diurnal:mult=0.5,1.5;segment=60 -out day.json
 //	lbtrace -info trace.json
 //	lbtrace -replay trace.json -mu 65,65,130 -scheme COOP
+//	lbtrace -decode events.bin -out events.jsonl
 package main
 
 import (
@@ -14,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"gtlb"
 	"gtlb/internal/cliutil"
 	"gtlb/internal/des"
 	"gtlb/internal/queueing"
@@ -29,6 +40,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed for -gen")
 	out := flag.String("out", "", "output file for -gen (default stdout)")
 	info := flag.String("info", "", "print statistics of a trace file")
+	decode := flag.String("decode", "", "decode a binary event trace to JSONL (-out file, default stdout)")
 	replay := flag.String("replay", "", "replay a trace through the simulator")
 	muFlag := flag.String("mu", "", "processing rates for -replay")
 	scheme := flag.String("scheme", "COOP", "allocation scheme for -replay")
@@ -39,6 +51,8 @@ func main() {
 		runGen(*rate, *cv, *dist, *jobs, *seed, *out)
 	case *info != "":
 		runInfo(*info)
+	case *decode != "":
+		runDecode(*decode, *out)
 	case *replay != "":
 		runReplay(*replay, *muFlag, *scheme)
 	default:
@@ -123,6 +137,33 @@ func runInfo(path string) {
 			users[u]++
 		}
 		fmt.Printf("users:        %d\n", len(users))
+	}
+}
+
+func runDecode(path, out string) {
+	in, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	//lint:ignore errcheck read-only file; a close error cannot lose data
+	defer in.Close()
+	w := os.Stdout
+	var f *os.File
+	if out != "" {
+		if f, err = os.Create(out); err != nil {
+			fatal(err)
+		}
+		w = f
+	}
+	if err := gtlb.DecodeTrace(in, w); err != nil {
+		fatal(err)
+	}
+	if f != nil {
+		// The close error matters: a failed flush here means a
+		// truncated trace file behind a success message.
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

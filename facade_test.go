@@ -6,6 +6,7 @@ package gtlb_test
 // the fault-tolerant mechanism.
 
 import (
+	"bytes"
 	"encoding/json"
 	"math"
 	"strings"
@@ -314,6 +315,48 @@ func TestFacadeTraceOption(t *testing.T) {
 	}
 	if !strings.Contains(out, `"kind":"nash.round"`) {
 		t.Errorf("trace lacks nash.round events:\n%s", out)
+	}
+}
+
+// TestFacadeBinaryTraceOption pins the format-agnostic trace surface:
+// the same seeded run recorded through WithBinaryTrace (and its
+// WithTrace+WithTraceFormat spelling) must decode to exactly the bytes
+// WithTrace writes as JSONL.
+func TestFacadeBinaryTraceOption(t *testing.T) {
+	cfg := gtlb.SimConfig{
+		Mu:           []float64{200, 100},
+		InterArrival: gtlb.Exponential(150),
+		Routing:      [][]float64{{0.7, 0.3}},
+		Horizon:      50,
+		Warmup:       5,
+		Seed:         11,
+		Replications: 3,
+	}
+	var jsonlBuf, binBuf, fmtBuf bytes.Buffer
+	if _, err := gtlb.Simulate(cfg, gtlb.WithTrace(&jsonlBuf)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gtlb.Simulate(cfg, gtlb.WithBinaryTrace(&binBuf)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gtlb.Simulate(cfg, gtlb.WithTrace(&fmtBuf, gtlb.WithTraceFormat(gtlb.TraceBinary))); err != nil {
+		t.Fatal(err)
+	}
+	if jsonlBuf.Len() == 0 || binBuf.Len() == 0 {
+		t.Fatal("a trace option produced no output")
+	}
+	if !bytes.Equal(binBuf.Bytes(), fmtBuf.Bytes()) {
+		t.Error("WithBinaryTrace and WithTrace(WithTraceFormat(TraceBinary)) wrote different bytes")
+	}
+	if binBuf.Len() >= jsonlBuf.Len() {
+		t.Errorf("binary trace (%d bytes) not smaller than JSONL (%d bytes)", binBuf.Len(), jsonlBuf.Len())
+	}
+	var decoded bytes.Buffer
+	if err := gtlb.DecodeTrace(&binBuf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded.Bytes(), jsonlBuf.Bytes()) {
+		t.Error("decoded binary trace differs from the JSONL trace of the same seeded run")
 	}
 }
 

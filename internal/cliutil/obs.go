@@ -8,22 +8,76 @@ import (
 	"gtlb"
 )
 
-// ObsFlags bundles the observability flags shared by the run drivers:
-// -metrics prints the run's metrics registry and -trace records the
-// structured event stream as JSON Lines.
-type ObsFlags struct {
-	metrics *bool
-	trace   *string
+// TraceFlags bundles the event-trace flags shared by every run driver:
+// -trace names the output file and -trace-format picks the wire
+// encoding (jsonl, the golden-testable default, or bin — the compact
+// production-rate format decoded with `lbtrace -decode`). One helper so
+// lbsim, lbdyn and lbnode cannot drift apart in flag names, defaults or
+// supported formats.
+type TraceFlags struct {
+	path   *string
+	format *string
 
-	reg  *gtlb.Registry
 	file *os.File
 }
 
-// RegisterObsFlags installs -metrics and -trace on fs.
+// RegisterTraceFlags installs -trace and -trace-format on fs.
+func RegisterTraceFlags(fs *flag.FlagSet) *TraceFlags {
+	t := &TraceFlags{}
+	t.path = fs.String("trace", "", "write the run's event trace to this file")
+	t.format = fs.String("trace-format", "jsonl", "event trace format: jsonl or bin")
+	return t
+}
+
+// Option opens the trace file (when -trace was given) and returns the
+// facade option recording the run in the selected format, or nil when
+// tracing is off. Call Close once the run is done.
+func (t *TraceFlags) Option() (gtlb.Option, error) {
+	if *t.path == "" {
+		return nil, nil
+	}
+	var format gtlb.TraceFormat
+	switch *t.format {
+	case "jsonl":
+		format = gtlb.TraceJSONL
+	case "bin":
+		format = gtlb.TraceBinary
+	default:
+		return nil, fmt.Errorf("cliutil: unknown -trace-format %q (want jsonl or bin)", *t.format)
+	}
+	f, err := os.Create(*t.path)
+	if err != nil {
+		return nil, fmt.Errorf("cliutil: opening trace file: %w", err)
+	}
+	t.file = f
+	return gtlb.WithTrace(f, gtlb.WithTraceFormat(format)), nil
+}
+
+// Close closes the trace file when one was opened. The close error
+// matters: a failed flush here means a truncated trace file behind a
+// success message.
+func (t *TraceFlags) Close() error {
+	if t.file == nil {
+		return nil
+	}
+	return t.file.Close()
+}
+
+// ObsFlags bundles the observability flags shared by the run drivers:
+// -metrics prints the run's metrics registry and -trace/-trace-format
+// record the structured event stream (see TraceFlags).
+type ObsFlags struct {
+	metrics *bool
+	trace   *TraceFlags
+
+	reg *gtlb.Registry
+}
+
+// RegisterObsFlags installs -metrics, -trace and -trace-format on fs.
 func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
 	o := &ObsFlags{}
 	o.metrics = fs.Bool("metrics", false, "print the run's metrics registry when done")
-	o.trace = fs.String("trace", "", "write the run's event trace to this JSONL file")
+	o.trace = RegisterTraceFlags(fs)
 	return o
 }
 
@@ -35,13 +89,12 @@ func (o *ObsFlags) Options() ([]gtlb.Option, error) {
 	if *o.metrics {
 		opts = append(opts, gtlb.WithObserver(o.reg))
 	}
-	if *o.trace != "" {
-		f, err := os.Create(*o.trace)
-		if err != nil {
-			return nil, fmt.Errorf("cliutil: opening trace file: %w", err)
-		}
-		o.file = f
-		opts = append(opts, gtlb.WithTrace(f))
+	traceOpt, err := o.trace.Option()
+	if err != nil {
+		return nil, err
+	}
+	if traceOpt != nil {
+		opts = append(opts, traceOpt)
 	}
 	return opts, nil
 }
@@ -58,8 +111,5 @@ func (o *ObsFlags) Report() {
 
 // Close closes the trace file when one was opened.
 func (o *ObsFlags) Close() error {
-	if o.file == nil {
-		return nil
-	}
-	return o.file.Close()
+	return o.trace.Close()
 }

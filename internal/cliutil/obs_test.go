@@ -1,0 +1,139 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gtlb"
+)
+
+// traceRun drives a tiny deterministic simulation with the options a
+// TraceFlags parse produced, so tests exercise the same facade path the
+// CLI drivers use.
+func traceRun(t *testing.T, opts ...gtlb.Option) {
+	t.Helper()
+	_, err := gtlb.Simulate(gtlb.SimConfig{
+		Mu:           []float64{200, 100},
+		InterArrival: gtlb.Exponential(150),
+		Routing:      [][]float64{{0.7, 0.3}},
+		Horizon:      20,
+		Warmup:       2,
+		Seed:         5,
+		Replications: 2,
+	}, opts...)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+}
+
+// parseTraceFlags parses args through a fresh FlagSet carrying the
+// shared trace flags.
+func parseTraceFlags(t *testing.T, args ...string) *TraceFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tf := RegisterTraceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parsing %v: %v", args, err)
+	}
+	return tf
+}
+
+func TestTraceFlagsOff(t *testing.T) {
+	tf := parseTraceFlags(t)
+	opt, err := tf.Option()
+	if err != nil {
+		t.Fatalf("Option: %v", err)
+	}
+	if opt != nil {
+		t.Fatal("Option returned an option with tracing off")
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatalf("Close with tracing off: %v", err)
+	}
+}
+
+func TestTraceFlagsBadFormat(t *testing.T) {
+	tf := parseTraceFlags(t, "-trace", filepath.Join(t.TempDir(), "x"), "-trace-format", "protobuf")
+	if _, err := tf.Option(); err == nil {
+		t.Fatal("Option accepted -trace-format protobuf")
+	}
+}
+
+// TestTraceFlagsFormats runs the same simulation through both formats
+// and checks the binary file decodes to exactly the JSONL file: the CLI
+// flag is a pure encoding switch, not a different trace.
+func TestTraceFlagsFormats(t *testing.T) {
+	record := func(args ...string) []byte {
+		t.Helper()
+		tf := parseTraceFlags(t, args...)
+		opt, err := tf.Option()
+		if err != nil {
+			t.Fatalf("Option: %v", err)
+		}
+		if opt == nil {
+			t.Fatal("Option returned nil with -trace set")
+		}
+		traceRun(t, opt)
+		if err := tf.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		data, err := os.ReadFile(*tf.path)
+		if err != nil {
+			t.Fatalf("reading trace file: %v", err)
+		}
+		return data
+	}
+
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "events.jsonl")
+	binPath := filepath.Join(dir, "events.bin")
+	jsonl := record("-trace", jsonlPath)                                   // default format
+	jsonlExplicit := record("-trace", jsonlPath, "-trace-format", "jsonl") // spelled out
+	bin := record("-trace", binPath, "-trace-format", "bin")
+
+	if !bytes.Equal(jsonl, jsonlExplicit) {
+		t.Fatal("default format differs from explicit -trace-format jsonl")
+	}
+	if len(jsonl) == 0 {
+		t.Fatal("JSONL trace file is empty")
+	}
+	if len(bin) >= len(jsonl) {
+		t.Fatalf("binary trace (%d bytes) not smaller than JSONL (%d bytes)", len(bin), len(jsonl))
+	}
+	var decoded bytes.Buffer
+	if err := gtlb.DecodeTrace(bytes.NewReader(bin), &decoded); err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	if !bytes.Equal(decoded.Bytes(), jsonl) {
+		t.Fatal("decoded binary trace differs from the JSONL trace of the same run")
+	}
+}
+
+// TestObsFlagsTraceFormat checks ObsFlags picked up the shared trace
+// flags (lbsim and lbdyn register through it).
+func TestObsFlagsTraceFormat(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := RegisterObsFlags(fs)
+	path := filepath.Join(t.TempDir(), "events.bin")
+	if err := fs.Parse([]string{"-trace", path, "-trace-format", "bin"}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	opts, err := o.Options()
+	if err != nil {
+		t.Fatalf("Options: %v", err)
+	}
+	traceRun(t, opts...)
+	if err := o.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace file: %v", err)
+	}
+	if len(data) < 4 || string(data[:3]) != "LBT" {
+		t.Fatalf("trace file does not start with the binary magic: % x", data[:min(len(data), 8)])
+	}
+}

@@ -1,11 +1,12 @@
 package des
 
-// The trace determinism contract: a seeded run observed through the
-// tracer produces byte-identical JSONL at any worker count, and the
-// bytes are pinned by a committed golden file so encoding or event
-// ordering changes cannot slip in silently. Regenerate the golden with
+// The trace determinism contract: a seeded run observed through a
+// tracer — JSONL or binary — produces byte-identical output at any
+// worker count, and the bytes are pinned by committed golden files so
+// encoding or event ordering changes cannot slip in silently.
+// Regenerate both goldens with
 //
-//	UPDATE_GOLDEN=1 go test -run TestTraceMatchesGolden ./internal/des/
+//	UPDATE_GOLDEN=1 go test -run 'TestTraceMatchesGolden|TestBinaryTraceMatchesGolden' ./internal/des/
 
 import (
 	"bytes"
@@ -103,4 +104,79 @@ func firstOf(lines [][]byte, i int) []byte {
 		return lines[i]
 	}
 	return []byte("<EOF>")
+}
+
+// runBinaryTraced records the golden run through the binary tracer.
+func runBinaryTraced(t *testing.T, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewBinaryTracer(&buf)
+	if _, err := Run(goldenTraceConfig(workers, tr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryTraceIdenticalAcrossWorkers pins the determinism contract
+// for the binary format: per-replication sections carry private
+// interning and timestamp-delta state, so worker scheduling cannot leak
+// into the bytes.
+func TestBinaryTraceIdenticalAcrossWorkers(t *testing.T) {
+	seq := runBinaryTraced(t, 1)
+	if len(seq) == 0 {
+		t.Fatal("empty binary trace")
+	}
+	for _, workers := range []int{2, 8} {
+		par := runBinaryTraced(t, workers)
+		if !bytes.Equal(seq, par) {
+			t.Fatalf("binary trace bytes differ between Workers=1 (%d bytes) and Workers=%d (%d bytes)",
+				len(seq), workers, len(par))
+		}
+	}
+}
+
+// TestBinaryTraceMatchesGolden pins the binary wire format itself: the
+// committed bytes only change when the encoding changes, and then only
+// through a deliberate regeneration.
+func TestBinaryTraceMatchesGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "trace_ch3.bin")
+	got := runBinaryTraced(t, 1)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading binary golden trace (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("binary trace diverges from the golden file (got %d bytes, want %d)", len(got), len(want))
+	}
+}
+
+// TestBinaryTraceDecodesToJSONLGolden closes the loop between the two
+// goldens: decoding the binary golden must reproduce the JSONL golden
+// byte-for-byte, so the formats cannot drift apart without a test
+// catching it.
+func TestBinaryTraceDecodesToJSONLGolden(t *testing.T) {
+	bin, err := os.ReadFile(filepath.Join("testdata", "trace_ch3.bin"))
+	if err != nil {
+		t.Fatalf("reading binary golden trace (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	jsonl, err := os.ReadFile(filepath.Join("testdata", "trace_ch3.jsonl"))
+	if err != nil {
+		t.Fatalf("reading JSONL golden trace (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	var decoded bytes.Buffer
+	if err := obs.DecodeTrace(bytes.NewReader(bin), &decoded); err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	if !bytes.Equal(decoded.Bytes(), jsonl) {
+		t.Fatalf("decoded binary golden differs from the JSONL golden (%d vs %d bytes)",
+			decoded.Len(), len(jsonl))
+	}
 }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzTraceDecode feeds arbitrary bytes to the binary trace decoder.
+// Traces are untrusted input (files on disk, possibly truncated or
+// corrupted), so the decoder must reject or accept — never panic, never
+// allocate unboundedly off a length field — and anything it accepts
+// must decode deterministically.
+func FuzzTraceDecode(f *testing.F) {
+	// Seed with valid traces of increasing richness plus degenerate
+	// prefixes, so the fuzzer starts inside the format.
+	seed := func(build func(*BinaryTracer)) []byte {
+		var buf bytes.Buffer
+		bt := NewBinaryTracer(&buf)
+		build(bt)
+		if err := bt.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(func(bt *BinaryTracer) {})) // empty
+	f.Add(seed(func(bt *BinaryTracer) {
+		bt.Observe(Event{Kind: DESArrival, Time: 1.5, A: 2, B: 1})
+	}))
+	f.Add(seed(func(bt *BinaryTracer) {
+		bt.Observe(Event{Kind: NashSend, Time: 3, Node: "user-1"})
+		bt.Observe(Event{Kind: NashRetry, Time: 3, N: 4, Node: "user-1"})
+		fork := bt.ForkRep(2)
+		fork.Observe(Event{Kind: DESDeparture, Time: 0.25, A: 1, B: 0, V: 0.125})
+		fork.Observe(Event{Kind: DESFail, Time: 0.5, A: -3, B: 7, V: -2.5, Node: "computer-0"})
+	}))
+	full := seed(func(bt *BinaryTracer) {
+		bt.Observe(Event{Kind: LBMBid, Time: 1, A: 4, V: 7.7, Node: "computer-4"})
+	})
+	f.Add(full[:4])           // magic only
+	f.Add(full[:len(full)-3]) // truncated record
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x13, 0x37})
+	f.Add([]byte{'L', 'B', 'T', 0x01})
+	f.Add([]byte{'L', 'B', 'T', 0x02, 0x01, 0x00}) // future version byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out1 bytes.Buffer
+		err1 := DecodeTrace(bytes.NewReader(data), &out1)
+		if err1 != nil {
+			return
+		}
+		// Accepted input must decode deterministically.
+		var out2 bytes.Buffer
+		if err2 := DecodeTrace(bytes.NewReader(data), &out2); err2 != nil {
+			t.Fatalf("second decode failed after first succeeded: %v", err2)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatal("decoding the same trace twice produced different output")
+		}
+		// And the decoder must not care how the output writer behaves
+		// for valid input (exercises the buffered-writer path).
+		if err := DecodeTrace(bytes.NewReader(data), io.Discard); err != nil {
+			t.Fatalf("decode to io.Discard failed after buffered decode succeeded: %v", err)
+		}
+	})
+}

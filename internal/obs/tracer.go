@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"bytes"
 	"io"
 	"sort"
 	"strconv"
@@ -33,33 +32,57 @@ import (
 // streams are guaranteed only for the per-replication (forked) events
 // and for single-goroutine emitters.
 //
-// The trace is buffered in memory until Flush, which writes the root
-// buffer then the replication buffers in ascending order. Write errors
-// are sticky: the first one is kept and returned by Flush and Err.
+// The trace is buffered on pooled pages (see pageBuf) until Flush,
+// which writes the root stream then the replication streams in
+// ascending order and returns the pages to the pool, so repeated traced
+// runs recycle the same slabs. Write errors are sticky: the first one
+// is kept and returned by Flush and Err.
+//
+// Tracer is the JSONL implementation of Sink; BinaryTracer is the
+// compact binary one. Both buffer and flush identically — only the
+// record encoding differs.
 type Tracer struct {
 	mu   sync.Mutex
 	w    io.Writer
-	root bytes.Buffer
+	root jsonlStream
 	reps map[int]*repTracer
 	err  error
 }
 
-// NewTracer returns a tracer writing JSONL to w on Flush.
+// NewTracer returns a tracer writing JSONL to w on Flush. It is the
+// JSONL-format Sink constructor; callers that want the compact binary
+// format use NewBinaryTracer instead.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: w, reps: map[int]*repTracer{}}
 }
 
-// Observe implements Observer: append one record to the root buffer.
+// jsonlStream is one ordered record stream (the root or one
+// replication): pooled pages plus a reusable encode scratch that grows
+// to the longest record once and is then reused for every append.
+type jsonlStream struct {
+	pages   pageBuf
+	scratch []byte
+}
+
+// observe encodes one record into the stream. rep < 0 means the root
+// stream (no rep field).
+func (s *jsonlStream) observe(e Event, rep int) {
+	s.scratch = appendJSONLRecord(s.scratch[:0], e.Kind.Name(), e, rep)
+	s.pages.write(s.scratch)
+}
+
+// Observe implements Observer: append one record to the root stream.
 func (t *Tracer) Observe(e Event) {
 	t.mu.Lock()
-	appendRecord(&t.root, e, -1)
+	t.root.observe(e, -1)
 	t.mu.Unlock()
 }
 
 // ForkRep implements RepForker: return the replication's private sink,
 // creating it on first use. Forks are handed out before the simulator's
 // worker pool starts and each is then driven by one goroutine only, so
-// their appends need no lock.
+// their appends need no lock — each fork owns its page chain until
+// Flush collects them.
 func (t *Tracer) ForkRep(rep int) Observer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -71,34 +94,31 @@ func (t *Tracer) ForkRep(rep int) Observer {
 	return rt
 }
 
-// repTracer is one replication's buffer.
+// repTracer is one replication's stream.
 type repTracer struct {
-	rep int
-	buf bytes.Buffer
+	rep    int
+	stream jsonlStream
 }
 
 func (rt *repTracer) Observe(e Event) {
-	appendRecord(&rt.buf, e, rt.rep)
+	rt.stream.observe(e, rt.rep)
 }
 
 // Flush writes the buffered trace — root records first, then each
-// replication's records in ascending replication order — and resets the
-// buffers. It returns the first write error encountered (also sticky in
-// Err).
+// replication's records in ascending replication order — and returns
+// the buffered pages to the pool. It returns the first write error
+// encountered (also sticky in Err).
 func (t *Tracer) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.write(t.root.Bytes())
-	t.root.Reset()
+	t.writePages(&t.root.pages)
 	order := make([]int, 0, len(t.reps))
 	for rep := range t.reps {
 		order = append(order, rep)
 	}
 	sort.Ints(order)
 	for _, rep := range order {
-		rt := t.reps[rep]
-		t.write(rt.buf.Bytes())
-		rt.buf.Reset()
+		t.writePages(&t.reps[rep].stream.pages)
 	}
 	return t.err
 }
@@ -110,22 +130,27 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
-func (t *Tracer) write(b []byte) {
-	if t.err != nil || len(b) == 0 {
-		return
+// writePages drains one stream's pages to the writer (skipped once a
+// sticky error is set) and recycles them either way.
+func (t *Tracer) writePages(p *pageBuf) {
+	if t.err == nil && p.len() > 0 {
+		if err := p.writeTo(t.w); err != nil {
+			t.err = err
+		}
 	}
-	if _, err := t.w.Write(b); err != nil {
-		t.err = err
-	}
+	p.free()
 }
 
-// appendRecord encodes one event as a JSON line. Field order is fixed:
-// rep (forked records only), kind, t, a, b, then n (only when > 1),
-// v (only when nonzero) and node (only when nonempty) — the omission
-// rule depends on the event alone, never on encoder state, so identical
-// event streams encode to identical bytes.
-func appendRecord(buf *bytes.Buffer, e Event, rep int) {
-	b := buf.AvailableBuffer()
+// appendJSONLRecord appends one event as a JSON line to dst and returns
+// the extended slice. Field order is fixed: rep (forked records only),
+// kind, t, a, b, then n (only when > 1), v (only when nonzero) and node
+// (only when nonempty) — the omission rule depends on the event alone,
+// never on encoder state, so identical event streams encode to
+// identical bytes. The kind name is a parameter (not read off e.Kind)
+// so the binary decoder can re-emit records through the exact same
+// encoder using the name table recorded in the trace file.
+func appendJSONLRecord(dst []byte, name string, e Event, rep int) []byte {
+	b := dst
 	b = append(b, '{')
 	if rep >= 0 {
 		b = append(b, `"rep":`...)
@@ -133,7 +158,7 @@ func appendRecord(buf *bytes.Buffer, e Event, rep int) {
 		b = append(b, ',')
 	}
 	b = append(b, `"kind":"`...)
-	b = append(b, e.Kind.Name()...)
+	b = append(b, name...)
 	b = append(b, `","t":`...)
 	b = strconv.AppendFloat(b, e.Time, 'g', -1, 64)
 	b = append(b, `,"a":`...)
@@ -153,5 +178,5 @@ func appendRecord(buf *bytes.Buffer, e Event, rep int) {
 		b = strconv.AppendQuote(b, e.Node)
 	}
 	b = append(b, '}', '\n')
-	buf.Write(b)
+	return b
 }

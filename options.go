@@ -33,14 +33,44 @@ type Registry = obs.Registry
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
-// Tracer is a structured JSONL event recorder; for a fixed seed its
-// flushed output is byte-identical at any simulator worker count.
+// Sink is a format-agnostic trace destination: an Observer that
+// buffers a run's events and writes them in deterministic order when
+// flushed. The trace options construct against this interface, so
+// callers pick a format — JSONL (NewTracer) or the compact binary
+// encoding (NewBinaryTracer) — without the rest of the API caring
+// which. Run entry points flush WithTrace/WithBinaryTrace sinks
+// automatically before returning.
+type Sink = obs.Sink
+
+// Tracer is the JSONL Sink: a structured event recorder, one JSON line
+// per event; for a fixed seed its flushed output is byte-identical at
+// any simulator worker count.
 type Tracer = obs.Tracer
 
-// NewTracer returns a tracer writing JSON Lines to w when flushed. Run
-// entry points flush tracers passed via WithObserver only if the
-// caller does so; prefer WithTrace, which flushes automatically.
+// NewTracer returns a tracer writing JSON Lines to w when flushed — the
+// JSONL-format Sink constructor (use NewBinaryTracer for the compact
+// binary format). Run entry points flush tracers passed via
+// WithObserver only if the caller does so; prefer WithTrace, which
+// flushes automatically.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// BinaryTracer is the compact binary Sink: the same determinism
+// contract as the JSONL Tracer at a fraction of the cost — varint-delta
+// virtual timestamps, interned event-name/label tables and pooled
+// buffer pages. Decode with DecodeTrace or `lbtrace -decode`.
+type BinaryTracer = obs.BinaryTracer
+
+// NewBinaryTracer returns a Sink recording events in the compact
+// binary trace format, written to w when flushed. Prefer
+// WithBinaryTrace, which flushes automatically.
+func NewBinaryTracer(w io.Writer) *BinaryTracer { return obs.NewBinaryTracer(w) }
+
+// DecodeTrace converts a binary event trace (the WithBinaryTrace /
+// NewBinaryTracer format) read from r into JSONL on w, byte-for-byte
+// identical to what the JSONL tracer would have produced for the same
+// run — so every tool built on the JSONL format consumes binary traces
+// through this one hop. The `lbtrace -decode` command wraps it.
+func DecodeTrace(r io.Reader, w io.Writer) error { return obs.DecodeTrace(r, w) }
 
 // Option configures one run of a gtlb entry point.
 type Option func(*runOptions)
@@ -48,7 +78,7 @@ type Option func(*runOptions)
 // runOptions accumulates the applied options.
 type runOptions struct {
 	observers []obs.Observer
-	tracers   []*obs.Tracer
+	sinks     []obs.Sink
 	plan      *FaultPlan
 	ring      NashRingOptions
 	shard     ShardOptions
@@ -65,15 +95,62 @@ func WithObserver(o Observer) Option {
 	return func(ro *runOptions) { ro.observers = append(ro.observers, o) }
 }
 
-// WithTrace records the run's events as JSON Lines on w, flushed
-// (buffered, in deterministic order) before the entry point returns.
-// Flush errors surface through the entry point's error result.
-func WithTrace(w io.Writer) Option {
+// TraceFormat selects the wire encoding of a recorded event trace.
+type TraceFormat int
+
+const (
+	// TraceJSONL is the human-readable default: one JSON object per
+	// line, the format the goldens and downstream tools consume.
+	TraceJSONL TraceFormat = iota
+	// TraceBinary is the compact production-rate encoding
+	// (varint-delta timestamps, interned names, pooled pages); convert
+	// to JSONL with DecodeTrace or `lbtrace -decode`.
+	TraceBinary
+)
+
+// TraceOption refines a WithTrace recording (today: the format).
+type TraceOption func(*traceConfig)
+
+type traceConfig struct {
+	format TraceFormat
+}
+
+// WithTraceFormat selects the trace encoding; the zero value
+// (TraceJSONL) is the default, so existing WithTrace(w) call sites are
+// unchanged.
+func WithTraceFormat(f TraceFormat) TraceOption {
+	return func(tc *traceConfig) { tc.format = f }
+}
+
+// WithTrace records the run's events on w, flushed (buffered, in
+// deterministic order) before the entry point returns. With no trace
+// options it records JSON Lines — the historical behavior, unchanged —
+// and WithTraceFormat picks another encoding. Flush errors surface
+// through the entry point's error result.
+func WithTrace(w io.Writer, topts ...TraceOption) Option {
 	return func(ro *runOptions) {
-		t := obs.NewTracer(w)
-		ro.observers = append(ro.observers, t)
-		ro.tracers = append(ro.tracers, t)
+		var tc traceConfig
+		for _, to := range topts {
+			if to != nil {
+				to(&tc)
+			}
+		}
+		var s obs.Sink
+		switch tc.format {
+		case TraceBinary:
+			s = obs.NewBinaryTracer(w)
+		default:
+			s = obs.NewTracer(w)
+		}
+		ro.observers = append(ro.observers, s)
+		ro.sinks = append(ro.sinks, s)
 	}
+}
+
+// WithBinaryTrace records the run's events on w in the compact binary
+// trace format: shorthand for WithTrace(w, WithTraceFormat(TraceBinary)).
+func WithBinaryTrace(w io.Writer) Option {
+	return WithTrace(w, WithTraceFormat(TraceBinary))
 }
 
 // WithFaultPlan wraps the entry point's network in the seeded chaos
@@ -143,11 +220,12 @@ func (ro *runOptions) network(n Network) Network {
 	return dist.NewChaosNetwork(n, *ro.plan, ro.observer())
 }
 
-// flush drains any WithTrace tracers, returning the first write error.
+// flush drains any WithTrace/WithBinaryTrace sinks, returning the
+// first write error.
 func (ro *runOptions) flush() error {
 	var first error
-	for _, t := range ro.tracers {
-		if err := t.Flush(); err != nil && first == nil {
+	for _, s := range ro.sinks {
+		if err := s.Flush(); err != nil && first == nil {
 			first = err
 		}
 	}
